@@ -1,0 +1,111 @@
+// E5 + E6 — Lemmas 4.7 and 4.8: the solution LCA-KP serves is always
+// feasible and its value clears the (1/2, 6*eps) floor.
+//
+// For each instance family and eps, several independent runs are
+// materialized via MAPPING-GREEDY and audited: feasibility, normalized
+// value, ratio against the exact optimum (or the [greedy, fractional]
+// bracket when exact is out of reach), and whether the paper's floor holds.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/lca_kp.h"
+#include "core/mapping_greedy.h"
+#include "knapsack/generators.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+#include "oracle/access.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcaknap;
+
+  std::cout << "E5/E6: feasibility (Lemma 4.7) and value (Lemma 4.8) of the "
+               "served solution\n\n";
+
+  constexpr std::size_t kN = 20'000;
+  constexpr int kRuns = 5;
+
+  util::Table table({"family", "eps", "feasible", "mean value", "min value",
+                     "OPT (norm)", "mean ratio", "floor OPT/2-6eps", "floor ok"});
+  for (const auto family :
+       {knapsack::Family::kNeedle, knapsack::Family::kUncorrelated,
+        knapsack::Family::kWeaklyCorrelated, knapsack::Family::kStronglyCorrelated,
+        knapsack::Family::kSubsetSum, knapsack::Family::kSimilarWeights}) {
+    const auto inst = knapsack::make_family(family, kN, 21);
+    const double scale = static_cast<double>(inst.total_profit());
+    const auto exact = knapsack::solve_exact(inst, 30'000'000);
+    const double opt_norm =
+        exact.proven_optimal
+            ? static_cast<double>(exact.solution.value) / scale
+            : knapsack::fractional_opt(inst) / scale;  // upper bound fallback
+
+    for (const double eps : {0.05, 0.1, 0.15, 0.25}) {
+      core::LcaKpConfig config;
+      config.eps = eps;
+      config.seed = 0xE5 + static_cast<std::uint64_t>(eps * 1000);
+      config.quantile_samples = 300'000;
+      const oracle::MaterializedAccess access(inst);
+      const core::LcaKp lca(access, config);
+
+      int feasible = 0;
+      double value_sum = 0.0;
+      double value_min = 1.0;
+      bool floor_ok = true;
+      const double floor = opt_norm / 2.0 - 6.0 * eps;
+      for (int r = 0; r < kRuns; ++r) {
+        util::Xoshiro256 tape(100 + static_cast<std::uint64_t>(r));
+        const auto run = lca.run_pipeline(tape);
+        const auto eval = core::evaluate_run(inst, lca, run);
+        feasible += eval.feasible ? 1 : 0;
+        value_sum += eval.norm_value;
+        value_min = std::min(value_min, eval.norm_value);
+        floor_ok = floor_ok && (eval.norm_value >= floor);
+      }
+      table.row()
+          .cell(knapsack::family_name(family))
+          .cell(eps, 2)
+          .cell(std::to_string(feasible) + "/" + std::to_string(kRuns))
+          .cell(value_sum / kRuns)
+          .cell(value_min)
+          .cell(opt_norm)
+          .cell(value_sum / kRuns / opt_norm)
+          .cell(floor)
+          .cell(floor_ok ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout, "served-solution audit across families and eps");
+  std::cout << "\nShape to check: feasible = 5/5 everywhere (Lemma 4.7 is\n"
+               "unconditional); every run clears the (1/2, 6eps) floor; measured\n"
+               "ratios sit far above the worst-case bound at small eps.\n"
+               "Boundary regimes (documented in EXPERIMENTS.md): at eps >= 0.25\n"
+               "the paper's own parameterization yields t = floor(1/q) <= 2 bands,\n"
+               "so the k >= 3 backoff admits no small items (value ~ large items\n"
+               "only); subset_sum has a single efficiency atom, for which no\n"
+               "Equally Partitioning Sequence exists (Definition 4.3's implicit\n"
+               "precondition), and the served solution degenerates to empty —\n"
+               "both still satisfy the theorem's additive 6*eps guarantee.\n\n";
+
+  // Distribution of served values over many independent runs: the values
+  // concentrate (run-to-run variance is sampling noise only, not mode
+  // switching) — visual companion to the consistency experiment E7.
+  {
+    const auto inst = knapsack::make_family(knapsack::Family::kNeedle, kN, 22);
+    core::LcaKpConfig config;
+    config.eps = 0.1;
+    config.seed = 0xE5D;
+    config.quantile_samples = 150'000;
+    const oracle::MaterializedAccess access(inst);
+    const core::LcaKp lca(access, config);
+    util::Histogram hist(0.0, 1.0, 20);
+    for (std::uint64_t r = 0; r < 30; ++r) {
+      util::Xoshiro256 tape(900 + r);
+      const auto run = lca.run_pipeline(tape);
+      hist.add(core::evaluate_run(inst, lca, run).norm_value);
+    }
+    hist.print(std::cout,
+               "served value across 30 independent runs (needle, eps = 0.1)");
+  }
+  return 0;
+}

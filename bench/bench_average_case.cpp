@@ -1,0 +1,115 @@
+// E11 (extension) — the paper's Section 5 future-work probe: average-case
+// LCAs in the spirit of [BCPR24].
+//
+// When instances come from a known distribution, a membership threshold
+// learned *once offline* transfers to fresh instances: `PriorLca` then
+// answers with a single query and zero sampling — cheaper than LCA-KP and
+// trivially consistent.  The flip side is the distributional assumption: on
+// an off-distribution family (planted heavy items) the prior forfeits the
+// heavy mass.  Both sides are measured, plus the per-query cost comparison
+// against LCA-KP and full-read.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/full_read_lca.h"
+#include "core/lca_kp.h"
+#include "core/mapping_greedy.h"
+#include "core/prior_lca.h"
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcaknap;
+
+  std::cout << "E11 (extension): average-case LCA via an offline prior "
+               "([BCPR24] future-work probe)\n\n";
+
+  constexpr std::size_t kN = 20'000;
+  core::LcaKpConfig config;
+  config.eps = 0.1;
+  config.seed = 0xE11;
+  config.quantile_samples = 300'000;
+
+  // Learn once from a reference draw of the family.
+  const auto reference = knapsack::make_family(knapsack::Family::kUncorrelated, kN, 301);
+  const core::Prior prior = core::learn_prior(reference, config);
+
+  // --- Transfer to fresh instances of the family. --------------------------
+  {
+    util::Table table({"fresh seed", "feasible", "value (norm)", "vs greedy"});
+    for (std::uint64_t seed = 401; seed <= 408; ++seed) {
+      const auto fresh =
+          knapsack::make_family(knapsack::Family::kUncorrelated, kN, seed);
+      const oracle::MaterializedAccess access(fresh);
+      const core::PriorLca lca(access, prior);
+      const auto eval = core::evaluate_prior(fresh, lca);
+      table.row()
+          .cell(seed)
+          .cell(eval.feasible ? "yes" : "NO")
+          .cell(eval.norm_value)
+          .cell(eval.vs_greedy);
+    }
+    table.print(std::cout,
+                "prior learned on one reference instance, served on 8 fresh draws");
+    std::cout << "\n";
+  }
+
+  // --- Per-query cost comparison. ------------------------------------------
+  {
+    const auto fresh = knapsack::make_family(knapsack::Family::kUncorrelated, kN, 501);
+    const oracle::MaterializedAccess access(fresh);
+    util::Table table({"algorithm", "oracle accesses per answer"});
+
+    const core::PriorLca prior_lca(access, prior);
+    util::Xoshiro256 rng(502);
+    access.reset_counters();
+    (void)prior_lca.answer(0, rng);
+    table.row().cell("prior-lca (average-case)").cell(access.access_count());
+
+    access.reset_counters();
+    const core::LcaKp lca_kp(access, config);
+    (void)lca_kp.answer(0, rng);
+    table.row().cell("lca-kp (worst-case)").cell(access.access_count());
+
+    access.reset_counters();
+    const core::FullReadLca full(access);
+    (void)full.answer(0, rng);
+    table.row().cell("full-read").cell(access.access_count());
+    table.print(std::cout, "per-answer cost on a fresh in-distribution instance");
+    std::cout << "\n";
+  }
+
+  // --- Off-distribution failure. --------------------------------------------
+  {
+    util::Table table({"family", "prior value", "lca-kp value", "prior loses"});
+    for (const auto family :
+         {knapsack::Family::kUncorrelated, knapsack::Family::kNeedle}) {
+      const auto inst = knapsack::make_family(family, kN, 601);
+      const oracle::MaterializedAccess access(inst);
+      const core::PriorLca prior_lca(access, prior);
+      const auto prior_eval = core::evaluate_prior(inst, prior_lca);
+
+      const core::LcaKp lca_kp(access, config);
+      util::Xoshiro256 tape(602);
+      const auto run = lca_kp.run_pipeline(tape);
+      const auto kp_eval = core::evaluate_run(inst, lca_kp, run);
+
+      table.row()
+          .cell(knapsack::family_name(family))
+          .cell(prior_eval.norm_value)
+          .cell(kp_eval.norm_value)
+          .cell(prior_eval.norm_value + 0.05 < kp_eval.norm_value ? "yes" : "no");
+    }
+    table.print(std::cout,
+                "the assumption is load-bearing: off-distribution (needle) the "
+                "prior forfeits the planted heavy mass");
+  }
+  std::cout << "\nShape to check: in-distribution the prior is feasible with\n"
+               "value comparable to greedy at 1 access/answer; on the needle\n"
+               "family it loses the ~40% heavy mass that LCA-KP captures —\n"
+               "average-case assumptions bypass the lower bounds only where\n"
+               "they hold, as the paper's Section 5 anticipates.\n";
+  return 0;
+}

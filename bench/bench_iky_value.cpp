@@ -1,0 +1,99 @@
+// E9 — Lemma 4.4 / [IKY12]: the constructed instance's optimum (minus eps)
+// approximates OPT(I) within 6*eps, at a query cost independent of n.
+//
+// Tables: estimate vs exact optimum across families and eps; sample cost vs
+// n (flat line); and the construction's size |I~| vs eps.
+
+#include <cmath>
+#include <iostream>
+
+#include "iky/value_approx.h"
+#include "knapsack/generators.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+#include "oracle/access.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcaknap;
+
+  std::cout << "E9: [IKY12] constant-time OPT-value estimation (Lemma 4.4)\n\n";
+
+  {
+    util::Table table({"family", "eps", "estimate", "OPT/bracket", "|error|",
+                       "6*eps band", "in band?"});
+    for (const auto family :
+         {knapsack::Family::kNeedle, knapsack::Family::kUncorrelated,
+          knapsack::Family::kWeaklyCorrelated, knapsack::Family::kSubsetSum}) {
+      const auto inst = knapsack::make_family(family, 10'000, 41);
+      const double scale = static_cast<double>(inst.total_profit());
+      const auto exact = knapsack::solve_exact(inst, 30'000'000);
+      const bool proven = exact.proven_optimal;
+      const double opt_lo =
+          proven ? static_cast<double>(exact.solution.value) / scale
+                 : static_cast<double>(knapsack::greedy_half(inst).solution.value) / scale;
+      const double opt_hi =
+          proven ? opt_lo : knapsack::fractional_opt(inst) / scale;
+
+      const oracle::MaterializedAccess access(inst);
+      for (const double eps : {0.1, 0.2, 0.3}) {
+        iky::ValueApproxConfig config;
+        config.eps = eps;
+        util::Xoshiro256 rng(42);
+        const auto result = iky::approximate_opt_value(access, config, rng);
+        const double err = result.estimate > opt_hi ? result.estimate - opt_hi
+                           : result.estimate < opt_lo ? opt_lo - result.estimate
+                                                      : 0.0;
+        table.row()
+            .cell(knapsack::family_name(family))
+            .cell(eps, 2)
+            .cell(result.estimate)
+            .cell(proven ? util::format_double(opt_lo)
+                         : "[" + util::format_double(opt_lo) + "," +
+                               util::format_double(opt_hi) + "]")
+            .cell(err)
+            .cell(6.0 * eps, 2)
+            .cell(err <= 6.0 * eps ? "yes" : "NO");
+      }
+    }
+    table.print(std::cout, "estimate vs optimum, n = 10000");
+    std::cout << "\n";
+  }
+
+  {
+    util::Table table({"n", "samples used", "|I~|", "estimate"});
+    for (const std::size_t n : {2'000UL, 20'000UL, 200'000UL, 1'000'000UL}) {
+      const auto inst = knapsack::make_family(knapsack::Family::kNeedle, n, 43);
+      const oracle::MaterializedAccess access(inst);
+      iky::ValueApproxConfig config;
+      config.eps = 0.2;
+      util::Xoshiro256 rng(44);
+      const auto result = iky::approximate_opt_value(access, config, rng);
+      table.row()
+          .cell(static_cast<unsigned long long>(n))
+          .cell(result.samples_used)
+          .cell(result.tilde_size)
+          .cell(result.estimate);
+    }
+    table.print(std::cout, "query cost vs n (eps = 0.2): flat in n");
+    std::cout << "\n";
+  }
+
+  {
+    util::Table table({"eps", "|I~|", "bound 1/eps^2-ish"});
+    const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 50'000, 45);
+    const oracle::MaterializedAccess access(inst);
+    for (const double eps : {0.1, 0.15, 0.2, 0.3, 0.4}) {
+      iky::ValueApproxConfig config;
+      config.eps = eps;
+      util::Xoshiro256 rng(46);
+      const auto result = iky::approximate_opt_value(access, config, rng);
+      table.row()
+          .cell(eps, 2)
+          .cell(result.tilde_size)
+          .cell(2.0 / (eps * eps), 1);
+    }
+    table.print(std::cout, "constructed instance size vs eps");
+  }
+  return 0;
+}

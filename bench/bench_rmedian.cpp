@@ -1,0 +1,203 @@
+// E8 — Theorem 4.5 / [ILPS22] Theorem 2.7: the reproducible quantile
+// machinery delivers tau-approximate quantiles that are *identical* across
+// runs with probability ~1 - rho, at a cost whose only growth is a mild
+// dependence on the domain size.
+//
+// Three tables: accuracy per target quantile across distribution shapes;
+// measured reproducibility (paired fresh-sample runs) vs rho; and the
+// domain-size sweep showing depth/sample growth — the observable stand-in
+// for the paper's log*|X| factor (substitution documented in DESIGN.md).
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/reproducible_large.h"
+#include "knapsack/instance.h"
+#include "oracle/access.h"
+#include "reproducible/rquantile.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using lcaknap::util::Xoshiro256;
+
+enum class Shape { kUniform, kSquared, kZipfish, kBimodal };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kUniform: return "uniform";
+    case Shape::kSquared: return "squared";
+    case Shape::kZipfish: return "zipf-ish";
+    case Shape::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+std::int64_t draw(Shape shape, std::int64_t domain, Xoshiro256& rng) {
+  const double u = rng.next_double();
+  double v = u;
+  switch (shape) {
+    case Shape::kUniform: v = u; break;
+    case Shape::kSquared: v = u * u; break;
+    case Shape::kZipfish: v = std::pow(u, 4.0); break;
+    case Shape::kBimodal: v = (rng.next_double() < 0.5) ? 0.25 * u : 0.75 + 0.25 * u; break;
+  }
+  return std::min<std::int64_t>(domain - 1,
+                                static_cast<std::int64_t>(v * static_cast<double>(domain)));
+}
+
+/// True CDF at a value, estimated from a very large reference sample.
+double reference_cdf(Shape shape, std::int64_t domain, std::int64_t value,
+                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::size_t below = 0;
+  constexpr std::size_t kRef = 400'000;
+  for (std::size_t i = 0; i < kRef; ++i) {
+    if (draw(shape, domain, rng) <= value) ++below;
+  }
+  return static_cast<double>(below) / kRef;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lcaknap;
+
+  std::cout << "E8: reproducible quantiles — accuracy, reproducibility, and "
+               "domain dependence (Theorem 4.5)\n\n";
+
+  // Calibration per DESIGN.md: per-level straddle rate ~ 2*delta/(tau/2)
+  // with delta = sqrt(ln(2/beta)/2n); branching 64 keeps the search at two
+  // levels over 2^12 cells, and n = 10^6 puts the expected disagreement rate
+  // at the rho target.
+  reproducible::RQuantileParams params;
+  params.domain_size = 1 << 12;
+  params.tau = 0.1;
+  params.rho = 0.15;
+  params.beta = 0.05;
+  params.branching = 64;
+  constexpr std::size_t kSamples = 1'000'000;
+
+  // --- Accuracy. -----------------------------------------------------------
+  {
+    util::Table table({"distribution", "p", "returned CDF", "|error|", "tau"});
+    const util::Prf prf(0xE8);
+    Xoshiro256 rng(1);
+    for (const auto shape :
+         {Shape::kUniform, Shape::kSquared, Shape::kZipfish, Shape::kBimodal}) {
+      for (const double p : {0.25, 0.5, 0.9}) {
+        std::vector<std::int64_t> samples(kSamples);
+        for (auto& v : samples) v = draw(shape, params.domain_size, rng);
+        const auto value = reproducible::rquantile(samples, p, params, prf, 0);
+        const double cdf = reference_cdf(shape, params.domain_size, value, 999);
+        table.row()
+            .cell(shape_name(shape))
+            .cell(p, 2)
+            .cell(cdf)
+            .cell(std::abs(cdf - p))
+            .cell(params.tau, 2);
+      }
+    }
+    table.print(std::cout, "tau-approximate quantile accuracy");
+    std::cout << "\n";
+  }
+
+  // --- Reproducibility. ------------------------------------------------------
+  {
+    util::Table table({"distribution", "pairs", "disagreements", "measured rate",
+                       "target rho"});
+    Xoshiro256 rng(2);
+    constexpr int kPairs = 40;
+    for (const auto shape :
+         {Shape::kUniform, Shape::kSquared, Shape::kZipfish, Shape::kBimodal}) {
+      int disagreements = 0;
+      for (int pair = 0; pair < kPairs; ++pair) {
+        const util::Prf prf(static_cast<std::uint64_t>(pair) * 6151 + 17);
+        const auto sample_once = [&] {
+          std::vector<std::int64_t> s(kSamples);
+          for (auto& v : s) v = draw(shape, params.domain_size, rng);
+          return s;
+        };
+        if (reproducible::rquantile(sample_once(), 0.7, params, prf, 0) !=
+            reproducible::rquantile(sample_once(), 0.7, params, prf, 0)) {
+          ++disagreements;
+        }
+      }
+      table.row()
+          .cell(shape_name(shape))
+          .cell(static_cast<long long>(kPairs))
+          .cell(static_cast<long long>(disagreements))
+          .cell(static_cast<double>(disagreements) / kPairs)
+          .cell(params.rho, 2);
+    }
+    table.print(std::cout,
+                "Definition 2.5 experiment: shared seed, fresh samples, p = 0.7");
+    std::cout << "\n";
+  }
+
+  // --- Domain-size dependence. ---------------------------------------------
+  {
+    util::Table table({"log2|X|", "depth", "provable samples", "depth/log*|X| note"});
+    for (const int bits : {8, 16, 24, 32, 40, 47}) {
+      reproducible::RMedianParams mp;
+      mp.domain_size = std::int64_t{1} << bits;
+      mp.tau = params.tau / 2.0;
+      mp.rho = params.rho;
+      mp.beta = params.beta;
+      mp.branching = params.branching;
+      table.row()
+          .cell(static_cast<long long>(bits))
+          .cell(static_cast<long long>(reproducible::rmedian_depth(mp)))
+          .cell(reproducible::rmedian_sample_size(mp))
+          .cell(bits <= 16 ? "paper tower would be ~4 levels here"
+                           : "ours grows log|X|/log g; paper stays ~5");
+    }
+    table.print(std::cout, "domain-size dependence (documented substitution)");
+    std::cout << "\n";
+  }
+
+  // --- Extension: index-only large-item discovery via heavy hitters. -------
+  {
+    // eps = 0.25 -> threshold eps^2 = 1/16 of the profit.  Total profit 1600:
+    // two clear large items (400), five straddlers at exactly 100 = eps^2,
+    // and filler mass.  Plain per-run thresholding flickers on straddlers;
+    // the shared randomized threshold decides them identically across runs.
+    std::vector<knapsack::Item> items{{400, 1}, {400, 1}};
+    for (int s = 0; s < 5; ++s) items.push_back({100, 1});
+    for (int f = 0; f < 100; ++f) items.push_back({3, 1});
+    const auto capacity = static_cast<std::int64_t>(items.size());
+    const knapsack::Instance inst(std::move(items), capacity);
+    const oracle::MaterializedAccess access(inst);
+
+    core::ReproducibleLargeConfig config;
+    config.eps = 0.25;
+    config.samples = 400'000;
+
+    Xoshiro256 fresh(7);
+    int identical = 0;
+    int captured_clear = 0;
+    constexpr int kPairs = 25;
+    for (int pair = 0; pair < kPairs; ++pair) {
+      const util::Prf prf(static_cast<std::uint64_t>(pair) * 75029 + 3);
+      Xoshiro256 rng1(fresh()), rng2(fresh());
+      const auto a = core::reproducible_large_items(access, config, prf, rng1);
+      const auto b = core::reproducible_large_items(access, config, prf, rng2);
+      if (a.indices == b.indices) ++identical;
+      if (a.indices.size() >= 2 && a.indices[0] == 0 && a.indices[1] == 1) {
+        ++captured_clear;
+      }
+    }
+    util::Table table({"metric", "value"});
+    table.row().cell("paired runs").cell(static_cast<long long>(kPairs));
+    table.row().cell("identical output sets").cell(static_cast<long long>(identical));
+    table.row().cell("runs capturing both clear large items")
+        .cell(static_cast<long long>(captured_clear));
+    table.print(std::cout,
+                "extension: index-only L(I) discovery (reproducible heavy "
+                "hitters; items planted AT the eps^2 boundary)");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E14 — the deployment view: the paper's guarantees expressed as serving
+// SLOs.  A replica fleet serves uniform / zipf / hotspot query traces; the
+// table reports warm-up cost, simulated per-query latency percentiles, and
+// the consistency rate (answers matching the fleet consensus) — Lemma 4.9 as
+// an operator metric.  The full-read row shows what the same SLO costs
+// without weighted sampling.
+
+#include <iostream>
+
+#include "core/serving_sim.h"
+#include "knapsack/generators.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+int main() {
+  using namespace lcaknap;
+
+  std::cout << "E14: serving-fleet simulation (the deployment view)\n\n";
+
+  constexpr std::size_t kN = 50'000;
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, kN, 141);
+  util::ThreadPool pool;
+
+  core::ServingConfig serving;
+  serving.lca.eps = 0.1;
+  serving.lca.seed = 0xE14;
+  serving.lca.quantile_samples = 200'000;
+  serving.replicas = 6;
+
+  util::Table table({"workload", "queries", "p50 us", "p95 us", "p99 us",
+                     "yes rate", "consistency"});
+  for (const auto shape :
+       {core::WorkloadConfig::Shape::kUniform, core::WorkloadConfig::Shape::kZipf,
+        core::WorkloadConfig::Shape::kHotspot}) {
+    core::WorkloadConfig workload;
+    workload.shape = shape;
+    workload.queries = 20'000;
+    const auto report = core::simulate_serving(inst, serving, workload, &pool);
+    const char* name = shape == core::WorkloadConfig::Shape::kUniform ? "uniform"
+                       : shape == core::WorkloadConfig::Shape::kZipf  ? "zipf(1.1)"
+                                                                      : "hotspot(90/16)";
+    table.row()
+        .cell(name)
+        .cell(report.queries)
+        .cell(report.p50_us, 1)
+        .cell(report.p95_us, 1)
+        .cell(report.p99_us, 1)
+        .cell(report.yes_rate)
+        .cell(report.consistency_rate);
+  }
+  table.print(std::cout, "6 replicas, n = 50000, eps = 0.1, RPC 80us + exp(30us)");
+
+  // Warm-up economics: the one-time pipeline vs the per-query price, and the
+  // full-read alternative.
+  core::WorkloadConfig workload;
+  workload.queries = 20'000;
+  const auto report = core::simulate_serving(inst, serving, workload, &pool);
+  util::Table econ({"metric", "value"});
+  econ.row().cell("warm-up samples / replica").cell(report.warmup_samples_per_replica, 0);
+  econ.row().cell("warm-up simulated time / replica (ms)")
+      .cell(report.warmup_sim_ms_per_replica, 1);
+  econ.row().cell("steady-state oracle reads / query").cell(1.0, 0);
+  econ.row().cell("full-read equivalent reads / query")
+      .cell(static_cast<unsigned long long>(kN));
+  econ.row().cell("full-read equivalent time / query (ms)")
+      .cell(static_cast<double>(kN) * 0.110, 1);
+  econ.print(std::cout, "warm-up economics");
+  std::cout << "\nShape to check: consistency ~ 1 across every traffic shape (the\n"
+               "rule is fixed per replica, so skew cannot create disagreement);\n"
+               "after the one-time warm-up, serving costs one read per query where\n"
+               "a full-read server would pay n = 50000 reads (~5.5 s) per query.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E10 — substrate sanity/ablation: the offline solver suite LCA-KP stands
+// on.  Agreement of all exact solvers, the greedy 1/2 and FPTAS (1-eps)
+// guarantees measured, then google-benchmark timings vs n — the offline
+// costs the LCA's sublinear access model avoids paying per query.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/branch_bound.h"
+#include "knapsack/solvers/brute_force.h"
+#include "knapsack/solvers/dp.h"
+#include "knapsack/solvers/fptas.h"
+#include "knapsack/solvers/greedy.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lcaknap;
+
+knapsack::Instance bench_instance(std::size_t n, std::uint64_t seed = 51,
+                                  std::int64_t max_value = 1'000) {
+  util::Xoshiro256 rng(seed);
+  knapsack::GeneratorConfig cfg;
+  cfg.n = n;
+  cfg.max_value = max_value;
+  return knapsack::uncorrelated(cfg, rng);
+}
+
+void agreement_tables() {
+  util::Table table({"family", "n", "OPT", "greedy/OPT", "fptas(0.1)/OPT",
+                     "bb nodes"});
+  for (const auto family :
+       {knapsack::Family::kUncorrelated, knapsack::Family::kWeaklyCorrelated,
+        knapsack::Family::kStronglyCorrelated, knapsack::Family::kSubsetSum}) {
+    const auto inst = knapsack::make_family(family, 120, 52);
+    // n*K small enough for the exact DP referee at this size/scale.
+    const auto opt = knapsack::dp_by_weight(inst, 2'000'000'000);
+    const auto greedy = knapsack::greedy_half(inst);
+    const auto approx = knapsack::fptas(inst, 0.1, 2'000'000'000);
+    const auto bb = knapsack::branch_bound(inst);
+    if (bb.solution.value != opt.value) {
+      std::cerr << "SOLVER DISAGREEMENT on " << knapsack::family_name(family)
+                << "\n";
+    }
+    table.row()
+        .cell(knapsack::family_name(family))
+        .cell(static_cast<unsigned long long>(inst.size()))
+        .cell(opt.value)
+        .cell(static_cast<double>(greedy.solution.value) /
+              static_cast<double>(opt.value))
+        .cell(static_cast<double>(approx.value) / static_cast<double>(opt.value))
+        .cell(bb.nodes_visited);
+  }
+  table.print(std::cout, "solver agreement and approximation ratios (n = 120)");
+  std::cout << "\nShape to check: greedy >= 0.5, fptas(0.1) >= 0.9, branch &\n"
+               "bound matches the DP on every family.\n\n";
+}
+
+void bm_greedy(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::greedy_half(inst).solution.value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_greedy)->Range(1'000, 1'000'000)->Complexity(benchmark::oNLogN);
+
+void bm_branch_bound(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::branch_bound(inst).solution.value);
+  }
+}
+BENCHMARK(bm_branch_bound)->Range(1'000, 64'000);
+
+void bm_dp_by_weight(benchmark::State& state) {
+  // Small value scale keeps the table in cache-friendly territory.
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 53, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::dp_by_weight(inst, 2'000'000'000).value);
+  }
+}
+BENCHMARK(bm_dp_by_weight)->Range(256, 4'096);
+
+void bm_fptas(benchmark::State& state) {
+  const auto inst = bench_instance(256, 54, 10'000);
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::fptas(inst, eps, 2'000'000'000).value);
+  }
+}
+BENCHMARK(bm_fptas)->Arg(30)->Arg(10)->Arg(5);
+
+void bm_fractional(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knapsack::fractional_opt(inst));
+  }
+}
+BENCHMARK(bm_fractional)->Range(1'000, 1'000'000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "E10: offline solver substrate — agreement, guarantees, cost\n\n";
+  agreement_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Resilient serving: the full failure-injection stack.  The instance oracle
+// is a flaky remote service with realistic latency; a retry layer restores
+// reliability; LCA-KP serves on top unchanged.  The run reports how many
+// injected failures occurred, how many retries absorbed them, the simulated
+// time bill, and that the served solution is unaffected.
+//
+//   ./resilient_serving [failure_rate]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lca_kp.h"
+#include "core/mapping_greedy.h"
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+#include "oracle/flaky.h"
+#include "oracle/latency_model.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lcaknap;
+
+  const double failure_rate = argc > 1 ? std::strtod(argv[1], nullptr) : 0.2;
+  constexpr std::size_t kN = 20'000;
+
+  const auto instance = knapsack::make_family(knapsack::Family::kNeedle, kN, 23);
+
+  // The stack, innermost first: storage -> simulated RPC latency -> injected
+  // failures -> client-side retries.
+  const oracle::MaterializedAccess storage(instance);
+  const oracle::LatencyAccess remote(storage, {/*fixed_us=*/80.0, /*exp_mean_us=*/30.0}, 31);
+  const oracle::FlakyAccess flaky(remote, failure_rate, 37);
+  const oracle::RetryingAccess client(flaky, /*max_attempts=*/64);
+
+  std::cout << "oracle stack: storage -> latency -> " << failure_rate * 100
+            << "% failures -> retries\n\n";
+
+  core::LcaKpConfig config;
+  config.eps = 0.1;
+  config.seed = 0x4E5;
+  config.quantile_samples = 200'000;
+  const core::LcaKp lca(client, config);
+
+  util::Xoshiro256 tape(41);
+  const auto run = lca.run_pipeline(tape);
+  const auto eval = core::evaluate_run(instance, lca, run);
+
+  // Reference: the same pipeline against the reliable oracle directly.
+  const core::LcaKp reference_lca(storage, config);
+  util::Xoshiro256 ref_tape(41);
+  const auto reference = reference_lca.run_pipeline(ref_tape);
+  const auto ref_eval = core::evaluate_run(instance, reference_lca, reference);
+
+  util::Table table({"metric", "with failures", "reliable reference"});
+  table.row()
+      .cell("feasible")
+      .cell(eval.feasible ? "yes" : "no")
+      .cell(ref_eval.feasible ? "yes" : "no");
+  table.row()
+      .cell("value (normalized)")
+      .cell(util::format_double(eval.norm_value))
+      .cell(util::format_double(ref_eval.norm_value));
+  table.row()
+      .cell("samples used")
+      .cell(std::to_string(run.samples_used))
+      .cell(std::to_string(reference.samples_used));
+  table.print(std::cout, "served solution, flaky vs reliable oracle");
+
+  std::cout << "\nfailure accounting:\n"
+            << "  injected failures : " << flaky.failures_injected() << "\n"
+            << "  retries performed : " << client.retries_performed() << "\n"
+            << "  simulated RPC time: "
+            << util::format_double(remote.simulated_us() / 1e6, 2) << " s\n"
+            << "\nFailures fire before the sampling tape is consumed, so retries\n"
+            << "are fully transparent: with the same seed and tape the flaky\n"
+            << "stack reproduces the reliable run bit-for-bit (columns match\n"
+            << "exactly) — it just pays more RPC time.\n";
+  return 0;
+}

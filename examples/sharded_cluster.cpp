@@ -1,0 +1,66 @@
+// Sharded cluster: the instance is too big for one machine, so it lives
+// across shards; the LCA runs against the sharded oracle unchanged (the
+// two-level weighted sampling composes to the flat distribution), and the
+// per-shard load counters show how the access pattern spreads — heavy-profit
+// shards absorb proportionally more sampling traffic.
+//
+//   ./sharded_cluster [n] [shards]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lca_kp.h"
+#include "core/mapping_greedy.h"
+#include "knapsack/generators.h"
+#include "oracle/sharded.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lcaknap;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  const std::size_t shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+
+  const auto instance = knapsack::make_family(knapsack::Family::kNeedle, n, 13);
+  const oracle::ShardedAccess cluster(instance, shards);
+  std::cout << "instance of " << n << " items across " << shards << " shards\n\n";
+
+  core::LcaKpConfig config;
+  config.eps = 0.1;
+  config.seed = 0x5AAD;
+  const core::LcaKp lca(cluster, config);
+
+  util::Xoshiro256 tape(17);
+  const auto run = lca.run_pipeline(tape);
+  const auto eval = core::evaluate_run(instance, lca, run);
+
+  util::Table summary({"metric", "value"});
+  summary.row().cell("feasible").cell(eval.feasible ? "yes" : "no");
+  summary.row().cell("value (normalized)").cell(eval.norm_value);
+  summary.row().cell("weighted samples").cell(run.samples_used);
+  summary.print(std::cout, "LCA run over the sharded oracle");
+  std::cout << "\n";
+
+  // Shard load balance: profit mass drives sampling traffic.
+  util::Table loads({"shard", "accesses", "share", "profit share"});
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) total += cluster.shard_load(s);
+  const std::size_t per_shard = n / shards;
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+    std::int64_t shard_profit = 0;
+    const std::size_t begin = s * per_shard;
+    const std::size_t end = s + 1 == shards ? n : begin + per_shard;
+    for (std::size_t i = begin; i < end; ++i) shard_profit += instance.item(i).profit;
+    loads.row()
+        .cell(s)
+        .cell(cluster.shard_load(s))
+        .cell(static_cast<double>(cluster.shard_load(s)) /
+              static_cast<double>(total))
+        .cell(static_cast<double>(shard_profit) /
+              static_cast<double>(instance.total_profit()));
+  }
+  loads.print(std::cout, "per-shard access load vs profit mass");
+  std::cout << "\nThe access-share column tracks the profit-share column:\n"
+               "weighted sampling routes traffic where the profit mass lives.\n";
+  return 0;
+}

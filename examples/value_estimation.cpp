@@ -1,0 +1,58 @@
+// Value estimation: the [IKY12] constant-time approximation of OPT that the
+// paper's LCA builds on (Section 4).  Estimates the optimal value of
+// instances of growing size and shows the sample cost staying flat while the
+// estimate tracks the exact optimum within the (1, 6*eps) band.
+//
+//   ./value_estimation [eps]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "iky/value_approx.h"
+#include "knapsack/generators.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+#include "oracle/access.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lcaknap;
+
+  const double eps = argc > 1 ? std::strtod(argv[1], nullptr) : 0.1;
+  std::cout << "[IKY12] constant-time OPT-value estimation, eps = " << eps << "\n\n";
+
+  util::Table table({"n", "estimate", "exact/bracket OPT", "samples", "|I~|"});
+  for (const std::size_t n : {2'000ULL, 10'000ULL, 50'000ULL, 250'000ULL}) {
+    const auto inst = knapsack::make_family(knapsack::Family::kNeedle, n, 5);
+    const oracle::MaterializedAccess access(inst);
+    iky::ValueApproxConfig config;
+    config.eps = eps;
+    util::Xoshiro256 rng(6);
+    const auto result = iky::approximate_opt_value(access, config, rng);
+
+    std::string truth;
+    const auto exact = knapsack::solve_exact(inst, 10'000'000);
+    const double scale = static_cast<double>(inst.total_profit());
+    if (exact.proven_optimal) {
+      truth = util::format_double(
+          static_cast<double>(exact.solution.value) / scale);
+    } else {
+      truth = "[" +
+              util::format_double(static_cast<double>(
+                                      knapsack::greedy_half(inst).solution.value) /
+                                  scale) +
+              ", " + util::format_double(knapsack::fractional_opt(inst) / scale) +
+              "]";
+    }
+    table.row()
+        .cell(static_cast<unsigned long long>(n))
+        .cell(result.estimate)
+        .cell(truth)
+        .cell(result.samples_used)
+        .cell(result.tilde_size);
+  }
+  table.print(std::cout, "estimate vs optimum (needle family)");
+  std::cout << "\nNote the sample column: identical across n — the [IKY12]\n"
+               "estimator reads an amount of the instance independent of its size.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/mapping_greedy.h"
+#include "oracle/access.h"
+
+namespace lcaknap::core {
+
+ConsistencyReport run_consistency(const knapsack::Instance& instance,
+                                  const LcaKpConfig& config,
+                                  const ConsistencyConfig& experiment,
+                                  double opt_norm_value, util::ThreadPool* pool) {
+  const oracle::MaterializedAccess access(instance);
+  const LcaKp lca(access, config);
+  const std::size_t replicas = std::max<std::size_t>(2, experiment.replicas);
+
+  // Query set: a uniform sample of distinct indices (or everything).
+  util::Xoshiro256 exp_rng(experiment.experiment_seed);
+  std::vector<std::size_t> query_set;
+  if (experiment.queries == 0 || experiment.queries >= instance.size()) {
+    query_set.resize(instance.size());
+    std::iota(query_set.begin(), query_set.end(), 0);
+  } else {
+    std::vector<std::size_t> all(instance.size());
+    std::iota(all.begin(), all.end(), 0);
+    for (std::size_t k = 0; k < experiment.queries; ++k) {
+      const std::size_t pick = k + static_cast<std::size_t>(
+                                       exp_rng.next_below(all.size() - k));
+      std::swap(all[k], all[pick]);
+    }
+    query_set.assign(all.begin(),
+                     all.begin() + static_cast<std::ptrdiff_t>(experiment.queries));
+  }
+
+  // Execute the replicas: same shared seed (inside `config`), fresh tapes.
+  std::vector<LcaKpRun> runs(replicas);
+  const auto run_one = [&](std::size_t r) {
+    util::Xoshiro256 tape(util::mix64(experiment.experiment_seed ^
+                                      (0x9E3779B97F4A7C15ULL * (r + 1))));
+    runs[r] = lca.run_pipeline(tape);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(replicas, run_one);
+  } else {
+    for (std::size_t r = 0; r < replicas; ++r) run_one(r);
+  }
+
+  // Collect answers (decision only; instance data stands in for the single
+  // counted query each answer would perform).
+  std::vector<std::vector<bool>> answers(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    answers[r].reserve(query_set.size());
+    for (const auto i : query_set) {
+      answers[r].push_back(
+          lca.decide(runs[r], i, instance.norm_profit(i), instance.efficiency(i)));
+    }
+  }
+
+  ConsistencyReport report;
+  report.replicas = replicas;
+  report.queries = query_set.size();
+
+  const std::size_t pairs = replicas * (replicas - 1) / 2;
+  double agreement_sum = 0.0;
+  std::size_t unanimous = 0;
+  for (std::size_t qi = 0; qi < query_set.size(); ++qi) {
+    std::size_t yes = 0;
+    for (std::size_t r = 0; r < replicas; ++r) yes += answers[r][qi] ? 1 : 0;
+    const std::size_t no = replicas - yes;
+    const std::size_t agreeing = yes * (yes - 1) / 2 + no * (no - 1) / 2;
+    agreement_sum += static_cast<double>(agreeing) / static_cast<double>(pairs);
+    if (yes == 0 || no == 0) ++unanimous;
+  }
+  report.pairwise_agreement =
+      query_set.empty() ? 1.0 : agreement_sum / static_cast<double>(query_set.size());
+  report.unanimous_fraction =
+      query_set.empty() ? 1.0
+                        : static_cast<double>(unanimous) /
+                              static_cast<double>(query_set.size());
+
+  std::size_t identical_pairs = 0;
+  for (std::size_t a = 0; a < replicas; ++a) {
+    for (std::size_t b = a + 1; b < replicas; ++b) {
+      if (answers[a] == answers[b]) ++identical_pairs;
+    }
+  }
+  report.identical_pair_fraction =
+      static_cast<double>(identical_pairs) / static_cast<double>(pairs);
+
+  // Per-replica solution quality via MAPPING-GREEDY.
+  double value_sum = 0.0;
+  double min_value = std::numeric_limits<double>::infinity();
+  double samples_sum = 0.0;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    const SolutionEval eval = evaluate_run(instance, lca, runs[r]);
+    if (eval.feasible) ++report.feasible_runs;
+    value_sum += eval.norm_value;
+    min_value = std::min(min_value, eval.norm_value);
+    samples_sum += static_cast<double>(runs[r].samples_used);
+  }
+  report.mean_norm_value = value_sum / static_cast<double>(replicas);
+  report.min_norm_value = min_value;
+  report.mean_samples_per_run = samples_sum / static_cast<double>(replicas);
+  if (opt_norm_value > 0.0) {
+    report.mean_value_ratio = report.mean_norm_value / opt_norm_value;
+  }
+
+  // Consensus: per-item majority vote across replicas (ties exclude).
+  std::vector<std::size_t> consensus;
+  std::vector<std::size_t> yes_votes(instance.size(), 0);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (lca.decide(runs[r], i, instance.norm_profit(i), instance.efficiency(i))) {
+        ++yes_votes[i];
+      }
+    }
+  }
+  std::vector<bool> in_consensus(instance.size(), false);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (2 * yes_votes[i] > replicas) {
+      in_consensus[i] = true;
+      consensus.push_back(i);
+    }
+  }
+  report.consensus_feasible = instance.feasible(consensus);
+  report.consensus_norm_value = static_cast<double>(instance.value_of(consensus)) /
+                                static_cast<double>(instance.total_profit());
+  double divergence_sum = 0.0;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (lca.decide(runs[r], i, instance.norm_profit(i), instance.efficiency(i)) !=
+          in_consensus[i]) {
+        ++diffs;
+      }
+    }
+    divergence_sum += static_cast<double>(diffs) / static_cast<double>(instance.size());
+  }
+  report.mean_divergence_from_consensus =
+      divergence_sum / static_cast<double>(replicas);
+  return report;
+}
+
+}  // namespace lcaknap::core

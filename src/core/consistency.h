@@ -1,0 +1,73 @@
+#ifndef LCAKNAP_CORE_CONSISTENCY_H
+#define LCAKNAP_CORE_CONSISTENCY_H
+
+#include <cstdint>
+
+#include "core/lca_kp.h"
+#include "knapsack/instance.h"
+#include "util/thread_pool.h"
+
+/// \file consistency.h
+/// The consistency harness for Lemma 4.9 and Definitions 2.3/2.4.
+///
+/// It launches k independent replicas of LCA-KP — same shared seed, fresh
+/// sampling randomness, optionally on separate threads — and measures how
+/// consistently they answer a common query set, plus the feasibility and
+/// value of the solution each replica's answers define.  This is the
+/// executable form of the paper's core promise: "many instances of the
+/// algorithm run independently, each providing local query access to the
+/// same solution."
+
+namespace lcaknap::core {
+
+struct ConsistencyConfig {
+  std::size_t replicas = 8;
+  /// Number of distinct item indices queried (0 = every item).
+  std::size_t queries = 200;
+  /// Seed for the experiment's fresh randomness (replica sample tapes and
+  /// query choice).  Unrelated to the LCA's shared seed.
+  std::uint64_t experiment_seed = 42;
+};
+
+struct ConsistencyReport {
+  std::size_t replicas = 0;
+  std::size_t queries = 0;
+
+  /// Mean over queries of the fraction of replica pairs that agree on it.
+  double pairwise_agreement = 0.0;
+  /// Fraction of queries on which *all* replicas agree.
+  double unanimous_fraction = 0.0;
+  /// Fraction of replica pairs that agree on *every* sampled query (the
+  /// strictest reading of "consistent access to the same solution").
+  double identical_pair_fraction = 0.0;
+
+  /// Solution quality, per replica.
+  std::size_t feasible_runs = 0;
+  double mean_norm_value = 0.0;
+  double min_norm_value = 0.0;
+  /// mean_norm_value / opt_norm_value when an optimum was supplied (else 0).
+  double mean_value_ratio = 0.0;
+
+  double mean_samples_per_run = 0.0;
+
+  /// Consensus solution: majority vote of the replicas' decisions on every
+  /// item.  When replicas are consistent this *is* the common solution; when
+  /// they are not, it is what a quorum-reading client would observe.
+  bool consensus_feasible = false;
+  double consensus_norm_value = 0.0;
+  /// Mean over replicas of their disagreement rate with the consensus.
+  double mean_divergence_from_consensus = 0.0;
+};
+
+/// Runs the experiment.  `opt_norm_value` (optional) is OPT(I) as a fraction
+/// of total profit, used for the value-ratio column.  When `pool` is given,
+/// replicas execute concurrently on it (exercising Definition 2.3 for real).
+[[nodiscard]] ConsistencyReport run_consistency(const knapsack::Instance& instance,
+                                                const LcaKpConfig& config,
+                                                const ConsistencyConfig& experiment,
+                                                double opt_norm_value = 0.0,
+                                                util::ThreadPool* pool = nullptr);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_CONSISTENCY_H

@@ -1,0 +1,88 @@
+#include "core/convert_greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lcaknap::core {
+
+ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
+                                   std::span<const double> thresholds) {
+  ConvertGreedyResult result;
+  const auto& items = tilde.items;
+  if (items.empty()) return result;
+
+  // Line 1: sort by non-increasing efficiency.  The tie-break must be
+  // deterministic so that replicas with identical Ĩ sort identically: large
+  // items before representatives, then by source index / band.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ia = items[a];
+    const auto& ib = items[b];
+    if (ia.efficiency != ib.efficiency) return ia.efficiency > ib.efficiency;
+    if (ia.is_large != ib.is_large) return ia.is_large;
+    if (ia.is_large) return ia.source_index < ib.source_index;
+    if (ia.band != ib.band) return ia.band < ib.band;
+    return a < b;
+  });
+
+  // Line 2: largest j with prefix weight within the capacity (prefix greedy:
+  // stop at the first item that does not fit).
+  double weight_used = 0.0;
+  double prefix_profit = 0.0;
+  std::size_t j = 0;  // number of items fully included
+  for (; j < order.size(); ++j) {
+    const auto& it = items[order[j]];
+    if (weight_used + it.weight > tilde.capacity) break;
+    weight_used += it.weight;
+    prefix_profit += it.profit;
+  }
+  result.greedy_prefix_len = j;
+
+  const bool everything_fit = (j == order.size());
+  if (!everything_fit) {
+    result.cutoff_efficiency = items[order[j]].efficiency;
+  }
+
+  // Line 4: the greedy prefix wins when everything fit or its profit beats
+  // the first left-out item.
+  if (everything_fit || prefix_profit >= items[order[j]].profit) {
+    for (std::size_t r = 0; r < j; ++r) {
+      const auto& it = items[order[r]];
+      if (it.is_large) result.index_large.push_back(it.source_index);
+    }
+    // Line 3: largest k (1-based) with ẽ_k > p_j/w_j, where (p_j, w_j) is the
+    // last *included* item; when everything fit, every threshold qualifies.
+    std::size_t k = 0;
+    if (j > 0) {
+      const double last_eff = items[order[j - 1]].efficiency;
+      for (std::size_t idx = 0; idx < thresholds.size(); ++idx) {
+        if (thresholds[idx] > last_eff) {
+          k = idx + 1;  // 1-based
+        } else {
+          break;
+        }
+      }
+    }
+    if (everything_fit) k = thresholds.size();
+    // Lines 6-9: back off two bands for feasibility (Lemma 4.7).
+    if (k >= 3) {
+      result.e_small_idx = static_cast<int>(k) - 3;  // ẽ_{k-2}, 0-based
+    }
+    return result;
+  }
+
+  // Lines 11-13: singleton branch.  The left-out item must be large (its
+  // profit exceeds the whole prefix, and representatives all have profit
+  // eps^2 <= any included profit); guard anyway.
+  result.singleton = true;
+  const auto& left_out = items[order[j]];
+  if (left_out.is_large) {
+    result.index_large.push_back(left_out.source_index);
+  } else {
+    result.degenerate = true;
+  }
+  return result;
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,55 @@
+#ifndef LCAKNAP_CORE_CONVERT_GREEDY_H
+#define LCAKNAP_CORE_CONVERT_GREEDY_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "iky/construct.h"
+
+/// \file convert_greedy.h
+/// Algorithm 3 (CONVERT-GREEDY).  Runs the classical greedy 1/2-approximation
+/// on the constructed instance Ĩ and converts its outcome into a *portable
+/// membership rule* for the original instance:
+///
+///  * `index_large`  — original-instance indices of large items chosen by the
+///                     greedy pass on Ĩ (or the single left-out item when the
+///                     singleton branch wins);
+///  * `e_small_idx`  — index into the EPS of the efficiency threshold
+///                     ẽ_{k-2}; small items of I at or above it are in the
+///                     solution (the paper's two-band backoff keeps the
+///                     mapped solution feasible, Lemma 4.7);
+///  * `singleton`    — B_indicator: the singleton branch was taken, so no
+///                     small item is in the solution.
+///
+/// The rule is a pure function of Ĩ and the EPS, which is why replicas that
+/// agree on Ĩ answer queries identically (Lemma 4.9).
+
+namespace lcaknap::core {
+
+struct ConvertGreedyResult {
+  std::vector<std::size_t> index_large;
+  /// 0-based index into the EPS thresholds of e_small (= ẽ_{k-2}), or -1 when
+  /// no small item may be included.
+  int e_small_idx = -1;
+  /// B_indicator of Algorithm 3.
+  bool singleton = false;
+  /// Set when the singleton branch selected a small *representative*, which
+  /// corresponds to no original item.  The paper's analysis rules this out on
+  /// success paths (Lemma 4.7); on failure we answer according to the empty
+  /// solution, which is always feasible.
+  bool degenerate = false;
+
+  // Diagnostics.
+  std::size_t greedy_prefix_len = 0;
+  double cutoff_efficiency = -1.0;
+};
+
+/// `thresholds` is the EPS (normalized efficiency values, non-increasing)
+/// that `tilde` was constructed from.
+[[nodiscard]] ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
+                                                 std::span<const double> thresholds);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_CONVERT_GREEDY_H

@@ -1,0 +1,29 @@
+#include "core/full_read_lca.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+
+namespace lcaknap::core {
+
+bool FullReadLca::answer(std::size_t i, util::Xoshiro256& /*sample_rng*/) const {
+  // Read the whole instance: n counted queries.
+  std::vector<knapsack::Item> items;
+  items.reserve(access_->size());
+  for (std::size_t k = 0; k < access_->size(); ++k) {
+    items.push_back(access_->query(k));
+  }
+  const knapsack::Instance instance(std::move(items), access_->capacity());
+  knapsack::Solution solution;
+  if (solver_ == Solver::kExact) {
+    solution = knapsack::solve_exact(instance).solution;
+  } else {
+    solution = knapsack::greedy_half(instance).solution;
+  }
+  return std::find(solution.items.begin(), solution.items.end(), i) !=
+         solution.items.end();
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,42 @@
+#ifndef LCAKNAP_CORE_FULL_READ_LCA_H
+#define LCAKNAP_CORE_FULL_READ_LCA_H
+
+#include "core/lca.h"
+#include "oracle/access.h"
+
+/// \file full_read_lca.h
+/// The Theta(n)-query baseline: read the entire instance through the oracle,
+/// solve it offline, answer from the solution.  The impossibility theorems
+/// (Section 3) say this is essentially unavoidable without weighted sampling;
+/// the query-complexity benches plot LCA-KP's flat cost against this linear
+/// one.
+///
+/// Consistency requires determinism: the offline solver is the deterministic
+/// greedy 1/2-approximation (exact mode uses the DP referee, also
+/// deterministic), so every replica reconstructs the identical solution.
+
+namespace lcaknap::core {
+
+class FullReadLca final : public Lca {
+ public:
+  enum class Solver { kGreedyHalf, kExact };
+
+  /// `access` must outlive this object.
+  explicit FullReadLca(const oracle::InstanceAccess& access,
+                       Solver solver = Solver::kGreedyHalf)
+      : access_(&access), solver_(solver) {}
+
+  /// Reads all n items (n queries), solves, and answers for item i.
+  [[nodiscard]] bool answer(std::size_t i, util::Xoshiro256& sample_rng) const override;
+  [[nodiscard]] std::string name() const override {
+    return solver_ == Solver::kExact ? "full-read-exact" : "full-read-greedy";
+  }
+
+ private:
+  const oracle::InstanceAccess* access_;
+  Solver solver_;
+};
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_FULL_READ_LCA_H

@@ -1,0 +1,37 @@
+#ifndef LCAKNAP_CORE_LCA_H
+#define LCAKNAP_CORE_LCA_H
+
+#include <cstddef>
+#include <string>
+
+#include "util/rng.h"
+
+/// \file lca.h
+/// The Local Computation Algorithm abstraction (Definition 2.2).
+///
+/// An LCA answers point queries "is item i part of the solution C?" about an
+/// implicit solution to the Knapsack instance behind an `InstanceAccess`.
+/// Each `answer` call is one *memoryless run*: it may read the shared random
+/// seed (fixed at construction — this is the read-only tape r) and draw fresh
+/// sampling randomness from the `Xoshiro256` the caller passes in, but it
+/// must not reuse state from previous calls.  Implementations in this library
+/// hold only immutable configuration, which makes them parallelizable
+/// (Definition 2.3) and query-order oblivious (Definition 2.4) by
+/// construction; the consistency harness verifies both empirically.
+
+namespace lcaknap::core {
+
+class Lca {
+ public:
+  virtual ~Lca() = default;
+
+  /// One memoryless run answering "is item `i` in C?".  `sample_rng` supplies
+  /// this run's fresh sampling randomness.
+  [[nodiscard]] virtual bool answer(std::size_t i, util::Xoshiro256& sample_rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_LCA_H

@@ -1,0 +1,230 @@
+#include "core/lca_kp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+
+#include "iky/partition.h"
+#include "iky/value_approx.h"
+#include "reproducible/rquantile.h"
+#include "util/stats.h"
+
+namespace lcaknap::core {
+
+LcaKpParams resolve_params(const LcaKpConfig& config) {
+  if (!(config.eps > 0.0 && config.eps < 1.0)) {
+    throw std::invalid_argument("LcaKp: eps must be in (0, 1)");
+  }
+  if (config.domain_bits < 4 || config.domain_bits > 48) {
+    throw std::invalid_argument("LcaKp: domain_bits must be in [4, 48]");
+  }
+  const double eps = config.eps;
+  LcaKpParams params;
+  if (config.paper_constants) {
+    // Algorithm 2, line 5.
+    params.tau = eps * eps / 5.0;
+    params.rho = eps * eps / 18.0;
+  } else {
+    // Calibrated: eps-scale instead of eps^2-scale, so the sampling budgets
+    // below are affordable; the consistency benches measure what this buys.
+    params.tau = eps / 2.0;
+    params.rho = eps / 6.0;
+  }
+  if (config.tau > 0.0) params.tau = config.tau;
+  if (config.rho > 0.0) params.rho = config.rho;
+  params.beta = config.beta > 0.0 ? config.beta : params.rho / 2.0;
+
+  params.large_samples = config.large_samples > 0
+                             ? config.large_samples
+                             : iky::coupon_collector_samples(eps * eps, 3);
+  params.t_max = std::max(1, static_cast<int>(std::floor(1.0 / eps)));
+
+  if (config.quantile_samples > 0) {
+    params.quantile_samples = config.quantile_samples;
+  } else {
+    // The reproducible search probes `levels` rounds; per round, boundary
+    // estimates near the target risk straddling a rounding-grid edge with
+    // probability ~2*delta/spacing.  Size the sample so the per-quantile
+    // disagreement budget rho is met, then cap (the uncapped theoretical
+    // requirement — rmedian_sample_size — is reported by benches instead).
+    reproducible::RMedianParams mp;
+    mp.domain_size = (std::int64_t{1} << config.domain_bits) + 2;
+    mp.tau = params.tau / 2.0;
+    mp.rho = params.rho;
+    mp.beta = params.beta;
+    mp.branching = config.branching;
+    const int levels = reproducible::rmedian_depth(mp);
+    const double spacing = params.tau / 2.0;
+    const double delta =
+        spacing * params.rho / (4.0 * static_cast<double>(std::max(levels, 1)));
+    const std::size_t want = util::dkw_sample_size(delta, params.beta);
+    params.quantile_samples =
+        std::clamp<std::size_t>(want, 4'096, config.max_quantile_samples);
+  }
+  return params;
+}
+
+LcaKp::LcaKp(const oracle::InstanceAccess& access, const LcaKpConfig& config)
+    : access_(&access),
+      config_(config),
+      params_(resolve_params(config)),
+      domain_(config.domain_bits),
+      prf_(config.seed) {}
+
+LcaKpRun LcaKp::run_pipeline(util::Xoshiro256& sample_rng) const {
+  const double eps = config_.eps;
+  const double eps2 = eps * eps;
+  LcaKpRun run;
+  // Count this run's draws locally: the oracle's global counter is shared
+  // across concurrently executing replicas, so deltas of it would interleave.
+  std::uint64_t samples_used = 0;
+
+  // ---- Step 1 (lines 1-3): collect the large items. ----------------------
+  std::map<std::size_t, iky::NormLargeItem> found;
+  for (std::size_t s = 0; s < params_.large_samples; ++s) {
+    const auto draw = access_->weighted_sample(sample_rng);
+    ++samples_used;
+    const double p = access_->norm_profit(draw.item);
+    if (p <= eps2) continue;
+    iky::NormLargeItem rec;
+    rec.index = draw.index;
+    rec.profit = p;
+    rec.weight = access_->norm_weight(draw.item);
+    rec.efficiency = access_->efficiency(draw.item);
+    found.emplace(draw.index, rec);
+  }
+  std::vector<iky::NormLargeItem> large;
+  large.reserve(found.size());
+  for (const auto& [index, rec] : found) {
+    large.push_back(rec);
+    run.large_mass += rec.profit;
+  }
+
+  // ---- Step 2 (lines 4-17): EPS via reproducible quantiles. --------------
+  if (1.0 - run.large_mass >= eps) {
+    run.q = (eps + eps2 / 2.0) / (1.0 - run.large_mass);
+    run.t = static_cast<int>(std::floor(1.0 / run.q));
+    std::vector<std::int64_t> efficiencies;
+    efficiencies.reserve(params_.quantile_samples);
+    for (std::size_t s = 0; s < params_.quantile_samples; ++s) {
+      const auto draw = access_->weighted_sample(sample_rng);
+      ++samples_used;
+      if (access_->norm_profit(draw.item) > eps2) continue;  // line 7
+      efficiencies.push_back(domain_.to_grid(access_->efficiency(draw.item)));
+    }
+    if (!efficiencies.empty() && run.t >= 1) {
+      const util::EmpiricalCdfInt ecdf(efficiencies);
+      reproducible::RQuantileParams rq;
+      rq.domain_size = domain_.size();
+      rq.tau = params_.tau;
+      rq.rho = params_.rho;
+      rq.beta = params_.beta;
+      rq.branching = config_.branching;
+      std::int64_t previous = domain_.size() - 1;
+      for (int k = 1; k <= run.t; ++k) {
+        const double p = std::clamp(1.0 - static_cast<double>(k) * run.q,
+                                    1e-6, 1.0 - 1e-6);
+        std::int64_t threshold = 0;
+        if (config_.reproducible_quantiles) {
+          threshold = reproducible::rquantile(ecdf, p, rq, prf_,
+                                              static_cast<std::uint64_t>(k));
+        } else {
+          // Ablation: the [IKY12] estimator — accurate but irreproducible.
+          threshold = ecdf.quantile(p);
+        }
+        threshold = std::min(threshold, previous);  // keep non-increasing
+        previous = threshold;
+        run.thresholds_grid.push_back(threshold);
+      }
+      // Lines 11-14: drop the last threshold when it falls below eps^2.
+      const std::int64_t eps2_grid = domain_.to_grid(eps2);
+      if (!run.thresholds_grid.empty() && run.thresholds_grid.back() < eps2_grid) {
+        run.thresholds_grid.pop_back();
+      }
+      run.thresholds.reserve(run.thresholds_grid.size());
+      for (const auto g : run.thresholds_grid) {
+        run.thresholds.push_back(domain_.from_grid(g));
+      }
+    }
+  }
+
+  // ---- Steps 3-4 (lines 18-19): construct Ĩ and convert its greedy. ------
+  const iky::TildeInstance tilde =
+      iky::construct_tilde(large, run.thresholds, eps, access_->norm_capacity());
+  run.tilde_size = tilde.items.size();
+  const ConvertGreedyResult cg = convert_greedy(tilde, run.thresholds);
+  run.index_large.insert(cg.index_large.begin(), cg.index_large.end());
+  run.singleton = cg.singleton;
+  run.degenerate = cg.degenerate;
+  if (cg.e_small_idx >= 0) {
+    run.e_small_grid = run.thresholds_grid.at(static_cast<std::size_t>(cg.e_small_idx));
+  }
+  run.samples_used = samples_used;
+  return run;
+}
+
+bool LcaKp::decide(const LcaKpRun& run, std::size_t index, double norm_profit,
+                   double efficiency) const {
+  // Lines 20-24 of Algorithm 2.
+  if (norm_profit > config_.eps * config_.eps) {
+    return run.index_large.contains(index);
+  }
+  return run.e_small_grid >= 0 && domain_.to_grid(efficiency) >= run.e_small_grid;
+}
+
+bool LcaKp::answer_from(const LcaKpRun& run, std::size_t i) const {
+  const knapsack::Item item = access_->query(i);
+  return decide(run, i, access_->norm_profit(item), access_->efficiency(item));
+}
+
+bool LcaKp::answer(std::size_t i, util::Xoshiro256& sample_rng) const {
+  const LcaKpRun run = run_pipeline(sample_rng);
+  return answer_from(run, i);
+}
+
+void save_run(const LcaKpRun& run, std::ostream& os) {
+  os << "lcakp-run 1\n";
+  std::vector<std::size_t> sorted(run.index_large.begin(), run.index_large.end());
+  std::sort(sorted.begin(), sorted.end());
+  os << sorted.size();
+  for (const auto i : sorted) os << " " << i;
+  os << "\n"
+     << run.e_small_grid << " " << (run.singleton ? 1 : 0) << " "
+     << (run.degenerate ? 1 : 0) << "\n";
+  os << run.thresholds_grid.size();
+  for (const auto g : run.thresholds_grid) os << " " << g;
+  os << "\n";
+}
+
+LcaKpRun load_run(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "lcakp-run" || version != 1) {
+    throw std::runtime_error("load_run: bad header");
+  }
+  LcaKpRun run;
+  std::size_t large_count = 0;
+  if (!(is >> large_count)) throw std::runtime_error("load_run: bad large count");
+  for (std::size_t k = 0; k < large_count; ++k) {
+    std::size_t index = 0;
+    if (!(is >> index)) throw std::runtime_error("load_run: truncated large list");
+    run.index_large.insert(index);
+  }
+  int singleton = 0, degenerate = 0;
+  if (!(is >> run.e_small_grid >> singleton >> degenerate)) {
+    throw std::runtime_error("load_run: bad rule line");
+  }
+  run.singleton = singleton != 0;
+  run.degenerate = degenerate != 0;
+  std::size_t threshold_count = 0;
+  if (!(is >> threshold_count)) throw std::runtime_error("load_run: bad EPS count");
+  run.thresholds_grid.resize(threshold_count);
+  for (auto& g : run.thresholds_grid) {
+    if (!(is >> g)) throw std::runtime_error("load_run: truncated EPS");
+  }
+  return run;
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,28 @@
+#include "core/mapping_greedy.h"
+
+namespace lcaknap::core {
+
+std::vector<std::size_t> mapping_greedy(const knapsack::Instance& instance,
+                                        const LcaKp& lca, const LcaKpRun& run) {
+  std::vector<std::size_t> selection;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (lca.decide(run, i, instance.norm_profit(i), instance.efficiency(i))) {
+      selection.push_back(i);
+    }
+  }
+  return selection;
+}
+
+SolutionEval evaluate_run(const knapsack::Instance& instance, const LcaKp& lca,
+                          const LcaKpRun& run) {
+  SolutionEval eval;
+  eval.items = mapping_greedy(instance, lca, run);
+  eval.raw_value = instance.value_of(eval.items);
+  eval.raw_weight = instance.weight_of(eval.items);
+  eval.feasible = eval.raw_weight <= instance.capacity();
+  eval.norm_value = static_cast<double>(eval.raw_value) /
+                    static_cast<double>(instance.total_profit());
+  return eval;
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,43 @@
+#ifndef LCAKNAP_CORE_MAPPING_GREEDY_H
+#define LCAKNAP_CORE_MAPPING_GREEDY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lca_kp.h"
+#include "knapsack/instance.h"
+
+/// \file mapping_greedy.h
+/// Algorithm 4 (MAPPING-GREEDY): materializes the full solution C on the
+/// original instance from CONVERT-GREEDY's membership rule,
+///
+///   C = { large items in Index_large }
+///       ∪ { small items with efficiency >= e_small }   (unless B_indicator).
+///
+/// The LCA never runs this — it answers point queries — but the harnesses do,
+/// to verify feasibility (Lemma 4.7) and value (Lemma 4.8) of the solution
+/// the LCA's answers are consistent with.  It is implemented by evaluating
+/// the *same* decision predicate the LCA uses for every item, so by
+/// construction the materialized C agrees with the per-query answers.
+
+namespace lcaknap::core {
+
+/// The full solution C for a finished run, as item indices of `instance`.
+[[nodiscard]] std::vector<std::size_t> mapping_greedy(
+    const knapsack::Instance& instance, const LcaKp& lca, const LcaKpRun& run);
+
+/// Evaluation record for one materialized solution.
+struct SolutionEval {
+  std::vector<std::size_t> items;
+  bool feasible = false;
+  double norm_value = 0.0;   ///< fraction of the total profit captured
+  std::int64_t raw_value = 0;
+  std::int64_t raw_weight = 0;
+};
+
+[[nodiscard]] SolutionEval evaluate_run(const knapsack::Instance& instance,
+                                        const LcaKp& lca, const LcaKpRun& run);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_MAPPING_GREEDY_H

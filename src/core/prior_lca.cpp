@@ -1,0 +1,64 @@
+#include "core/prior_lca.h"
+
+#include <algorithm>
+
+#include "knapsack/solvers/greedy.h"
+#include "oracle/access.h"
+
+namespace lcaknap::core {
+
+Prior learn_prior(const knapsack::Instance& reference, const LcaKpConfig& config,
+                  std::uint64_t tape_seed) {
+  const oracle::MaterializedAccess access(reference);
+  const LcaKp lca(access, config);
+  util::Xoshiro256 tape(tape_seed);
+  const LcaKpRun run = lca.run_pipeline(tape);
+  Prior prior;
+  prior.eps = config.eps;
+  prior.domain_bits = config.domain_bits;
+  prior.e_small_grid = run.e_small_grid;
+  return prior;
+}
+
+PriorLca::PriorLca(const oracle::InstanceAccess& access, const Prior& prior)
+    : access_(&access),
+      prior_(prior),
+      domain_(prior.domain_bits),
+      effective_threshold_(prior.e_small_grid < 0
+                               ? -1
+                               : std::min(prior.e_small_grid + prior.safety_cells,
+                                          domain_.size() - 1)) {}
+
+bool PriorLca::decide(double norm_profit, double efficiency) const {
+  // Large items are instance-specific; the prior knows nothing about them
+  // and (conservatively) declines them.  The assumed family has no large
+  // items — that is precisely the regime where the prior transfers.
+  if (norm_profit > prior_.eps * prior_.eps) return false;
+  return effective_threshold_ >= 0 &&
+         domain_.to_grid(efficiency) >= effective_threshold_;
+}
+
+bool PriorLca::answer(std::size_t i, util::Xoshiro256& /*sample_rng*/) const {
+  const knapsack::Item item = access_->query(i);
+  return decide(access_->norm_profit(item), access_->efficiency(item));
+}
+
+PriorEval evaluate_prior(const knapsack::Instance& instance, const PriorLca& lca) {
+  PriorEval eval;
+  std::vector<std::size_t> selection;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (lca.decide(instance.norm_profit(i), instance.efficiency(i))) {
+      selection.push_back(i);
+    }
+  }
+  const auto value = instance.value_of(selection);
+  eval.feasible = instance.feasible(selection);
+  eval.norm_value =
+      static_cast<double>(value) / static_cast<double>(instance.total_profit());
+  const auto greedy = knapsack::greedy_half(instance).solution.value;
+  eval.vs_greedy = greedy > 0 ? static_cast<double>(value) / static_cast<double>(greedy)
+                              : 0.0;
+  return eval;
+}
+
+}  // namespace lcaknap::core

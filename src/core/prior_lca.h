@@ -1,0 +1,81 @@
+#ifndef LCAKNAP_CORE_PRIOR_LCA_H
+#define LCAKNAP_CORE_PRIOR_LCA_H
+
+#include <cstdint>
+
+#include "core/lca.h"
+#include "core/lca_kp.h"
+#include "knapsack/instance.h"
+#include "oracle/access.h"
+
+/// \file prior_lca.h
+/// Extension: an average-case probe in the spirit of [BCPR24], the paper's
+/// Section 5 future-work direction.
+///
+/// When instances come from a *known distribution* (the average-case LCA
+/// model), the efficiency profile of the small items concentrates, so the
+/// membership threshold LCA-KP learns by sampling can instead be learned
+/// *once, offline, from a reference instance* and then reused on every fresh
+/// instance of the family.  The resulting `PriorLca` answers a query with a
+/// single item read and zero sampling — beating even LCA-KP's cost — but the
+/// prior is only as good as the distributional assumption: on an instance
+/// from a different family (e.g. one with planted heavy items the prior has
+/// never seen) it degrades arbitrarily.  `bench_average_case` measures both
+/// sides, which is exactly the trade [BCPR24]'s model formalizes.
+
+namespace lcaknap::core {
+
+/// The portable part of an LCA-KP membership rule: everything except the
+/// instance-specific large-item identities.
+struct Prior {
+  double eps = 0.25;
+  int domain_bits = 12;
+  /// Grid threshold for small items; -1 admits none.
+  std::int64_t e_small_grid = -1;
+  /// Back off this many extra grid cells as a feasibility safety margin when
+  /// transferring to fresh instances (0 = use the learned threshold as-is).
+  std::int64_t safety_cells = 0;
+};
+
+/// Learns a prior by running the LCA-KP pipeline once on a reference
+/// instance drawn from the target distribution.
+[[nodiscard]] Prior learn_prior(const knapsack::Instance& reference,
+                                const LcaKpConfig& config,
+                                std::uint64_t tape_seed = 1);
+
+/// Serves fresh instances of the assumed family from the prior: one query
+/// per answer, no sampling, trivially consistent (the rule is a constant).
+class PriorLca final : public Lca {
+ public:
+  /// `access` must outlive this object.
+  PriorLca(const oracle::InstanceAccess& access, const Prior& prior);
+
+  [[nodiscard]] bool answer(std::size_t i, util::Xoshiro256& sample_rng) const override;
+  [[nodiscard]] std::string name() const override { return "prior-lca"; }
+
+  /// The decision on known item data (for offline evaluation).
+  [[nodiscard]] bool decide(double norm_profit, double efficiency) const;
+
+  [[nodiscard]] const Prior& prior() const noexcept { return prior_; }
+
+ private:
+  const oracle::InstanceAccess* access_;
+  Prior prior_;
+  iky::EfficiencyDomain domain_;
+  std::int64_t effective_threshold_;
+};
+
+/// Offline audit of the solution a PriorLca's answers define on `instance`.
+struct PriorEval {
+  bool feasible = false;
+  double norm_value = 0.0;
+  /// Ratio against the greedy 1/2-approximation's value (a cheap yardstick
+  /// available at any n).
+  double vs_greedy = 0.0;
+};
+[[nodiscard]] PriorEval evaluate_prior(const knapsack::Instance& instance,
+                                       const PriorLca& lca);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_PRIOR_LCA_H

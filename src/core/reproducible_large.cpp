@@ -1,0 +1,57 @@
+#include "core/reproducible_large.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reproducible/heavy_hitters.h"
+
+namespace lcaknap::core {
+
+ReproducibleLargeResult reproducible_large_items(
+    const oracle::InstanceAccess& access, const ReproducibleLargeConfig& config,
+    const util::Prf& prf, util::Xoshiro256& rng) {
+  const double eps = config.eps;
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("reproducible_large_items: eps must be in (0, 1)");
+  }
+  if (!(config.window > 0.0 && config.window < 1.0)) {
+    throw std::invalid_argument("reproducible_large_items: window must be in (0, 1)");
+  }
+  const double eps2 = eps * eps;
+  const double slack = eps2 * config.window;
+
+  std::size_t samples = config.samples;
+  if (samples == 0) {
+    // Resolve frequencies to well inside the slack window: the per-index
+    // estimate error should be ~slack/8 for the randomized threshold to
+    // separate runs only rarely.
+    const double delta = slack / 8.0;
+    samples = static_cast<std::size_t>(std::ceil(4.0 / (delta * delta)));
+    samples = std::min<std::size_t>(samples, 4'000'000);
+  }
+
+  const std::uint64_t before = access.sample_count();
+  std::vector<std::int64_t> observed;
+  observed.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Index only: the item payload is never read.
+    observed.push_back(
+        static_cast<std::int64_t>(access.weighted_sample(rng).index));
+  }
+
+  reproducible::HeavyHittersParams hh;
+  hh.v = eps2;
+  hh.slack = slack;
+  const auto hitters = reproducible::reproducible_heavy_hitters(
+      observed, hh, prf, /*query_id=*/0xFA57);
+
+  ReproducibleLargeResult result;
+  result.indices.reserve(hitters.size());
+  for (const auto h : hitters) {
+    result.indices.push_back(static_cast<std::size_t>(h));
+  }
+  result.samples_used = access.sample_count() - before;
+  return result;
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,55 @@
+#ifndef LCAKNAP_CORE_REPRODUCIBLE_LARGE_H
+#define LCAKNAP_CORE_REPRODUCIBLE_LARGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/access.h"
+#include "util/rng.h"
+
+/// \file reproducible_large.h
+/// Extension: large-item discovery under *index-only* weighted sampling.
+///
+/// LCA-KP's step 1 reads every sampled item to classify it, which is fine in
+/// the paper's model.  In a strictly weaker model where the sampling service
+/// returns only *indices* (payload reads are a separate, rationed resource),
+/// coupon collection cannot classify at all.  But under weighted sampling the
+/// frequency of index i *is* its normalized profit, so the reproducible
+/// heavy-hitters primitive of [ILPS22] recovers L(I) = {p_i > eps^2} from
+/// frequencies alone — and, because its acceptance threshold is randomized
+/// from the shared seed, two replicas return the *identical* index set with
+/// high probability even when items sit exactly at the eps^2 boundary.
+///
+/// This realises the paper's Section 5 suggestion that the LCA/reproducibility
+/// interplay extends beyond the quantile step.  Exercised by
+/// tests/core/test_reproducible_large.cpp and bench_rmedian's final table.
+
+namespace lcaknap::core {
+
+struct ReproducibleLargeConfig {
+  double eps = 0.25;
+  /// Draws taken; 0 = auto (enough that frequency estimates resolve the
+  /// eps^2/2-wide randomized threshold window).
+  std::size_t samples = 0;
+  /// Half-width of the randomized threshold window around eps^2, as a
+  /// fraction of eps^2.  Items with normalized profit outside
+  /// eps^2 * (1 +- window) are always classified deterministically.
+  double window = 0.5;
+};
+
+struct ReproducibleLargeResult {
+  /// Indices accepted as large, in increasing order.
+  std::vector<std::size_t> indices;
+  std::uint64_t samples_used = 0;
+};
+
+/// Runs the discovery.  `prf` is the shared seed (replicas must agree on it);
+/// `rng` is the run's fresh sampling randomness.  Only `weighted_sample` is
+/// used — never `query`.
+[[nodiscard]] ReproducibleLargeResult reproducible_large_items(
+    const oracle::InstanceAccess& access, const ReproducibleLargeConfig& config,
+    const util::Prf& prf, util::Xoshiro256& rng);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_REPRODUCIBLE_LARGE_H

@@ -1,0 +1,147 @@
+#include "core/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "oracle/access.h"
+#include "util/rng.h"
+
+namespace lcaknap::core {
+
+std::vector<std::size_t> generate_workload(std::size_t n_items,
+                                           const WorkloadConfig& config) {
+  if (n_items == 0) throw std::invalid_argument("generate_workload: no items");
+  util::Xoshiro256 rng(config.seed);
+  std::vector<std::size_t> trace;
+  trace.reserve(config.queries);
+  switch (config.shape) {
+    case WorkloadConfig::Shape::kUniform: {
+      for (std::size_t q = 0; q < config.queries; ++q) {
+        trace.push_back(static_cast<std::size_t>(rng.next_below(n_items)));
+      }
+      break;
+    }
+    case WorkloadConfig::Shape::kZipf: {
+      // Precompute the rank CDF once; ranks map to items through a fixed
+      // pseudorandom permutation so the hot set is spread over the index
+      // space (as real popularity is).
+      if (!(config.zipf_s > 0.0)) {
+        throw std::invalid_argument("generate_workload: zipf_s must be > 0");
+      }
+      std::vector<double> cdf(n_items);
+      double total = 0.0;
+      for (std::size_t r = 0; r < n_items; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), config.zipf_s);
+        cdf[r] = total;
+      }
+      const util::Prf shuffle(config.seed ^ 0x51AF);
+      for (std::size_t q = 0; q < config.queries; ++q) {
+        const double u = rng.next_double() * total;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const auto rank = static_cast<std::size_t>(it - cdf.begin());
+        trace.push_back(static_cast<std::size_t>(
+            shuffle.word(0, static_cast<std::uint64_t>(rank)) % n_items));
+      }
+      break;
+    }
+    case WorkloadConfig::Shape::kHotspot: {
+      if (!(config.hotspot_fraction >= 0.0 && config.hotspot_fraction <= 1.0) ||
+          config.hotspot_items == 0) {
+        throw std::invalid_argument("generate_workload: bad hotspot parameters");
+      }
+      const std::size_t hot = std::min(config.hotspot_items, n_items);
+      const util::Prf pick(config.seed ^ 0x407);
+      for (std::size_t q = 0; q < config.queries; ++q) {
+        if (rng.next_double() < config.hotspot_fraction) {
+          const auto slot = rng.next_below(hot);
+          trace.push_back(static_cast<std::size_t>(pick.word(1, slot) % n_items));
+        } else {
+          trace.push_back(static_cast<std::size_t>(rng.next_below(n_items)));
+        }
+      }
+      break;
+    }
+  }
+  return trace;
+}
+
+ServingReport simulate_serving(const knapsack::Instance& instance,
+                               const ServingConfig& serving,
+                               const WorkloadConfig& workload,
+                               util::ThreadPool* pool) {
+  const oracle::MaterializedAccess access(instance);
+  const LcaKp lca(access, serving.lca);
+  const std::size_t replicas = std::max<std::size_t>(1, serving.replicas);
+
+  // Warm-ups.
+  std::vector<LcaKpRun> runs(replicas);
+  const auto warm_one = [&](std::size_t r) {
+    util::Xoshiro256 tape(util::mix64(serving.seed ^ (0xA11CE + r)));
+    runs[r] = lca.run_pipeline(tape);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(replicas, warm_one);
+  } else {
+    for (std::size_t r = 0; r < replicas; ++r) warm_one(r);
+  }
+
+  ServingReport report;
+  report.replicas = replicas;
+  double warmup_samples = 0.0;
+  for (const auto& run : runs) {
+    warmup_samples += static_cast<double>(run.samples_used);
+  }
+  report.warmup_samples_per_replica = warmup_samples / static_cast<double>(replicas);
+  report.warmup_sim_ms_per_replica =
+      report.warmup_samples_per_replica *
+      (serving.rpc_fixed_us + serving.rpc_exp_mean_us) / 1'000.0;
+
+  // Serve the trace.
+  const auto trace = generate_workload(instance.size(), workload);
+  report.queries = trace.size();
+  util::Xoshiro256 latency_rng(util::mix64(serving.seed ^ 0x7A7E));
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  std::size_t yes = 0;
+  std::size_t consistent = 0;
+  for (std::size_t q = 0; q < trace.size(); ++q) {
+    const std::size_t item = trace[q];
+    const auto& run = runs[q % replicas];
+    const bool answer =
+        lca.decide(run, item, instance.norm_profit(item), instance.efficiency(item));
+    yes += answer ? 1 : 0;
+    // Consensus audit: majority of the fleet on this item.
+    std::size_t votes = 0;
+    for (const auto& other : runs) {
+      if (lca.decide(other, item, instance.norm_profit(item),
+                     instance.efficiency(item))) {
+        ++votes;
+      }
+    }
+    const bool consensus = 2 * votes > replicas;
+    consistent += (answer == consensus) ? 1 : 0;
+    // One oracle read per answer under the RPC model.
+    const double u = latency_rng.next_double();
+    latencies.push_back(serving.rpc_fixed_us -
+                        serving.rpc_exp_mean_us * std::log1p(-u));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    auto idx = static_cast<std::size_t>(p * static_cast<double>(latencies.size()));
+    idx = std::min(idx, latencies.size() - 1);
+    return latencies[idx];
+  };
+  report.p50_us = pct(0.50);
+  report.p95_us = pct(0.95);
+  report.p99_us = pct(0.99);
+  report.yes_rate =
+      trace.empty() ? 0.0 : static_cast<double>(yes) / static_cast<double>(trace.size());
+  report.consistency_rate =
+      trace.empty() ? 1.0
+                    : static_cast<double>(consistent) / static_cast<double>(trace.size());
+  return report;
+}
+
+}  // namespace lcaknap::core

@@ -1,0 +1,79 @@
+#ifndef LCAKNAP_CORE_SERVING_SIM_H
+#define LCAKNAP_CORE_SERVING_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lca_kp.h"
+#include "knapsack/instance.h"
+#include "util/thread_pool.h"
+
+/// \file serving_sim.h
+/// A serving-fleet simulator: the end-to-end deployment the paper's
+/// introduction motivates, as one measurable artifact.
+///
+/// A fleet of replicas (one LCA-KP run each, same shared seed) serves a
+/// synthetic query trace.  Each query routes to a replica, costs one oracle
+/// read whose latency is drawn from an RPC model, and is audited against the
+/// fleet consensus.  The report carries the numbers an operator would watch:
+/// warm-up cost, per-query latency percentiles, answer skew, and the
+/// consistency rate — the paper's guarantee expressed as an SLO.
+
+namespace lcaknap::core {
+
+struct WorkloadConfig {
+  enum class Shape {
+    kUniform,  ///< every item equally likely
+    kZipf,     ///< rank-skewed: item ranks drawn with P(r) ∝ 1/r^s
+    kHotspot,  ///< `hotspot_fraction` of traffic hits `hotspot_items` items
+  };
+  Shape shape = Shape::kUniform;
+  std::size_t queries = 10'000;
+  double zipf_s = 1.1;
+  double hotspot_fraction = 0.9;
+  std::size_t hotspot_items = 16;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the query trace (item indices) for an instance of n items.
+[[nodiscard]] std::vector<std::size_t> generate_workload(std::size_t n_items,
+                                                         const WorkloadConfig& config);
+
+struct ServingConfig {
+  LcaKpConfig lca;
+  std::size_t replicas = 4;
+  /// Per-oracle-read latency model: fixed cost plus exponential tail.
+  double rpc_fixed_us = 80.0;
+  double rpc_exp_mean_us = 30.0;
+  std::uint64_t seed = 7;  ///< fresh randomness (replica tapes, latency draws)
+};
+
+struct ServingReport {
+  std::size_t replicas = 0;
+  std::size_t queries = 0;
+
+  /// Sampling cost of one replica's warm-up (pipeline execution).
+  double warmup_samples_per_replica = 0.0;
+  /// Simulated warm-up time per replica at the configured RPC model (ms).
+  double warmup_sim_ms_per_replica = 0.0;
+
+  /// Simulated per-query latency percentiles (microseconds).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  double yes_rate = 0.0;
+  /// Fraction of queries whose answer matched the fleet consensus (majority
+  /// of all replicas on that item) — the operator-visible consistency SLO.
+  double consistency_rate = 0.0;
+};
+
+/// Runs the simulation.  Replica warm-ups execute on `pool` when provided.
+[[nodiscard]] ServingReport simulate_serving(const knapsack::Instance& instance,
+                                             const ServingConfig& serving,
+                                             const WorkloadConfig& workload,
+                                             util::ThreadPool* pool = nullptr);
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_SERVING_SIM_H

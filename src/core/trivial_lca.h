@@ -1,0 +1,24 @@
+#ifndef LCAKNAP_CORE_TRIVIAL_LCA_H
+#define LCAKNAP_CORE_TRIVIAL_LCA_H
+
+#include "core/lca.h"
+
+/// \file trivial_lca.h
+/// The trivial LCA the paper warns about after Definition 2.4: always answer
+/// "no".  Perfectly consistent (with the empty solution), zero queries, zero
+/// value.  Serves as the floor in every comparison table.
+
+namespace lcaknap::core {
+
+class TrivialLca final : public Lca {
+ public:
+  [[nodiscard]] bool answer(std::size_t /*i*/,
+                            util::Xoshiro256& /*sample_rng*/) const override {
+    return false;
+  }
+  [[nodiscard]] std::string name() const override { return "trivial-no"; }
+};
+
+}  // namespace lcaknap::core
+
+#endif  // LCAKNAP_CORE_TRIVIAL_LCA_H

@@ -1,0 +1,88 @@
+#include "iky/construct.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "knapsack/instance.h"
+#include "knapsack/solvers/solve.h"
+
+namespace lcaknap::iky {
+
+double TildeInstance::large_profit() const {
+  double total = 0.0;
+  for (const auto& it : items) {
+    if (it.is_large) total += it.profit;
+  }
+  return total;
+}
+
+TildeInstance construct_tilde(std::span<const NormLargeItem> large,
+                              std::span<const double> eps_thresholds, double eps,
+                              double norm_capacity) {
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("construct_tilde: eps must be in (0, 1)");
+  }
+  for (std::size_t k = 1; k < eps_thresholds.size(); ++k) {
+    if (eps_thresholds[k] > eps_thresholds[k - 1]) {
+      throw std::invalid_argument("construct_tilde: thresholds must be non-increasing");
+    }
+  }
+  TildeInstance tilde;
+  tilde.capacity = norm_capacity;
+  const double eps2 = eps * eps;
+  const auto copies = static_cast<int>(std::floor(1.0 / eps));
+
+  for (const auto& item : large) {
+    TildeItem t;
+    t.profit = item.profit;
+    t.weight = item.weight;
+    t.efficiency = item.efficiency;
+    t.is_large = true;
+    t.source_index = item.index;
+    tilde.items.push_back(t);
+  }
+  // Band k (0-based) is represented by copies of (eps^2, eps^2 / e_{k+1});
+  // with 1-based thresholds e_1..e_t this is eps_thresholds[k].
+  for (std::size_t k = 0; k < eps_thresholds.size(); ++k) {
+    const double e = eps_thresholds[k];
+    if (!(e > 0.0)) {
+      throw std::invalid_argument("construct_tilde: non-positive threshold");
+    }
+    TildeItem t;
+    t.profit = eps2;
+    t.weight = eps2 / e;
+    t.efficiency = e;
+    t.is_large = false;
+    t.band = static_cast<int>(k);
+    for (int c = 0; c < copies; ++c) tilde.items.push_back(t);
+  }
+  return tilde;
+}
+
+double solve_tilde_exact(const TildeInstance& tilde) {
+  // Scale normalized reals onto a 10^9 integer grid; the rounding error per
+  // item is 1e-9, negligible against the eps-scale guarantees.
+  constexpr double kScale = 1e9;
+  const auto capacity = static_cast<std::int64_t>(std::floor(tilde.capacity * kScale));
+  std::vector<knapsack::Item> items;
+  items.reserve(tilde.items.size());
+  for (const auto& t : tilde.items) {
+    knapsack::Item it;
+    it.profit = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::llround(t.profit * kScale)));
+    it.weight = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::llround(t.weight * kScale)));
+    if (it.weight > capacity) continue;  // can never be selected
+    items.push_back(it);
+  }
+  if (items.empty()) return 0.0;
+  std::int64_t profit_sum = 0;
+  for (const auto& it : items) profit_sum += it.profit;
+  if (profit_sum <= 0) return 0.0;
+  const knapsack::Instance instance(std::move(items), std::max<std::int64_t>(capacity, 0));
+  const auto exact = knapsack::solve_exact(instance);
+  return static_cast<double>(exact.solution.value) / kScale;
+}
+
+}  // namespace lcaknap::iky

@@ -1,0 +1,63 @@
+#ifndef LCAKNAP_IKY_CONSTRUCT_H
+#define LCAKNAP_IKY_CONSTRUCT_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file construct.h
+/// Step 3 of the Ĩ-construction algorithm (Section 4): from the collected
+/// large items M and an (approximate) Equally Partitioning Sequence
+/// ẽ_1 >= ... >= ẽ_t, build the constant-size instance Ĩ with
+///
+///   L(Ĩ) = M,
+///   A_k(Ĩ) = floor(1/eps) copies of (eps^2, eps^2 / ẽ_{k+1}),  0 <= k < t,
+///   G(Ĩ) = ∅,  capacity unchanged.
+///
+/// Everything here is in *normalized* units (total profit of I is 1).
+
+namespace lcaknap::iky {
+
+/// A large item as collected by weighted sampling: its index in the original
+/// instance plus its normalized profile.
+struct NormLargeItem {
+  std::size_t index = 0;
+  double profit = 0.0;      ///< normalized profit, in (eps^2, 1]
+  double weight = 0.0;      ///< normalized weight
+  double efficiency = 0.0;  ///< profit / weight (+inf for weight 0)
+};
+
+/// One item of the constructed instance Ĩ.
+struct TildeItem {
+  double profit = 0.0;
+  double weight = 0.0;
+  double efficiency = 0.0;
+  bool is_large = false;
+  /// Original-instance index for large items (undefined for representatives).
+  std::size_t source_index = 0;
+  /// Efficiency band for small representatives (-1 for large items).
+  int band = -1;
+};
+
+struct TildeInstance {
+  std::vector<TildeItem> items;
+  double capacity = 0.0;  ///< normalized capacity K
+
+  /// Total normalized profit of the large part L(Ĩ).
+  [[nodiscard]] double large_profit() const;
+};
+
+/// Builds Ĩ.  `eps_thresholds` are normalized efficiency values (the EPS),
+/// non-increasing; may be empty (then Ĩ consists of the large items only).
+[[nodiscard]] TildeInstance construct_tilde(std::span<const NormLargeItem> large,
+                                            std::span<const double> eps_thresholds,
+                                            double eps, double norm_capacity);
+
+/// Exact optimum value of Ĩ (normalized units), by scaling to integers and
+/// running the exact referee.  Items heavier than the capacity are dropped
+/// first (they cannot appear in any feasible solution).
+[[nodiscard]] double solve_tilde_exact(const TildeInstance& tilde);
+
+}  // namespace lcaknap::iky
+
+#endif  // LCAKNAP_IKY_CONSTRUCT_H

@@ -1,0 +1,41 @@
+#include "iky/efficiency_domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcaknap::iky {
+
+EfficiencyDomain::EfficiencyDomain(int bits, int min_exp, int max_exp)
+    : bits_(bits),
+      size_(std::int64_t{1} << bits),
+      lo_log2_(static_cast<double>(min_exp)),
+      hi_log2_(static_cast<double>(max_exp)) {
+  if (bits < 1 || bits > 48) {
+    throw std::invalid_argument("EfficiencyDomain: bits must be in [1, 48]");
+  }
+  if (min_exp >= max_exp) {
+    throw std::invalid_argument("EfficiencyDomain: min_exp must be < max_exp");
+  }
+}
+
+std::int64_t EfficiencyDomain::to_grid(double efficiency) const noexcept {
+  if (!(efficiency > 0.0)) return 0;
+  if (std::isinf(efficiency)) return size_ - 1;
+  const double position =
+      (std::log2(efficiency) - lo_log2_) / (hi_log2_ - lo_log2_);
+  const auto cell = static_cast<std::int64_t>(
+      std::floor(position * static_cast<double>(size_)));
+  return std::clamp<std::int64_t>(cell, 0, size_ - 1);
+}
+
+double EfficiencyDomain::from_grid(std::int64_t cell) const noexcept {
+  const auto clamped = std::clamp<std::int64_t>(cell, 0, size_ - 1);
+  const double width = (hi_log2_ - lo_log2_) / static_cast<double>(size_);
+  // Geometric midpoint of the cell: exponent at (cell + 1/2) * width.
+  const double exponent =
+      lo_log2_ + (static_cast<double>(clamped) + 0.5) * width;
+  return std::exp2(exponent);
+}
+
+}  // namespace lcaknap::iky

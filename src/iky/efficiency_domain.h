@@ -1,0 +1,47 @@
+#ifndef LCAKNAP_IKY_EFFICIENCY_DOMAIN_H
+#define LCAKNAP_IKY_EFFICIENCY_DOMAIN_H
+
+#include <cstdint>
+
+/// \file efficiency_domain.h
+/// The finite ordered efficiency domain X of Section 4.2.
+///
+/// The paper notes that with poly(n)-bit integer inputs, normalized
+/// efficiencies live in a known finite domain of size 2^poly(n); the
+/// reproducible median then pays only a log* |X| factor.  We realise X as a
+/// logarithmically-spaced grid of 2^bits cells over a fixed efficiency range:
+/// the map is deterministic and monotone, so (a) every replica maps the same
+/// efficiency to the same cell, and (b) quantiles commute with the map.  The
+/// grid resolution (bits, i.e. log |X|) is the knob bench E8 sweeps to expose
+/// the domain-size dependence of the reproducible machinery.
+
+namespace lcaknap::iky {
+
+class EfficiencyDomain {
+ public:
+  /// Grid of 2^bits cells over normalized efficiencies
+  /// [2^min_exp, 2^max_exp]; values outside clamp to the ends.
+  /// bits must be in [1, 48].
+  explicit EfficiencyDomain(int bits = 20, int min_exp = -30, int max_exp = 30);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return size_; }
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+
+  /// Monotone map: normalized efficiency -> grid cell in [0, size).
+  /// Non-positive efficiencies map to 0; +infinity maps to size - 1.
+  [[nodiscard]] std::int64_t to_grid(double efficiency) const noexcept;
+
+  /// Representative efficiency of a cell (its geometric midpoint).
+  /// Round-trip stable: to_grid(from_grid(g)) == g for every valid g.
+  [[nodiscard]] double from_grid(std::int64_t cell) const noexcept;
+
+ private:
+  int bits_;
+  std::int64_t size_;
+  double lo_log2_;
+  double hi_log2_;
+};
+
+}  // namespace lcaknap::iky
+
+#endif  // LCAKNAP_IKY_EFFICIENCY_DOMAIN_H

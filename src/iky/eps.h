@@ -1,0 +1,58 @@
+#ifndef LCAKNAP_IKY_EPS_H
+#define LCAKNAP_IKY_EPS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "knapsack/instance.h"
+
+/// \file eps.h
+/// Equally Partitioning Sequences (Definition 4.3).  A non-increasing
+/// sequence of efficiency thresholds e_1 >= ... >= e_t is an EPS for I when
+/// every efficiency band of small items carries profit mass in
+/// [eps, eps + eps^2) (the last band in [0, eps + eps^2)).
+///
+/// Two estimators are provided:
+///  * `estimate_eps_grid` — plain empirical quantiles of profit-weighted
+///    efficiency samples, the original [IKY12] route.  Fast, accurate, but
+///    *not reproducible*: two runs produce slightly different thresholds.
+///    LCA-KP's ablation mode uses it to demonstrate the consistency failure
+///    the paper identifies in Section 1.1.
+///  * the reproducible route lives in core/lca_kp.cpp and calls
+///    reproducible::rquantile instead — same targets, identical outputs
+///    across replicas with high probability.
+
+namespace lcaknap::iky {
+
+/// Plain (non-reproducible) empirical (1 - k*q)-quantiles for k = 1..t over
+/// grid-mapped efficiency samples.  Returns t thresholds, non-increasing.
+[[nodiscard]] std::vector<std::int64_t> estimate_eps_grid(
+    std::span<const std::int64_t> efficiency_grid_samples, double q, int t);
+
+/// Exact offline EPS: walks the small items by decreasing efficiency and
+/// cuts a threshold whenever ~eps of profit mass has accumulated.  This is
+/// the ground-truth sequence sampled estimators approximate; used by tests
+/// and benches as the reference.  May return fewer thresholds than an
+/// estimator would when efficiency atoms exceed eps (see DESIGN.md, finding
+/// F2).
+[[nodiscard]] std::vector<double> exact_eps(const knapsack::Instance& instance,
+                                            double eps);
+
+/// Offline EPS validity check against a fully known instance (Definition
+/// 4.3), used by tests and benches.  `thresholds` are normalized efficiency
+/// values, non-increasing.  `slack` loosens the band bounds to absorb
+/// sampling error: bands must lie in [eps - slack, eps + eps^2 + slack).
+struct EpsValidity {
+  bool valid = false;
+  /// Profit mass of band k (band 0 = efficiencies >= e_1; band k in
+  /// [e_{k+1}, e_k); band t = below e_t), over small items only.
+  std::vector<double> band_masses;
+};
+[[nodiscard]] EpsValidity check_eps(const knapsack::Instance& instance,
+                                    std::span<const double> thresholds, double eps,
+                                    double slack = 0.0);
+
+}  // namespace lcaknap::iky
+
+#endif  // LCAKNAP_IKY_EPS_H

@@ -1,0 +1,27 @@
+#include "iky/partition.h"
+
+namespace lcaknap::iky {
+
+Partition partition_instance(const knapsack::Instance& instance, double eps) {
+  Partition part;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const double p = instance.norm_profit(i);
+    switch (classify_item(p, instance.efficiency(i), eps)) {
+      case ItemClass::kLarge:
+        part.large.push_back(i);
+        part.large_mass += p;
+        break;
+      case ItemClass::kSmall:
+        part.small.push_back(i);
+        part.small_mass += p;
+        break;
+      case ItemClass::kGarbage:
+        part.garbage.push_back(i);
+        part.garbage_mass += p;
+        break;
+    }
+  }
+  return part;
+}
+
+}  // namespace lcaknap::iky

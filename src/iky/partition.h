@@ -1,0 +1,52 @@
+#ifndef LCAKNAP_IKY_PARTITION_H
+#define LCAKNAP_IKY_PARTITION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "knapsack/instance.h"
+
+/// \file partition.h
+/// The three-way item partition of Section 4 ([IKY12]): for a parameter
+/// eps, with profits normalized to total 1,
+///
+///   L(I) = { p > eps^2 }                      large items
+///   S(I) = { p <= eps^2, p/w >= eps^2 }       small but efficient items
+///   G(I) = { p <= eps^2, p/w <  eps^2 }       garbage items
+///
+/// The classification is a pure function of (normalized profit, normalized
+/// efficiency, eps), so every replica computes it identically.
+
+namespace lcaknap::iky {
+
+enum class ItemClass { kLarge, kSmall, kGarbage };
+
+/// Classifies one item given its normalized profit and efficiency.
+/// Zero-weight items have infinite efficiency and are never garbage.
+[[nodiscard]] constexpr ItemClass classify_item(double norm_profit, double efficiency,
+                                                double eps) noexcept {
+  const double eps2 = eps * eps;
+  if (norm_profit > eps2) return ItemClass::kLarge;
+  if (efficiency >= eps2) return ItemClass::kSmall;
+  return ItemClass::kGarbage;
+}
+
+/// Full partition of a materialized instance (offline helper for tests,
+/// benches and the EPS validity checker; LCAs never call this).
+struct Partition {
+  std::vector<std::size_t> large;
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> garbage;
+
+  /// Normalized profit mass of each class.
+  double large_mass = 0.0;
+  double small_mass = 0.0;
+  double garbage_mass = 0.0;
+};
+
+[[nodiscard]] Partition partition_instance(const knapsack::Instance& instance,
+                                           double eps);
+
+}  // namespace lcaknap::iky
+
+#endif  // LCAKNAP_IKY_PARTITION_H

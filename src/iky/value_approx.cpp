@@ -1,0 +1,121 @@
+#include "iky/value_approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "iky/construct.h"
+#include "iky/eps.h"
+#include "iky/partition.h"
+
+namespace lcaknap::iky {
+
+std::size_t coupon_collector_samples(double delta, int amplification) {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("coupon_collector_samples: delta must be in (0, 1)");
+  }
+  if (amplification < 1) {
+    throw std::invalid_argument("coupon_collector_samples: amplification must be >= 1");
+  }
+  const double base = 6.0 / delta * (std::log(1.0 / delta) + 1.0);
+  return static_cast<std::size_t>(std::ceil(base)) *
+         static_cast<std::size_t>(amplification);
+}
+
+namespace {
+
+/// Draws `count` weighted samples, keeping the distinct large items.
+std::vector<NormLargeItem> collect_large(const oracle::InstanceAccess& access,
+                                         std::size_t count, double eps,
+                                         util::Xoshiro256& rng) {
+  const double eps2 = eps * eps;
+  std::map<std::size_t, NormLargeItem> found;
+  for (std::size_t s = 0; s < count; ++s) {
+    const auto draw = access.weighted_sample(rng);
+    const double p = access.norm_profit(draw.item);
+    if (p <= eps2) continue;
+    NormLargeItem rec;
+    rec.index = draw.index;
+    rec.profit = p;
+    rec.weight = access.norm_weight(draw.item);
+    rec.efficiency = access.efficiency(draw.item);
+    found.emplace(draw.index, rec);
+  }
+  std::vector<NormLargeItem> large;
+  large.reserve(found.size());
+  for (const auto& [index, rec] : found) large.push_back(rec);
+  return large;
+}
+
+}  // namespace
+
+ValueApproxResult approximate_opt_value(const oracle::InstanceAccess& access,
+                                        const ValueApproxConfig& config,
+                                        util::Xoshiro256& rng) {
+  const double eps = config.eps;
+  if (!(eps > 0.0 && eps < 1.0)) {
+    throw std::invalid_argument("approximate_opt_value: eps must be in (0, 1)");
+  }
+  const std::uint64_t samples_before = access.sample_count();
+
+  // Step 1: collect the large items (Lemma 4.2 with delta = eps^2).
+  const std::size_t m = config.large_samples > 0
+                            ? config.large_samples
+                            : coupon_collector_samples(eps * eps);
+  const auto large = collect_large(access, m, eps, rng);
+  double large_mass = 0.0;
+  for (const auto& item : large) large_mass += item.profit;
+
+  // Step 2: learn the efficiency quantiles of the small/garbage mass.
+  std::vector<double> thresholds;
+  if (1.0 - large_mass >= eps) {
+    const double q = (eps + eps * eps / 2.0) / (1.0 - large_mass);
+    const int t = static_cast<int>(std::floor(1.0 / q));
+    const std::size_t want =
+        config.quantile_samples > 0
+            ? config.quantile_samples
+            : static_cast<std::size_t>(
+                  std::ceil(4.0 / std::pow(eps, 4) * std::log(1.0 / eps)));
+    std::vector<double> efficiencies;
+    efficiencies.reserve(want);
+    const double eps2 = eps * eps;
+    for (std::size_t s = 0; s < want; ++s) {
+      const auto draw = access.weighted_sample(rng);
+      if (access.norm_profit(draw.item) > eps2) continue;  // drop large items
+      efficiencies.push_back(access.efficiency(draw.item));
+    }
+    if (!efficiencies.empty() && t >= 1) {
+      std::sort(efficiencies.begin(), efficiencies.end());
+      const auto n = static_cast<double>(efficiencies.size());
+      for (int k = 1; k <= t; ++k) {
+        const double p = std::max(0.0, 1.0 - static_cast<double>(k) * q);
+        auto idx = static_cast<std::size_t>(std::ceil(p * n));
+        if (idx > 0) --idx;
+        idx = std::min(idx, efficiencies.size() - 1);
+        thresholds.push_back(efficiencies[idx]);
+      }
+      // Enforce non-increasing order (ties can perturb it at the tail).
+      for (std::size_t k = 1; k < thresholds.size(); ++k) {
+        thresholds[k] = std::min(thresholds[k], thresholds[k - 1]);
+      }
+      // Drop the final threshold when it dips below the small-item floor
+      // (Algorithm 2, lines 11-14).
+      if (!thresholds.empty() && thresholds.back() < eps2) thresholds.pop_back();
+      // Guard: representatives need positive efficiency.
+      while (!thresholds.empty() && !(thresholds.back() > 0.0)) thresholds.pop_back();
+    }
+  }
+
+  // Step 3: build and solve Ĩ.
+  const TildeInstance tilde =
+      construct_tilde(large, thresholds, eps, access.norm_capacity());
+  ValueApproxResult result;
+  result.estimate = std::max(0.0, solve_tilde_exact(tilde) - eps);
+  result.samples_used = access.sample_count() - samples_before;
+  result.tilde_size = tilde.items.size();
+  return result;
+}
+
+}  // namespace lcaknap::iky

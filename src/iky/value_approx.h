@@ -1,0 +1,56 @@
+#ifndef LCAKNAP_IKY_VALUE_APPROX_H
+#define LCAKNAP_IKY_VALUE_APPROX_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "oracle/access.h"
+#include "util/rng.h"
+
+/// \file value_approx.h
+/// The [IKY12] constant-time approximation of the optimal Knapsack *value*
+/// (Lemma 4.4): sample large items by coupon collection (Lemma 4.2), learn an
+/// equally partitioning sequence from profit-weighted efficiency samples,
+/// build the constant-size instance Ĩ, solve it exactly, and report
+/// OPT(Ĩ) - eps, which is a (1, 6*eps)-approximation of OPT(I) with high
+/// probability.  The query cost is independent of n.
+///
+/// This is the paper's starting point (Section 1.1, "technical overview");
+/// LCA-KP reuses all of its pieces but replaces the quantile estimation with
+/// the reproducible version.
+
+namespace lcaknap::iky {
+
+struct ValueApproxConfig {
+  double eps = 0.2;
+  /// Weighted samples used to collect the large items; 0 = auto from
+  /// Lemma 4.2 with amplification.
+  std::size_t large_samples = 0;
+  /// Weighted samples used for the efficiency quantiles; 0 = auto
+  /// (a calibrated multiple of 1/eps^4 * log(1/eps)).
+  std::size_t quantile_samples = 0;
+};
+
+struct ValueApproxResult {
+  /// Estimated optimal value in normalized units (fraction of total profit).
+  double estimate = 0.0;
+  /// Weighted samples actually drawn (== the oracle access cost).
+  std::uint64_t samples_used = 0;
+  /// Items in the constructed instance Ĩ.
+  std::size_t tilde_size = 0;
+};
+
+/// Lemma 4.2 sample size: ceil(6/delta * (ln(1/delta) + 1)) draws see every
+/// item of profit >= delta with probability >= 5/6; `amplification` repeats
+/// the budget to push the success probability up.
+[[nodiscard]] std::size_t coupon_collector_samples(double delta, int amplification = 3);
+
+/// Runs the approximation against a (counted) access object using fresh
+/// sampling randomness from `rng`.
+[[nodiscard]] ValueApproxResult approximate_opt_value(
+    const oracle::InstanceAccess& access, const ValueApproxConfig& config,
+    util::Xoshiro256& rng);
+
+}  // namespace lcaknap::iky
+
+#endif  // LCAKNAP_IKY_VALUE_APPROX_H

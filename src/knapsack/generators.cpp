@@ -1,0 +1,222 @@
+#include "knapsack/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcaknap::knapsack {
+
+namespace {
+
+/// Capacity = fraction of the total weight, but never below the heaviest item
+/// (Definition 2.2 requires every w_i <= K).
+std::int64_t pick_capacity(const std::vector<Item>& items, double fraction) {
+  std::int64_t total = 0;
+  std::int64_t heaviest = 0;
+  for (const auto& it : items) {
+    total += it.weight;
+    heaviest = std::max(heaviest, it.weight);
+  }
+  const auto cap = static_cast<std::int64_t>(
+      std::llround(fraction * static_cast<double>(total)));
+  return std::max<std::int64_t>({cap, heaviest, 1});
+}
+
+Instance finish(std::vector<Item> items, double fraction) {
+  const std::int64_t cap = pick_capacity(items, fraction);
+  return {std::move(items), cap};
+}
+
+}  // namespace
+
+Instance uncorrelated(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.profit = rng.next_in(1, cfg.max_value);
+    it.weight = rng.next_in(1, cfg.max_value);
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance weakly_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  const std::int64_t spread = std::max<std::int64_t>(1, cfg.max_value / 10);
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = rng.next_in(1, cfg.max_value);
+    it.profit = std::max<std::int64_t>(1, it.weight + rng.next_in(-spread, spread));
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance strongly_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  const std::int64_t bonus = std::max<std::int64_t>(1, cfg.max_value / 10);
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = rng.next_in(1, cfg.max_value);
+    it.profit = it.weight + bonus;
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance inverse_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  const std::int64_t bonus = std::max<std::int64_t>(1, cfg.max_value / 10);
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.profit = rng.next_in(1, cfg.max_value);
+    it.weight = it.profit + bonus;
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance subset_sum(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = rng.next_in(1, cfg.max_value);
+    it.profit = it.weight;
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance similar_weights(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  const std::int64_t base = std::max<std::int64_t>(1, cfg.max_value / 2);
+  const std::int64_t jitter = std::max<std::int64_t>(1, cfg.max_value / 100);
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = base + rng.next_in(0, jitter);
+    it.profit = rng.next_in(1, cfg.max_value);
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance profit_ceiling(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = rng.next_in(1, cfg.max_value);
+    it.profit = 3 * ((it.weight + 2) / 3);  // 3 * ceil(w / 3)
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance circle(const GeneratorConfig& cfg, util::Xoshiro256& rng) {
+  // p(w) = d * sqrt(4 R^2 - (w - 2 R)^2) with R = max_value / 4: profits lie
+  // on the upper half of a circle over the weight range, d = 2/3 as in
+  // Pisinger's description.
+  const double radius = static_cast<double>(cfg.max_value) / 4.0;
+  std::vector<Item> items(cfg.n);
+  for (auto& it : items) {
+    it.weight = rng.next_in(1, cfg.max_value);
+    const double x = static_cast<double>(it.weight) - 2.0 * radius;
+    const double disc = std::max(0.0, 4.0 * radius * radius - x * x);
+    it.profit = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(2.0 / 3.0 * std::sqrt(disc))));
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+Instance needle(const NeedleConfig& cfg, util::Xoshiro256& rng) {
+  if (cfg.heavy_count == 0 || cfg.heavy_count >= cfg.n) {
+    throw std::invalid_argument("needle: heavy_count must be in (0, n)");
+  }
+  if (cfg.heavy_mass + cfg.garbage_mass >= 1.0) {
+    throw std::invalid_argument("needle: heavy_mass + garbage_mass must be < 1");
+  }
+  // Raw profit budget: scale so that per-item profits stay integral yet the
+  // target mass fractions hold closely.
+  constexpr std::int64_t kBudget = 100'000'000;
+  const std::size_t garbage_count = (cfg.n - cfg.heavy_count) / 3;
+  const std::size_t small_count = cfg.n - cfg.heavy_count - garbage_count;
+
+  const auto heavy_budget =
+      static_cast<std::int64_t>(cfg.heavy_mass * kBudget);
+  const auto garbage_budget =
+      static_cast<std::int64_t>(cfg.garbage_mass * kBudget);
+  const std::int64_t small_budget = kBudget - heavy_budget - garbage_budget;
+
+  std::vector<Item> items;
+  items.reserve(cfg.n);
+  // Heavy items: large profit, moderate weight -> classified L(I) for
+  // reasonable epsilon.
+  for (std::size_t i = 0; i < cfg.heavy_count; ++i) {
+    Item it;
+    it.profit = std::max<std::int64_t>(
+        1, heavy_budget / static_cast<std::int64_t>(cfg.heavy_count) +
+               rng.next_in(-heavy_budget / 50, heavy_budget / 50));
+    it.weight = rng.next_in(500, 1'500);
+    items.push_back(it);
+  }
+  // Small items: tiny profit, high efficiency (weight comparable to profit
+  // scale), spread over a range of efficiencies so the EPS has structure.
+  for (std::size_t i = 0; i < small_count; ++i) {
+    Item it;
+    it.profit = std::max<std::int64_t>(
+        1, small_budget / static_cast<std::int64_t>(small_count) +
+               rng.next_in(-small_budget / (2 * static_cast<std::int64_t>(small_count)),
+                           small_budget / (2 * static_cast<std::int64_t>(small_count))));
+    // Efficiency varies by a factor of ~8 across small items.
+    const double stretch = 0.5 + 3.5 * rng.next_double();
+    it.weight = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(it.profit) * stretch));
+    items.push_back(it);
+  }
+  // Garbage: negligible profit, disproportionately large weight (low
+  // efficiency), so they land in G(I).
+  for (std::size_t i = 0; i < garbage_count; ++i) {
+    Item it;
+    it.profit = std::max<std::int64_t>(
+        1, garbage_budget / static_cast<std::int64_t>(garbage_count));
+    it.weight = std::max<std::int64_t>(1, it.profit * rng.next_in(200, 2'000));
+    items.push_back(it);
+  }
+  // Shuffle so index order carries no signal (LCAs only see what they query).
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[rng.next_below(i)]);
+  }
+  return finish(std::move(items), cfg.capacity_fraction);
+}
+
+std::string family_name(Family family) {
+  switch (family) {
+    case Family::kUncorrelated: return "uncorrelated";
+    case Family::kWeaklyCorrelated: return "weakly_correlated";
+    case Family::kStronglyCorrelated: return "strongly_correlated";
+    case Family::kInverseCorrelated: return "inverse_correlated";
+    case Family::kSubsetSum: return "subset_sum";
+    case Family::kSimilarWeights: return "similar_weights";
+    case Family::kProfitCeiling: return "profit_ceiling";
+    case Family::kCircle: return "circle";
+    case Family::kNeedle: return "needle";
+  }
+  return "unknown";
+}
+
+std::vector<Family> all_families() {
+  return {Family::kUncorrelated,   Family::kWeaklyCorrelated,
+          Family::kStronglyCorrelated, Family::kInverseCorrelated,
+          Family::kSubsetSum,      Family::kSimilarWeights,
+          Family::kProfitCeiling,  Family::kCircle,
+          Family::kNeedle};
+}
+
+Instance make_family(Family family, std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  GeneratorConfig cfg;
+  cfg.n = n;
+  switch (family) {
+    case Family::kUncorrelated: return uncorrelated(cfg, rng);
+    case Family::kWeaklyCorrelated: return weakly_correlated(cfg, rng);
+    case Family::kStronglyCorrelated: return strongly_correlated(cfg, rng);
+    case Family::kInverseCorrelated: return inverse_correlated(cfg, rng);
+    case Family::kSubsetSum: return subset_sum(cfg, rng);
+    case Family::kSimilarWeights: return similar_weights(cfg, rng);
+    case Family::kProfitCeiling: return profit_ceiling(cfg, rng);
+    case Family::kCircle: return circle(cfg, rng);
+    case Family::kNeedle: {
+      NeedleConfig ncfg;
+      ncfg.n = n;
+      return needle(ncfg, rng);
+    }
+  }
+  throw std::invalid_argument("make_family: unknown family");
+}
+
+}  // namespace lcaknap::knapsack

@@ -1,0 +1,92 @@
+#ifndef LCAKNAP_KNAPSACK_GENERATORS_H
+#define LCAKNAP_KNAPSACK_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "knapsack/instance.h"
+#include "util/rng.h"
+
+/// \file generators.h
+/// Workload generators.  The classic correlated/uncorrelated families follow
+/// Pisinger's hard-instance taxonomy; the `needle` family realises the
+/// "needle in a haystack" phenomenon the paper identifies as the crux of its
+/// impossibility results (Section 4, first paragraph): a handful of
+/// high-profit items hidden among a sea of garbage.
+
+namespace lcaknap::knapsack {
+
+struct GeneratorConfig {
+  std::size_t n = 1000;            ///< number of items
+  std::int64_t max_value = 10'000; ///< raw profit/weight magnitude bound
+  /// Capacity as a fraction of the total weight (the usual benchmark choice).
+  double capacity_fraction = 0.5;
+};
+
+/// Profits and weights drawn independently and uniformly from [1, max_value].
+[[nodiscard]] Instance uncorrelated(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Weights uniform; profit = weight + uniform noise in [-r, r], r = max_value/10
+/// (clamped to >= 1).  Moderately hard for branch & bound.
+[[nodiscard]] Instance weakly_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Weights uniform; profit = weight + max_value/10.  The classic hard family.
+[[nodiscard]] Instance strongly_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Profits uniform; weight = profit + max_value/10 (inverse strong correlation).
+[[nodiscard]] Instance inverse_correlated(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// profit == weight (subset-sum family).
+[[nodiscard]] Instance subset_sum(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Weights concentrated in [max_value/2, max_value/2 + max_value/100];
+/// profits uniform.  Ties in efficiency stress the greedy cut-off logic.
+[[nodiscard]] Instance similar_weights(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Weights uniform; profit = 3 * ceil(w / 3) (Pisinger's "profit ceiling"
+/// class): many items share identical profits, stressing tie handling in
+/// profit-indexed machinery.
+[[nodiscard]] Instance profit_ceiling(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// Weights uniform; profits on a circular arc over the weight range
+/// (Pisinger's "circle" class): a strongly non-linear profit/weight frontier
+/// where greedy's efficiency ordering is least informative.
+[[nodiscard]] Instance circle(const GeneratorConfig& cfg, util::Xoshiro256& rng);
+
+/// "Needle" family: `heavy_count` items carry roughly `heavy_mass` of the
+/// total profit (these are the paper's large items L(I)); the remaining items
+/// split into efficient small items and true garbage (low profit AND low
+/// efficiency).  This family exercises all three classes of the Section 4
+/// partition at once.
+struct NeedleConfig {
+  std::size_t n = 10'000;
+  std::size_t heavy_count = 5;
+  double heavy_mass = 0.4;   ///< fraction of total profit on heavy items
+  double garbage_mass = 0.1; ///< fraction of total profit on garbage items
+  double capacity_fraction = 0.3;
+};
+[[nodiscard]] Instance needle(const NeedleConfig& cfg, util::Xoshiro256& rng);
+
+/// Enumerable family tags used by parameterized tests and benches.
+enum class Family {
+  kUncorrelated,
+  kWeaklyCorrelated,
+  kStronglyCorrelated,
+  kInverseCorrelated,
+  kSubsetSum,
+  kSimilarWeights,
+  kProfitCeiling,
+  kCircle,
+  kNeedle,
+};
+
+[[nodiscard]] std::string family_name(Family family);
+[[nodiscard]] std::vector<Family> all_families();
+
+/// Generates an instance of the given family with `n` items from `seed`.
+[[nodiscard]] Instance make_family(Family family, std::size_t n, std::uint64_t seed);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_GENERATORS_H

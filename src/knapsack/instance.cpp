@@ -1,0 +1,96 @@
+#include "knapsack/instance.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace lcaknap::knapsack {
+
+Instance::Instance(std::vector<Item> items, std::int64_t capacity)
+    : items_(std::move(items)), capacity_(capacity) {
+  if (items_.empty()) throw std::invalid_argument("Instance: no items");
+  if (capacity_ < 0) throw std::invalid_argument("Instance: negative capacity");
+  for (const auto& it : items_) {
+    if (it.profit < 0) throw std::invalid_argument("Instance: negative profit");
+    if (it.weight < 0) throw std::invalid_argument("Instance: negative weight");
+    if (it.weight > capacity_) {
+      throw std::invalid_argument(
+          "Instance: item weight exceeds capacity (Definition 2.2 requires w_i <= K)");
+    }
+    total_profit_ += it.profit;
+    total_weight_ += it.weight;
+  }
+  if (total_profit_ <= 0) {
+    throw std::invalid_argument("Instance: total profit must be positive");
+  }
+  // All-zero weights are legal (Theorem 3.4's hard family is mostly weight
+  // zero); normalize by 1 in that degenerate case so views stay finite.
+  if (total_weight_ == 0) total_weight_ = 1;
+}
+
+double Instance::efficiency(std::size_t i) const {
+  const Item& it = item(i);
+  if (it.weight == 0) return std::numeric_limits<double>::infinity();
+  return norm_profit(i) / norm_weight(i);
+}
+
+std::int64_t Instance::value_of(std::span<const std::size_t> selection) const {
+  std::int64_t total = 0;
+  for (const auto i : selection) total += item(i).profit;
+  return total;
+}
+
+std::int64_t Instance::weight_of(std::span<const std::size_t> selection) const {
+  std::int64_t total = 0;
+  for (const auto i : selection) total += item(i).weight;
+  return total;
+}
+
+bool Instance::feasible(std::span<const std::size_t> selection) const {
+  return weight_of(selection) <= capacity_;
+}
+
+Solution Instance::make_solution(std::vector<std::size_t> selection) const {
+  Solution sol;
+  sol.value = value_of(selection);
+  sol.weight = weight_of(selection);
+  sol.items = std::move(selection);
+  return sol;
+}
+
+bool Instance::is_maximal(std::span<const std::size_t> selection) const {
+  if (!feasible(selection)) return false;
+  const std::int64_t slack = capacity_ - weight_of(selection);
+  std::vector<bool> chosen(size(), false);
+  for (const auto i : selection) chosen[i] = true;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!chosen[i] && item(i).weight <= slack) return false;
+  }
+  return true;
+}
+
+void Instance::save(std::ostream& os) const {
+  os << items_.size() << " " << capacity_ << "\n";
+  for (const auto& it : items_) os << it.profit << " " << it.weight << "\n";
+}
+
+Instance Instance::load(std::istream& is) {
+  std::size_t n = 0;
+  std::int64_t capacity = 0;
+  if (!(is >> n >> capacity)) {
+    throw std::runtime_error("Instance::load: malformed header");
+  }
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Item it;
+    if (!(is >> it.profit >> it.weight)) {
+      throw std::runtime_error("Instance::load: truncated item list");
+    }
+    items.push_back(it);
+  }
+  return {std::move(items), capacity};
+}
+
+}  // namespace lcaknap::knapsack

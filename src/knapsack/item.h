@@ -1,0 +1,22 @@
+#ifndef LCAKNAP_KNAPSACK_ITEM_H
+#define LCAKNAP_KNAPSACK_ITEM_H
+
+#include <cstdint>
+
+/// \file item.h
+/// A Knapsack item.  Profits and weights are kept as exact 64-bit integers
+/// (the paper's Section 4.2 assumes integer inputs of poly(n) bit-length);
+/// normalized real-valued views are derived per instance.
+
+namespace lcaknap::knapsack {
+
+struct Item {
+  std::int64_t profit = 0;
+  std::int64_t weight = 0;
+
+  friend constexpr bool operator==(const Item&, const Item&) noexcept = default;
+};
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_ITEM_H

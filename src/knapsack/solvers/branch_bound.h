@@ -1,0 +1,33 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_BRANCH_BOUND_H
+#define LCAKNAP_KNAPSACK_SOLVERS_BRANCH_BOUND_H
+
+#include <cstdint>
+#include <optional>
+
+#include "knapsack/instance.h"
+
+/// \file branch_bound.h
+/// Horowitz–Sahni style depth-first branch & bound with the fractional
+/// relaxation as the upper bound.  This is the exact referee used wherever
+/// the DP tables would not fit (e.g. the constructed instance Ĩ, whose
+/// weights are not small integers after scaling, and large benchmark
+/// instances).
+
+namespace lcaknap::knapsack {
+
+struct BranchBoundResult {
+  Solution solution;
+  bool proven_optimal = false;   ///< false when the node budget ran out
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Explores at most `node_budget` nodes.  When the budget is exhausted the
+/// best solution found so far is returned with proven_optimal == false (it is
+/// still feasible, and at least as good as greedy_half's answer because the
+/// greedy prefix is the first DFS branch).
+[[nodiscard]] BranchBoundResult branch_bound(const Instance& instance,
+                                             std::uint64_t node_budget = 50'000'000);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_BRANCH_BOUND_H

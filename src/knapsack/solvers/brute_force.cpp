@@ -1,0 +1,34 @@
+#include "knapsack/solvers/brute_force.h"
+
+#include <stdexcept>
+
+namespace lcaknap::knapsack {
+
+Solution brute_force(const Instance& instance) {
+  const std::size_t n = instance.size();
+  if (n > 26) throw std::invalid_argument("brute_force: n > 26");
+  const std::uint64_t subsets = 1ULL << n;
+  std::int64_t best_value = -1;
+  std::uint64_t best_mask = 0;
+  for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+    std::int64_t value = 0;
+    std::int64_t weight = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        value += instance.item(i).profit;
+        weight += instance.item(i).weight;
+      }
+    }
+    if (weight <= instance.capacity() && value > best_value) {
+      best_value = value;
+      best_mask = mask;
+    }
+  }
+  std::vector<std::size_t> selection;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (1ULL << i)) selection.push_back(i);
+  }
+  return instance.make_solution(std::move(selection));
+}
+
+}  // namespace lcaknap::knapsack

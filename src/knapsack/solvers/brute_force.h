@@ -1,0 +1,17 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_BRUTE_FORCE_H
+#define LCAKNAP_KNAPSACK_SOLVERS_BRUTE_FORCE_H
+
+#include "knapsack/instance.h"
+
+/// \file brute_force.h
+/// Exhaustive enumeration over all 2^n subsets.  Ground truth for property
+/// tests; restricted to n <= 26.
+
+namespace lcaknap::knapsack {
+
+/// Returns an optimal solution.  Throws std::invalid_argument for n > 26.
+[[nodiscard]] Solution brute_force(const Instance& instance);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_BRUTE_FORCE_H

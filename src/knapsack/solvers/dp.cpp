@@ -1,0 +1,114 @@
+#include "knapsack/solvers/dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace lcaknap::knapsack {
+
+namespace {
+
+/// Bit-packed take/skip decisions, one row per item.
+class DecisionBits {
+ public:
+  DecisionBits(std::size_t rows, std::size_t cols)
+      : cols_(cols), bits_((rows * cols + 63) / 64, 0) {}
+
+  void set(std::size_t row, std::size_t col) noexcept {
+    const std::size_t bit = row * cols_ + col;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  [[nodiscard]] bool get(std::size_t row, std::size_t col) const noexcept {
+    const std::size_t bit = row * cols_ + col;
+    return (bits_[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+
+ private:
+  std::size_t cols_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+Solution dp_by_weight(const Instance& instance, std::size_t cell_limit) {
+  const std::size_t n = instance.size();
+  const auto capacity = static_cast<std::size_t>(instance.capacity());
+  if (n * (capacity + 1) > cell_limit) {
+    throw std::invalid_argument("dp_by_weight: table exceeds cell limit");
+  }
+  std::vector<std::int64_t> best(capacity + 1, 0);
+  DecisionBits took(n, capacity + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Item& it = instance.item(i);
+    const auto w = static_cast<std::size_t>(it.weight);
+    for (std::size_t c = capacity; c + 1 > w; --c) {  // c >= w, unsigned-safe
+      const std::int64_t candidate = best[c - w] + it.profit;
+      if (candidate > best[c]) {
+        best[c] = candidate;
+        took.set(i, c);
+      }
+      if (c == w) break;
+    }
+  }
+  // Reconstruct backwards.
+  std::vector<std::size_t> selection;
+  std::size_t c = capacity;
+  for (std::size_t i = n; i-- > 0;) {
+    if (took.get(i, c)) {
+      selection.push_back(i);
+      c -= static_cast<std::size_t>(instance.item(i).weight);
+    }
+  }
+  std::reverse(selection.begin(), selection.end());
+  return instance.make_solution(std::move(selection));
+}
+
+Solution dp_by_profit(const Instance& instance, std::size_t cell_limit) {
+  const std::size_t n = instance.size();
+  const auto total_profit = static_cast<std::size_t>(instance.total_profit());
+  if (n * (total_profit + 1) > cell_limit) {
+    throw std::invalid_argument("dp_by_profit: table exceeds cell limit");
+  }
+  constexpr std::int64_t kUnreachable = std::numeric_limits<std::int64_t>::max();
+  // min_weight[p] = least weight achieving profit exactly p.
+  std::vector<std::int64_t> min_weight(total_profit + 1, kUnreachable);
+  min_weight[0] = 0;
+  DecisionBits took(n, total_profit + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Item& it = instance.item(i);
+    const auto p = static_cast<std::size_t>(it.profit);
+    if (p == 0) continue;  // zero-profit items never improve a profit level
+    for (std::size_t target = total_profit; target + 1 > p; --target) {
+      if (min_weight[target - p] == kUnreachable) {
+        if (target == p) break;
+        continue;
+      }
+      const std::int64_t candidate = min_weight[target - p] + it.weight;
+      if (candidate < min_weight[target]) {
+        min_weight[target] = candidate;
+        took.set(i, target);
+      }
+      if (target == p) break;
+    }
+  }
+  std::size_t best_profit = 0;
+  for (std::size_t p = total_profit + 1; p-- > 0;) {
+    if (min_weight[p] != kUnreachable && min_weight[p] <= instance.capacity()) {
+      best_profit = p;
+      break;
+    }
+  }
+  std::vector<std::size_t> selection;
+  std::size_t p = best_profit;
+  for (std::size_t i = n; i-- > 0;) {
+    if (p > 0 && took.get(i, p)) {
+      selection.push_back(i);
+      p -= static_cast<std::size_t>(instance.item(i).profit);
+    }
+  }
+  std::reverse(selection.begin(), selection.end());
+  return instance.make_solution(std::move(selection));
+}
+
+}  // namespace lcaknap::knapsack

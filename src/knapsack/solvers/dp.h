@@ -1,0 +1,26 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_DP_H
+#define LCAKNAP_KNAPSACK_SOLVERS_DP_H
+
+#include "knapsack/instance.h"
+
+/// \file dp.h
+/// Exact dynamic programs.  `dp_by_weight` is the textbook O(n*K) table;
+/// `dp_by_profit` is the O(n*P) dual used by the FPTAS.  Both reconstruct a
+/// witness solution and guard their table size, throwing
+/// std::invalid_argument when the instance is too large for an exact table
+/// (callers fall back to branch & bound).
+
+namespace lcaknap::knapsack {
+
+/// Exact optimum via weight-indexed DP.  Requires n*(K+1) <= cell_limit.
+[[nodiscard]] Solution dp_by_weight(const Instance& instance,
+                                    std::size_t cell_limit = 200'000'000);
+
+/// Exact optimum via profit-indexed DP.  Requires n*(P+1) <= cell_limit where
+/// P is the total profit.
+[[nodiscard]] Solution dp_by_profit(const Instance& instance,
+                                    std::size_t cell_limit = 200'000'000);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_DP_H

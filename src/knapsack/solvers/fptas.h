@@ -1,0 +1,23 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_FPTAS_H
+#define LCAKNAP_KNAPSACK_SOLVERS_FPTAS_H
+
+#include "knapsack/instance.h"
+
+/// \file fptas.h
+/// The standard profit-scaling FPTAS ([WS11, Section 3.2]): scale profits by
+/// mu = eps * p_max / n, solve exactly by the profit-indexed DP, and return
+/// the witness evaluated at the original profits.  Guarantees a (1 - eps)
+/// approximation.  This is also the rounding scheme the paper's footnote 5
+/// offers as an alternative route to a finite efficiency domain.
+
+namespace lcaknap::knapsack {
+
+/// Returns a (1 - eps)-approximate solution.  eps must lie in (0, 1).
+/// Throws std::invalid_argument when the scaled DP table would exceed
+/// `cell_limit` (the FPTAS costs O(n^3 / eps) time in general).
+[[nodiscard]] Solution fptas(const Instance& instance, double eps,
+                             std::size_t cell_limit = 200'000'000);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_FPTAS_H

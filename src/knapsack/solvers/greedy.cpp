@@ -1,0 +1,89 @@
+#include "knapsack/solvers/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rational.h"
+
+namespace lcaknap::knapsack {
+
+std::vector<std::size_t> efficiency_order(const Instance& instance) {
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = instance.item(a);
+    const Item& ib = instance.item(b);
+    // Zero-weight items have infinite efficiency and come first.
+    if (ia.weight == 0 || ib.weight == 0) {
+      if (ia.weight == 0 && ib.weight == 0) return a < b;
+      return ia.weight == 0;
+    }
+    // p_a / w_a > p_b / w_b  <=>  p_a * w_b > p_b * w_a  (exact).
+    const auto cmp = util::cmp_products(ia.profit, ib.weight, ib.profit, ia.weight);
+    if (cmp != std::strong_ordering::equal) return cmp == std::strong_ordering::greater;
+    return a < b;
+  });
+  return order;
+}
+
+double fractional_opt(const Instance& instance) {
+  const auto order = efficiency_order(instance);
+  std::int64_t remaining = instance.capacity();
+  double value = 0.0;
+  for (const auto idx : order) {
+    const Item& it = instance.item(idx);
+    if (it.weight <= remaining) {
+      remaining -= it.weight;
+      value += static_cast<double>(it.profit);
+    } else {
+      if (remaining > 0 && it.weight > 0) {
+        value += static_cast<double>(it.profit) * static_cast<double>(remaining) /
+                 static_cast<double>(it.weight);
+      }
+      break;
+    }
+  }
+  return value;
+}
+
+GreedyResult greedy_half(const Instance& instance) {
+  const auto order = efficiency_order(instance);
+  GreedyResult result;
+
+  std::vector<std::size_t> prefix;
+  std::int64_t remaining = instance.capacity();
+  std::size_t rank = 0;
+  result.cutoff_rank = order.size();
+  for (; rank < order.size(); ++rank) {
+    const std::size_t idx = order[rank];
+    const Item& it = instance.item(idx);
+    if (it.weight <= remaining) {
+      remaining -= it.weight;
+      prefix.push_back(idx);
+    } else {
+      result.cutoff_rank = rank;
+      result.cutoff_index = idx;
+      result.cutoff_efficiency = instance.efficiency(idx);
+      break;
+    }
+  }
+
+  Solution prefix_solution = instance.make_solution(std::move(prefix));
+  if (result.cutoff_index == GreedyResult::kNoCutoff) {
+    // Everything fit: the greedy prefix is the whole instance and is optimal.
+    result.solution = std::move(prefix_solution);
+    return result;
+  }
+  // Best of the prefix and the singleton {first left-out item}.  The left-out
+  // item fits on its own because Definition 2.2 bounds every weight by K.
+  const std::int64_t singleton_value = instance.item(result.cutoff_index).profit;
+  if (singleton_value > prefix_solution.value) {
+    result.solution = instance.make_solution({result.cutoff_index});
+    result.used_singleton = true;
+  } else {
+    result.solution = std::move(prefix_solution);
+  }
+  return result;
+}
+
+}  // namespace lcaknap::knapsack

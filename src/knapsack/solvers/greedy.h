@@ -1,0 +1,50 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_GREEDY_H
+#define LCAKNAP_KNAPSACK_SOLVERS_GREEDY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "knapsack/instance.h"
+
+/// \file greedy.h
+/// The greedy machinery the paper builds on (Sections 1.2 and 4.1):
+///
+///  * `efficiency_order` — items sorted by non-increasing efficiency p/w
+///    (ties broken by index, so the order is deterministic across replicas).
+///  * `fractional_opt` — the exact Fractional Knapsack optimum (greedy fill).
+///  * `greedy_half` — the classical 1/2-approximation: the better of the
+///    greedy prefix and the first item the greedy pass cannot fully include
+///    ([WS11, Exercise 3.1]).  It also reports the *efficiency cut-off*, the
+///    quantity LCA-KP turns into a per-item membership rule.
+
+namespace lcaknap::knapsack {
+
+/// Item indices sorted by non-increasing efficiency (zero-weight items first,
+/// ties by original index ascending).  Comparison is exact (128-bit cross
+/// products on raw integers), never floating point.
+[[nodiscard]] std::vector<std::size_t> efficiency_order(const Instance& instance);
+
+/// Exact optimum of the fractional relaxation, in raw profit units.
+[[nodiscard]] double fractional_opt(const Instance& instance);
+
+struct GreedyResult {
+  Solution solution;
+  /// True when the single left-out item beat the greedy prefix.
+  bool used_singleton = false;
+  /// Position in the efficiency order of the first item that did not fully
+  /// fit (== instance.size() when everything fit).
+  std::size_t cutoff_rank = 0;
+  /// Original index of that item (npos when everything fit).
+  std::size_t cutoff_index = kNoCutoff;
+  /// Normalized efficiency of the cut-off item (-1 when everything fit).
+  double cutoff_efficiency = -1.0;
+
+  static constexpr std::size_t kNoCutoff = static_cast<std::size_t>(-1);
+};
+
+/// Best-of-two 1/2-approximation; guarantees value >= OPT/2.
+[[nodiscard]] GreedyResult greedy_half(const Instance& instance);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_GREEDY_H

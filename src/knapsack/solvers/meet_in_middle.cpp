@@ -1,0 +1,90 @@
+#include "knapsack/solvers/meet_in_middle.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lcaknap::knapsack {
+
+namespace {
+
+struct HalfEntry {
+  std::int64_t weight;
+  std::int64_t value;
+  std::uint64_t mask;
+};
+
+}  // namespace
+
+Solution meet_in_middle(const Instance& instance) {
+  const std::size_t n = instance.size();
+  if (n > 40) throw std::invalid_argument("meet_in_middle: n > 40");
+
+  const std::size_t left_count = n / 2;
+  const std::size_t right_count = n - left_count;
+
+  const auto enumerate = [&](std::size_t base, std::size_t count) {
+    std::vector<HalfEntry> entries;
+    entries.reserve(std::size_t{1} << count);
+    const std::uint64_t subsets = 1ULL << count;
+    for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+      std::int64_t weight = 0;
+      std::int64_t value = 0;
+      for (std::size_t b = 0; b < count; ++b) {
+        if (mask & (1ULL << b)) {
+          const Item& it = instance.item(base + b);
+          weight += it.weight;
+          value += it.profit;
+        }
+      }
+      if (weight <= instance.capacity()) entries.push_back({weight, value, mask});
+    }
+    return entries;
+  };
+
+  std::vector<HalfEntry> left = enumerate(0, left_count);
+  std::vector<HalfEntry> right = enumerate(left_count, right_count);
+
+  // Sort the right half by weight and make values prefix-maximal, so the
+  // best right completion for any residual capacity is a binary search away.
+  std::sort(right.begin(), right.end(),
+            [](const HalfEntry& a, const HalfEntry& b) { return a.weight < b.weight; });
+  std::vector<HalfEntry> frontier;
+  frontier.reserve(right.size());
+  std::int64_t best_value = -1;
+  for (const auto& entry : right) {
+    if (entry.value > best_value) {
+      best_value = entry.value;
+      frontier.push_back(entry);
+    }
+  }
+
+  std::int64_t best_total = -1;
+  std::uint64_t best_left_mask = 0;
+  std::uint64_t best_right_mask = 0;
+  for (const auto& l : left) {
+    const std::int64_t residual = instance.capacity() - l.weight;
+    // Largest frontier entry with weight <= residual.
+    const auto it = std::upper_bound(
+        frontier.begin(), frontier.end(), residual,
+        [](std::int64_t cap, const HalfEntry& e) { return cap < e.weight; });
+    if (it == frontier.begin()) continue;  // not even the empty set? (weight 0 always present)
+    const HalfEntry& r = *(it - 1);
+    if (l.value + r.value > best_total) {
+      best_total = l.value + r.value;
+      best_left_mask = l.mask;
+      best_right_mask = r.mask;
+    }
+  }
+
+  std::vector<std::size_t> selection;
+  for (std::size_t b = 0; b < left_count; ++b) {
+    if (best_left_mask & (1ULL << b)) selection.push_back(b);
+  }
+  for (std::size_t b = 0; b < right_count; ++b) {
+    if (best_right_mask & (1ULL << b)) selection.push_back(left_count + b);
+  }
+  return instance.make_solution(std::move(selection));
+}
+
+}  // namespace lcaknap::knapsack

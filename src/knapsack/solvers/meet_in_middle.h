@@ -1,0 +1,20 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_MEET_IN_MIDDLE_H
+#define LCAKNAP_KNAPSACK_SOLVERS_MEET_IN_MIDDLE_H
+
+#include "knapsack/instance.h"
+
+/// \file meet_in_middle.h
+/// Horowitz–Sahni meet-in-the-middle: exact Knapsack in O(2^{n/2} n) time and
+/// O(2^{n/2}) space, independent of the magnitudes of profits and weights.
+/// Complements the DPs (which need small K or P) and branch & bound (which
+/// can blow up on correlated instances): for n <= ~40 this is the referee of
+/// last resort, e.g. for strongly-correlated instances with huge values.
+
+namespace lcaknap::knapsack {
+
+/// Returns an optimal solution.  Throws std::invalid_argument for n > 40.
+[[nodiscard]] Solution meet_in_middle(const Instance& instance);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_MEET_IN_MIDDLE_H

@@ -1,0 +1,28 @@
+#include "knapsack/solvers/solve.h"
+
+#include "knapsack/solvers/branch_bound.h"
+#include "knapsack/solvers/dp.h"
+
+namespace lcaknap::knapsack {
+
+ExactResult solve_exact(const Instance& instance, std::uint64_t bb_node_budget) {
+  constexpr std::size_t kCellLimit = 100'000'000;
+  const std::size_t n = instance.size();
+  const auto weight_cells = n * (static_cast<std::size_t>(instance.capacity()) + 1);
+  const auto profit_cells = n * (static_cast<std::size_t>(instance.total_profit()) + 1);
+  ExactResult result;
+  if (weight_cells <= kCellLimit && weight_cells <= profit_cells) {
+    result.solution = dp_by_weight(instance, kCellLimit);
+    return result;
+  }
+  if (profit_cells <= kCellLimit) {
+    result.solution = dp_by_profit(instance, kCellLimit);
+    return result;
+  }
+  BranchBoundResult bb = branch_bound(instance, bb_node_budget);
+  result.solution = std::move(bb.solution);
+  result.proven_optimal = bb.proven_optimal;
+  return result;
+}
+
+}  // namespace lcaknap::knapsack

@@ -1,0 +1,24 @@
+#ifndef LCAKNAP_KNAPSACK_SOLVERS_SOLVE_H
+#define LCAKNAP_KNAPSACK_SOLVERS_SOLVE_H
+
+#include "knapsack/instance.h"
+
+/// \file solve.h
+/// Convenience referee: picks the cheapest exact solver that fits the
+/// instance (weight DP, profit DP, then branch & bound).
+
+namespace lcaknap::knapsack {
+
+struct ExactResult {
+  Solution solution;
+  /// False only when every exact method was out of reach and a truncated
+  /// branch & bound answer was returned.
+  bool proven_optimal = true;
+};
+
+[[nodiscard]] ExactResult solve_exact(const Instance& instance,
+                                      std::uint64_t bb_node_budget = 50'000'000);
+
+}  // namespace lcaknap::knapsack
+
+#endif  // LCAKNAP_KNAPSACK_SOLVERS_SOLVE_H

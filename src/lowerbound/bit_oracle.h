@@ -1,0 +1,45 @@
+#ifndef LCAKNAP_LOWERBOUND_BIT_ORACLE_H
+#define LCAKNAP_LOWERBOUND_BIT_ORACLE_H
+
+#include <cstdint>
+#include <vector>
+
+/// \file bit_oracle.h
+/// Query access to a bit string x in {0,1}^n, with counting — the substrate
+/// of the randomized query-complexity arguments in Section 3.  Each call to
+/// `query` is one unit of cost; the reductions of Theorems 3.2/3.3 translate
+/// one Knapsack-instance query into at most one bit query, so these counters
+/// are exactly the quantity the lower bounds speak about.
+
+namespace lcaknap::lowerbound {
+
+class BitOracle {
+ public:
+  explicit BitOracle(std::vector<std::uint8_t> bits) : bits_(std::move(bits)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+
+  [[nodiscard]] bool query(std::size_t i) const {
+    ++queries_;
+    return bits_.at(i) != 0;
+  }
+
+  [[nodiscard]] std::uint64_t query_count() const noexcept { return queries_; }
+  void reset_count() const noexcept { queries_ = 0; }
+
+  /// Ground truth, for the referee only (not counted).
+  [[nodiscard]] bool or_value() const noexcept {
+    for (const auto b : bits_) {
+      if (b != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace lcaknap::lowerbound
+
+#endif  // LCAKNAP_LOWERBOUND_BIT_ORACLE_H

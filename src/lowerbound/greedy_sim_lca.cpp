@@ -1,0 +1,66 @@
+#include "lowerbound/greedy_sim_lca.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace lcaknap::lowerbound {
+
+RandomOrderMaximalLca::RandomOrderMaximalLca(const oracle::InstanceAccess& access,
+                                             std::uint64_t seed)
+    : access_(&access), prf_(seed) {}
+
+std::uint64_t RandomOrderMaximalLca::priority(std::size_t i) const noexcept {
+  return prf_.word(/*stream=*/0x6EED, static_cast<std::uint64_t>(i));
+}
+
+bool RandomOrderMaximalLca::replay(std::size_t k, std::uint64_t budget) const {
+  const std::size_t n = access_->size();
+  const std::uint64_t pk = priority(k);
+
+  // Locally (no oracle cost) determine the items preceding k in the shared
+  // random order; ties break toward the smaller index.
+  std::vector<std::size_t> before;
+  before.reserve(n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k) continue;
+    const std::uint64_t pi = priority(i);
+    if (pi < pk || (pi == pk && i < k)) before.push_back(i);
+  }
+  std::sort(before.begin(), before.end(), [this](std::size_t a, std::size_t b) {
+    const std::uint64_t pa = priority(a);
+    const std::uint64_t pb = priority(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  // Replay the greedy prefix.
+  std::int64_t remaining = access_->capacity();
+  std::uint64_t replayed = 0;
+  for (const std::size_t i : before) {
+    if (replayed >= budget) {
+      // Out of budget: the locally-safe guess (Lemma 3.5's forced move) —
+      // claim membership iff the item fits the optimistically-remaining
+      // capacity.
+      const auto item = access_->query(k);
+      return item.weight <= remaining;
+    }
+    const auto item = access_->query(i);
+    ++replayed;
+    if (item.weight <= remaining) remaining -= item.weight;
+    // Once nothing has weight left only zero-weight items (which never
+    // change `remaining`) can still join; stop replaying.
+    if (remaining == 0) break;
+  }
+  const auto item = access_->query(k);
+  return item.weight <= remaining;
+}
+
+bool RandomOrderMaximalLca::answer(std::size_t k) const {
+  return replay(k, std::numeric_limits<std::uint64_t>::max());
+}
+
+bool RandomOrderMaximalLca::answer_budgeted(std::size_t k, std::uint64_t budget) const {
+  return replay(k, budget);
+}
+
+}  // namespace lcaknap::lowerbound

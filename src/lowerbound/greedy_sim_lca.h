@@ -1,0 +1,58 @@
+#ifndef LCAKNAP_LOWERBOUND_GREEDY_SIM_LCA_H
+#define LCAKNAP_LOWERBOUND_GREEDY_SIM_LCA_H
+
+#include <cstdint>
+
+#include "oracle/access.h"
+#include "util/rng.h"
+
+/// \file greedy_sim_lca.h
+/// The classical LCA design technique the paper's related work surveys
+/// ([NO08; YYI12; MRVX12]): simulate a greedy algorithm under a random
+/// ordering drawn from the shared seed.  Here: add items in shared-random
+/// priority order, keeping each one that still fits — the result is a
+/// maximal feasible solution, and "is item k in it?" is answered by replaying
+/// the prefix of the order before k.
+///
+/// Two properties make this the perfect foil for Theorem 3.4:
+///  * it is a *correct, perfectly consistent* LCA for maximal feasibility
+///    (priorities are a pure function of (seed, index); replicas agree by
+///    construction), and
+///  * its query cost is the queried item's position in the order — Θ(n) on
+///    average — and Theorem 3.4 says this is *necessary*: the budget-capped
+///    variant (`answer_budgeted`) must guess once the budget runs out, and on
+///    the hard distribution its correctness degrades exactly as Lemma 3.5
+///    predicts.  `bench_lb_maximal` measures both.
+
+namespace lcaknap::lowerbound {
+
+class RandomOrderMaximalLca {
+ public:
+  /// `access` must outlive this object; `seed` is the shared random tape.
+  RandomOrderMaximalLca(const oracle::InstanceAccess& access, std::uint64_t seed);
+
+  /// Exact answer: replays every higher-priority item (queries each once,
+  /// except when the knapsack fills up early).  Always correct, always
+  /// consistent.
+  [[nodiscard]] bool answer(std::size_t k) const;
+
+  /// Budget-capped answer: replays at most `budget` higher-priority items;
+  /// if the replay is truncated, falls back to the locally-safe guess
+  /// ("yes" iff the item alone fits the remaining optimistic capacity) —
+  /// the forced move of Lemma 3.5.
+  [[nodiscard]] bool answer_budgeted(std::size_t k, std::uint64_t budget) const;
+
+  /// The priority of index i (exposed for tests; pure function of the seed).
+  [[nodiscard]] std::uint64_t priority(std::size_t i) const noexcept;
+
+ private:
+  /// Shared implementation; `budget` = UINT64_MAX means unbounded.
+  [[nodiscard]] bool replay(std::size_t k, std::uint64_t budget) const;
+
+  const oracle::InstanceAccess* access_;
+  util::Prf prf_;
+};
+
+}  // namespace lcaknap::lowerbound
+
+#endif  // LCAKNAP_LOWERBOUND_GREEDY_SIM_LCA_H

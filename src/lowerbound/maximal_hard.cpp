@@ -1,0 +1,124 @@
+#include "lowerbound/maximal_hard.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcaknap::lowerbound {
+
+WeightOracle::WeightOracle(std::size_t n, std::size_t i, std::size_t j,
+                           int w_j_quarters)
+    : n_(n), i_(i), j_(j), w_j_quarters_(w_j_quarters) {
+  if (n < 2 || i >= n || j >= n || i == j) {
+    throw std::invalid_argument("WeightOracle: bad planted indices");
+  }
+  if (w_j_quarters != 1 && w_j_quarters != 3) {
+    throw std::invalid_argument("WeightOracle: w_j must be 1/4 or 3/4");
+  }
+}
+
+int WeightOracle::query(std::size_t k) const {
+  if (k >= n_) throw std::out_of_range("WeightOracle::query");
+  ++queries_;
+  if (k == i_) return 3;
+  if (k == j_) return w_j_quarters_;
+  return 0;
+}
+
+knapsack::Instance make_maximal_instance(std::size_t n, std::size_t i,
+                                         std::size_t j, bool j_is_light) {
+  std::vector<knapsack::Item> items(n, knapsack::Item{1, 0});
+  items.at(i).weight = 3;
+  items.at(j).weight = j_is_light ? 1 : 3;
+  return {std::move(items), /*capacity=*/4};
+}
+
+namespace {
+
+/// Core of both scan strategies; `order_prf` decides both what the scan
+/// looks at and how ties between the two heavy items are broken (a random
+/// ranking, the standard LCA random-order technique — consistent across runs
+/// exactly when the randomness is the shared seed).
+bool scan_answer(const WeightOracle& oracle, std::size_t k, std::uint64_t budget,
+                 const util::Prf& order_prf) {
+  const int wk = oracle.query(k);
+  if (wk != 3) return true;  // weight 0 or 1/4: always in the maximal solution
+  // Weight 3/4: look for the other special item.
+  const std::size_t n = oracle.size();
+  for (std::uint64_t step = 0; step < budget; ++step) {
+    const auto probe =
+        static_cast<std::size_t>(order_prf.word(/*stream=*/0, step) % n);
+    if (probe == k) continue;
+    const int w = oracle.query(probe);
+    if (w == 1) return true;  // the unique maximal solution holds everything
+    if (w == 3) {
+      // Random-ranking tie-break: keep the item ranked first.
+      return order_prf.word(/*stream=*/1, k) < order_prf.word(/*stream=*/1, probe);
+    }
+  }
+  // Lemma 3.5: without information about the other special item, "yes" is
+  // forced (the all-items case has probability 1/3 and errs otherwise).
+  return true;
+}
+
+}  // namespace
+
+bool SharedScanStrategy::answer(const WeightOracle& oracle, std::size_t k,
+                                std::uint64_t budget, const util::Prf& shared,
+                                util::Xoshiro256& /*rng*/) const {
+  // The scan order comes from the shared seed r, so the two runs of a round
+  // inspect the same pseudorandom item sequence.
+  return scan_answer(oracle, k, budget, shared.subkey(0xACCE55));
+}
+
+bool FreshScanStrategy::answer(const WeightOracle& oracle, std::size_t k,
+                               std::uint64_t budget, const util::Prf& /*shared*/,
+                               util::Xoshiro256& rng) const {
+  // Fresh randomness: every run scans its own sequence.
+  return scan_answer(oracle, k, budget, util::Prf(rng()));
+}
+
+MaximalGameReport play_maximal_game(std::size_t n, std::uint64_t budget,
+                                    std::size_t trials,
+                                    const MaximalStrategy& strategy,
+                                    std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("play_maximal_game: n must be >= 2");
+  if (trials == 0) throw std::invalid_argument("play_maximal_game: trials >= 1");
+  MaximalGameReport report;
+  report.n = n;
+  report.budget = budget;
+  report.trials = trials;
+
+  util::Xoshiro256 rng(seed);
+  std::size_t successes = 0;
+  std::uint64_t total_queries = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto i = static_cast<std::size_t>(rng.next_below(n));
+    std::size_t j = static_cast<std::size_t>(rng.next_below(n - 1));
+    if (j >= i) ++j;
+    const bool light = rng.next_double() < 0.5;
+    const WeightOracle oracle(n, i, j, light ? 1 : 3);
+    // Fresh seed r per round (the LCA definition fixes r per solution, and
+    // each round is a new instance/solution pair).
+    const util::Prf shared(util::mix64(seed ^ (trial * 0x9E3779B97F4A7C15ULL)));
+
+    const bool answer_i = strategy.answer(oracle, i, budget, shared, rng);
+    const bool answer_j = strategy.answer(oracle, j, budget, shared, rng);
+
+    // Judge against the maximal solutions of the planted instance.
+    const bool consistent = light ? (answer_i && answer_j)
+                                  : (answer_i != answer_j);
+    if (consistent) ++successes;
+    total_queries += oracle.query_count();
+  }
+  report.success_rate =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  report.mean_queries_per_round =
+      static_cast<double>(total_queries) / static_cast<double>(trials);
+  const double coverage =
+      1.0 - std::pow(1.0 - 1.0 / static_cast<double>(n),
+                     static_cast<double>(budget));
+  report.predicted_success = 0.5 + coverage / 2.0;
+  return report;
+}
+
+}  // namespace lcaknap::lowerbound

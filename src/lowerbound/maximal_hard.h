@@ -1,0 +1,112 @@
+#ifndef LCAKNAP_LOWERBOUND_MAXIMAL_HARD_H
+#define LCAKNAP_LOWERBOUND_MAXIMAL_HARD_H
+
+#include <cstdint>
+
+#include "knapsack/instance.h"
+#include "util/rng.h"
+
+/// \file maximal_hard.h
+/// Theorem 3.4: no sublinear LCA provides query access to a *maximal
+/// feasible* solution.  The hard distribution plants two special items among
+/// n: item i with weight 3/4 and item j with weight 1/4 or 3/4 (fair coin);
+/// all other weights are 0 and the capacity is 1.  If w_j = 1/4 the unique
+/// maximal solution contains everything; if w_j = 3/4 a maximal solution
+/// contains exactly one of {i, j}.  Lemma 3.5 shows a budgeted algorithm
+/// queried on a weight-3/4 item must answer "yes" unless it finds the other
+/// special item, and the (s_i, s_j) query sequence then forces an error with
+/// constant probability — success is capped at 4/5 for budgets below n/11.
+///
+/// Weights are stored in quarters (0, 1, 3) with capacity 4, keeping the
+/// substrate integral.
+
+namespace lcaknap::lowerbound {
+
+/// Counted weight-query access to a planted instance.
+class WeightOracle {
+ public:
+  /// `w_j_quarters` is 1 or 3.
+  WeightOracle(std::size_t n, std::size_t i, std::size_t j, int w_j_quarters);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Weight of item k in quarters (counted).
+  [[nodiscard]] int query(std::size_t k) const;
+  [[nodiscard]] std::uint64_t query_count() const noexcept { return queries_; }
+
+  // Referee-only views (not counted).
+  [[nodiscard]] std::size_t special_i() const noexcept { return i_; }
+  [[nodiscard]] std::size_t special_j() const noexcept { return j_; }
+  [[nodiscard]] bool j_is_light() const noexcept { return w_j_quarters_ == 1; }
+
+ private:
+  std::size_t n_;
+  std::size_t i_;
+  std::size_t j_;
+  int w_j_quarters_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+/// Materializes the planted instance as a Knapsack Instance (profits 0 are
+/// not allowed by our normalization, so every profit is 1 — maximality does
+/// not depend on profits).
+[[nodiscard]] knapsack::Instance make_maximal_instance(std::size_t n, std::size_t i,
+                                                       std::size_t j,
+                                                       bool j_is_light);
+
+/// A budgeted memoryless strategy answering "is item k in the maximal
+/// solution?".  `shared` is the LCA's read-only seed r (equal across the two
+/// queries of a game round); `rng` is the run's fresh randomness.
+class MaximalStrategy {
+ public:
+  virtual ~MaximalStrategy() = default;
+  [[nodiscard]] virtual bool answer(const WeightOracle& oracle, std::size_t k,
+                                    std::uint64_t budget, const util::Prf& shared,
+                                    util::Xoshiro256& rng) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The natural LCA: weight 0 or 1/4 -> yes.  Weight 3/4 -> scan up to
+/// `budget` other items in an order derived from the *shared* seed; if the
+/// other special item is found, break the tie deterministically (keep the
+/// smaller index); otherwise answer the forced "yes" of Lemma 3.5.
+class SharedScanStrategy final : public MaximalStrategy {
+ public:
+  [[nodiscard]] bool answer(const WeightOracle& oracle, std::size_t k,
+                            std::uint64_t budget, const util::Prf& shared,
+                            util::Xoshiro256& rng) const override;
+  [[nodiscard]] const char* name() const override { return "shared-scan"; }
+};
+
+/// Ablation: identical, but the scan order uses the run's *fresh* randomness
+/// — the two runs of a round look at different item sets, losing even the
+/// coordination the shared seed provides.
+class FreshScanStrategy final : public MaximalStrategy {
+ public:
+  [[nodiscard]] bool answer(const WeightOracle& oracle, std::size_t k,
+                            std::uint64_t budget, const util::Prf& shared,
+                            util::Xoshiro256& rng) const override;
+  [[nodiscard]] const char* name() const override { return "fresh-scan"; }
+};
+
+struct MaximalGameReport {
+  std::size_t n = 0;
+  std::uint64_t budget = 0;
+  std::size_t trials = 0;
+  /// Fraction of rounds whose two answers were consistent with some maximal
+  /// feasible solution.
+  double success_rate = 0.0;
+  double mean_queries_per_round = 0.0;
+  /// Lemma 3.5's cap for sublinear budgets: 1/2 + coverage-driven slack.
+  double predicted_success = 0.0;
+};
+
+/// Plays `trials` rounds: draw a planted instance, query s_i then s_j as two
+/// independent runs sharing only the seed, and judge consistency.
+[[nodiscard]] MaximalGameReport play_maximal_game(std::size_t n, std::uint64_t budget,
+                                                  std::size_t trials,
+                                                  const MaximalStrategy& strategy,
+                                                  std::uint64_t seed);
+
+}  // namespace lcaknap::lowerbound
+
+#endif  // LCAKNAP_LOWERBOUND_MAXIMAL_HARD_H

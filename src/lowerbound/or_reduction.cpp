@@ -1,0 +1,84 @@
+#include "lowerbound/or_reduction.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lcaknap::lowerbound {
+
+knapsack::Instance make_or_instance(const std::vector<std::uint8_t>& x,
+                                    std::int64_t beta_num, std::int64_t beta_den) {
+  if (beta_num <= 0 || beta_den <= 0 || beta_num >= beta_den) {
+    throw std::invalid_argument("make_or_instance: need 0 < beta < 1");
+  }
+  std::vector<knapsack::Item> items;
+  items.reserve(x.size() + 1);
+  for (const auto bit : x) {
+    // Profit scale: a set bit is worth beta_den ("1"), item n is worth
+    // beta_num ("beta"); zero bits are worth 0.
+    items.push_back({bit != 0 ? beta_den : 0, 1});
+  }
+  items.push_back({beta_num, 1});
+  return {std::move(items), /*capacity=*/1};
+}
+
+bool RandomProbeStrategy::answer(const BitOracle& oracle, std::uint64_t budget,
+                                 util::Xoshiro256& rng) const {
+  const std::size_t n = oracle.size();
+  const std::size_t probes = static_cast<std::size_t>(
+      std::min<std::uint64_t>(budget, n));
+  // Partial Fisher–Yates over the index set: distinct uniform probes.
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  for (std::size_t k = 0; k < probes; ++k) {
+    const std::size_t pick =
+        k + static_cast<std::size_t>(rng.next_below(n - k));
+    std::swap(indices[k], indices[pick]);
+    if (oracle.query(indices[k])) return false;  // found a 1: s_n not optimal
+  }
+  return true;  // saw only zeros: claim s_n optimal (OR = 0)
+}
+
+bool FullReadStrategy::answer(const BitOracle& oracle, std::uint64_t /*budget*/,
+                              util::Xoshiro256& /*rng*/) const {
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    if (oracle.query(i)) return false;
+  }
+  return true;
+}
+
+OrGameReport play_or_game(std::size_t n, std::uint64_t budget, std::size_t trials,
+                          const OrStrategy& strategy, util::Xoshiro256& rng) {
+  if (n < 2) throw std::invalid_argument("play_or_game: n must be >= 2");
+  if (trials == 0) throw std::invalid_argument("play_or_game: trials must be >= 1");
+  OrGameReport report;
+  report.n = n;
+  report.budget = budget;
+  report.trials = trials;
+
+  std::size_t successes = 0;
+  std::uint64_t total_queries = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    // Hard distribution: all zeros w.p. 1/2, a single planted 1 otherwise.
+    std::vector<std::uint8_t> x(n - 1, 0);
+    const bool planted = rng.next_double() < 0.5;
+    if (planted) x[rng.next_below(n - 1)] = 1;
+
+    const BitOracle oracle(std::move(x));
+    const bool claim_s_n_optimal = strategy.answer(oracle, budget, rng);
+    // s_n is in the (alpha-approximate) solution iff OR(x) == 0.
+    const bool truth = !planted;
+    if (claim_s_n_optimal == truth) ++successes;
+    total_queries += oracle.query_count();
+  }
+  report.success_rate =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  report.mean_queries =
+      static_cast<double>(total_queries) / static_cast<double>(trials);
+  const double coverage =
+      std::min(1.0, static_cast<double>(budget) / static_cast<double>(n - 1));
+  report.predicted_ceiling = 0.5 + coverage / 2.0;
+  return report;
+}
+
+}  // namespace lcaknap::lowerbound

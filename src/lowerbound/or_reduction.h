@@ -1,0 +1,85 @@
+#ifndef LCAKNAP_LOWERBOUND_OR_REDUCTION_H
+#define LCAKNAP_LOWERBOUND_OR_REDUCTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "knapsack/instance.h"
+#include "lowerbound/bit_oracle.h"
+#include "util/rng.h"
+
+/// \file or_reduction.h
+/// Theorems 3.2 and 3.3: the reduction from OR_{n-1} to LCA queries on
+/// Knapsack, and the game harness that measures it empirically.
+///
+/// The instance I(x) (Figure 1): items 1..n-1 have (profit x_i, weight 1);
+/// item n has (profit beta, weight 1); the capacity is 1, so any feasible
+/// solution holds at most one item.  Item n belongs to the (unique) optimal —
+/// or alpha-approximate, for beta < alpha — solution iff OR(x) = 0.  An LCA
+/// answering the single query "is item n in the solution?" therefore computes
+/// OR_{n-1}, and each of its instance queries costs at most one bit query,
+/// so its time complexity inherits the Omega(n) randomized query lower bound
+/// of OR (Lemma 3.1).
+///
+/// The game harness plays the *hard distribution* for OR — all-zeros with
+/// probability 1/2, a single uniformly planted 1 otherwise — against any
+/// budgeted strategy, reporting its success rate.  The theory predicts a
+/// ceiling of 1/2 + q/(2(n-1)) + o(1) for q bit queries; the full-read
+/// strategy (q = n-1) is the only one that escapes it.
+
+namespace lcaknap::lowerbound {
+
+/// Materializes I(x) with integer profits: x_i = 1 items get profit
+/// `beta_den`, item n gets `beta_num` (so beta = beta_num / beta_den), and
+/// all weights and the capacity are 1.
+[[nodiscard]] knapsack::Instance make_or_instance(const std::vector<std::uint8_t>& x,
+                                                  std::int64_t beta_num = 1,
+                                                  std::int64_t beta_den = 2);
+
+/// A budgeted strategy for the single LCA query "is s_n in the solution?".
+/// Returns its answer; may spend at most `budget` bit queries.
+class OrStrategy {
+ public:
+  virtual ~OrStrategy() = default;
+  /// Answers true iff it believes s_n is in the solution (i.e. OR(x) == 0).
+  [[nodiscard]] virtual bool answer(const BitOracle& oracle, std::uint64_t budget,
+                                    util::Xoshiro256& rng) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The natural randomized strategy (optimal up to constants): probe `budget`
+/// uniformly random distinct bits; claim s_n optimal iff no 1 was seen.
+class RandomProbeStrategy final : public OrStrategy {
+ public:
+  [[nodiscard]] bool answer(const BitOracle& oracle, std::uint64_t budget,
+                            util::Xoshiro256& rng) const override;
+  [[nodiscard]] const char* name() const override { return "random-probe"; }
+};
+
+/// Reads every bit; always correct, always n-1 queries.
+class FullReadStrategy final : public OrStrategy {
+ public:
+  [[nodiscard]] bool answer(const BitOracle& oracle, std::uint64_t budget,
+                            util::Xoshiro256& rng) const override;
+  [[nodiscard]] const char* name() const override { return "full-read"; }
+};
+
+struct OrGameReport {
+  std::size_t n = 0;
+  std::uint64_t budget = 0;
+  std::size_t trials = 0;
+  double success_rate = 0.0;
+  double mean_queries = 0.0;
+  /// The theoretical ceiling 1/2 + min(1, q/(n-1))/2 for budgeted strategies
+  /// on this distribution.
+  double predicted_ceiling = 0.0;
+};
+
+/// Plays `trials` rounds of the hard distribution against the strategy.
+[[nodiscard]] OrGameReport play_or_game(std::size_t n, std::uint64_t budget,
+                                        std::size_t trials, const OrStrategy& strategy,
+                                        util::Xoshiro256& rng);
+
+}  // namespace lcaknap::lowerbound
+
+#endif  // LCAKNAP_LOWERBOUND_OR_REDUCTION_H

@@ -1,0 +1,47 @@
+#include "oracle/access.h"
+
+#include <limits>
+#include <vector>
+
+namespace lcaknap::oracle {
+
+double InstanceAccess::efficiency(const knapsack::Item& it) const noexcept {
+  if (it.weight == 0) return std::numeric_limits<double>::infinity();
+  return norm_profit(it) / norm_weight(it);
+}
+
+namespace {
+std::vector<double> profit_weights(const knapsack::Instance& instance) {
+  std::vector<double> weights;
+  weights.reserve(instance.size());
+  for (const auto& it : instance.items()) {
+    weights.push_back(static_cast<double>(it.profit));
+  }
+  return weights;
+}
+}  // namespace
+
+MaterializedAccess::MaterializedAccess(const knapsack::Instance& instance)
+    : instance_(&instance), sampler_(profit_weights(instance)) {}
+
+std::size_t MaterializedAccess::size() const noexcept { return instance_->size(); }
+std::int64_t MaterializedAccess::capacity() const noexcept {
+  return instance_->capacity();
+}
+std::int64_t MaterializedAccess::total_profit() const noexcept {
+  return instance_->total_profit();
+}
+std::int64_t MaterializedAccess::total_weight() const noexcept {
+  return instance_->total_weight();
+}
+
+knapsack::Item MaterializedAccess::do_query(std::size_t i) const {
+  return instance_->item(i);
+}
+
+WeightedDraw MaterializedAccess::do_sample(util::Xoshiro256& rng) const {
+  const std::size_t index = sampler_.sample(rng);
+  return {index, instance_->item(index)};
+}
+
+}  // namespace lcaknap::oracle

@@ -1,0 +1,71 @@
+#include "oracle/flaky.h"
+
+#include <stdexcept>
+
+namespace lcaknap::oracle {
+
+FlakyAccess::FlakyAccess(const InstanceAccess& inner, double failure_rate,
+                         std::uint64_t seed)
+    : inner_(&inner), failure_rate_(failure_rate), fail_rng_(seed) {
+  if (failure_rate < 0.0 || failure_rate >= 1.0) {
+    throw std::invalid_argument("FlakyAccess: failure_rate must be in [0, 1)");
+  }
+}
+
+std::uint64_t FlakyAccess::failures_injected() const noexcept {
+  const std::lock_guard lock(mutex_);
+  return failures_;
+}
+
+void FlakyAccess::maybe_fail() const {
+  bool fail = false;
+  {
+    const std::lock_guard lock(mutex_);
+    if (fail_rng_.next_double() < failure_rate_) {
+      ++failures_;
+      fail = true;
+    }
+  }
+  if (fail) throw OracleUnavailable();
+}
+
+knapsack::Item FlakyAccess::do_query(std::size_t i) const {
+  maybe_fail();
+  return inner_->query(i);
+}
+
+WeightedDraw FlakyAccess::do_sample(util::Xoshiro256& rng) const {
+  maybe_fail();
+  return inner_->weighted_sample(rng);
+}
+
+RetryingAccess::RetryingAccess(const InstanceAccess& inner, int max_attempts)
+    : inner_(&inner), max_attempts_(max_attempts) {
+  if (max_attempts < 1) {
+    throw std::invalid_argument("RetryingAccess: max_attempts must be >= 1");
+  }
+}
+
+knapsack::Item RetryingAccess::do_query(std::size_t i) const {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return inner_->query(i);
+    } catch (const OracleUnavailable&) {
+      if (attempt >= max_attempts_) throw;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+WeightedDraw RetryingAccess::do_sample(util::Xoshiro256& rng) const {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return inner_->weighted_sample(rng);
+    } catch (const OracleUnavailable&) {
+      if (attempt >= max_attempts_) throw;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace lcaknap::oracle

@@ -1,0 +1,89 @@
+#ifndef LCAKNAP_ORACLE_FLAKY_H
+#define LCAKNAP_ORACLE_FLAKY_H
+
+#include <cstdint>
+#include <mutex>
+
+#include "oracle/access.h"
+
+/// \file flaky.h
+/// Failure injection for the access layer.  In the distributed deployments
+/// that motivate LCAs, the "instance" is a remote service; a replica must
+/// tolerate transient failures without breaking consistency.  `FlakyAccess`
+/// makes a wrapped oracle fail a configurable fraction of calls;
+/// `RetryingAccess` is the corresponding client-side policy.  Tests verify
+/// that retrying restores exactness and that LCA answers are unaffected
+/// (retries consume fresh sampling randomness only).
+
+namespace lcaknap::oracle {
+
+/// Decorator that throws OracleUnavailable on a `failure_rate` fraction of
+/// calls (decided by its own internal RNG, deterministic per seed).
+class FlakyAccess final : public InstanceAccess {
+ public:
+  /// `inner` must outlive this object.  failure_rate in [0, 1).
+  FlakyAccess(const InstanceAccess& inner, double failure_rate, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+  /// Number of injected failures so far.
+  [[nodiscard]] std::uint64_t failures_injected() const noexcept;
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  void maybe_fail() const;
+
+  const InstanceAccess* inner_;
+  double failure_rate_;
+  mutable std::mutex mutex_;
+  mutable util::Xoshiro256 fail_rng_;
+  mutable std::uint64_t failures_ = 0;
+};
+
+/// Decorator that retries the wrapped oracle up to `max_attempts` times per
+/// call, then rethrows.
+class RetryingAccess final : public InstanceAccess {
+ public:
+  /// `inner` must outlive this object.
+  RetryingAccess(const InstanceAccess& inner, int max_attempts = 16);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+  [[nodiscard]] std::uint64_t retries_performed() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  const InstanceAccess* inner_;
+  int max_attempts_;
+  mutable std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace lcaknap::oracle
+
+#endif  // LCAKNAP_ORACLE_FLAKY_H

@@ -1,0 +1,33 @@
+#include "oracle/latency_model.h"
+
+#include <cmath>
+
+namespace lcaknap::oracle {
+
+LatencyAccess::LatencyAccess(const InstanceAccess& inner, LatencyModel model,
+                             std::uint64_t seed)
+    : inner_(&inner), model_(model), latency_rng_(seed) {}
+
+double LatencyAccess::simulated_us() const noexcept {
+  const std::lock_guard lock(mutex_);
+  return total_us_;
+}
+
+void LatencyAccess::accrue() const {
+  const std::lock_guard lock(mutex_);
+  // Inverse-CDF sample of the exponential tail.
+  const double u = latency_rng_.next_double();
+  total_us_ += model_.fixed_us - model_.exp_mean_us * std::log1p(-u);
+}
+
+knapsack::Item LatencyAccess::do_query(std::size_t i) const {
+  accrue();
+  return inner_->query(i);
+}
+
+WeightedDraw LatencyAccess::do_sample(util::Xoshiro256& rng) const {
+  accrue();
+  return inner_->weighted_sample(rng);
+}
+
+}  // namespace lcaknap::oracle

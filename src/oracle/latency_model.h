@@ -1,0 +1,59 @@
+#ifndef LCAKNAP_ORACLE_LATENCY_MODEL_H
+#define LCAKNAP_ORACLE_LATENCY_MODEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "oracle/access.h"
+
+/// \file latency_model.h
+/// Simulated access latency.  The paper reasons about query *counts*; when a
+/// bench wants to translate counts into wall-clock terms for a remote oracle
+/// (e.g. "instance shard served over RPC"), this decorator accrues a
+/// simulated latency per access — a fixed cost plus an exponential tail —
+/// without actually sleeping.  Benches report the accumulated virtual time.
+
+namespace lcaknap::oracle {
+
+struct LatencyModel {
+  double fixed_us = 50.0;      ///< per-call fixed cost (microseconds)
+  double exp_mean_us = 20.0;   ///< mean of the exponential tail (microseconds)
+};
+
+class LatencyAccess final : public InstanceAccess {
+ public:
+  /// `inner` must outlive this object.
+  LatencyAccess(const InstanceAccess& inner, LatencyModel model, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+  /// Accumulated simulated latency across all accesses, in microseconds.
+  [[nodiscard]] double simulated_us() const noexcept;
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  void accrue() const;
+
+  const InstanceAccess* inner_;
+  LatencyModel model_;
+  mutable std::mutex mutex_;
+  mutable util::Xoshiro256 latency_rng_;
+  mutable double total_us_ = 0.0;
+};
+
+}  // namespace lcaknap::oracle
+
+#endif  // LCAKNAP_ORACLE_LATENCY_MODEL_H

@@ -1,0 +1,58 @@
+#ifndef LCAKNAP_ORACLE_SHARDED_H
+#define LCAKNAP_ORACLE_SHARDED_H
+
+#include <memory>
+#include <vector>
+
+#include "oracle/access.h"
+#include "util/alias_sampler.h"
+
+/// \file sharded.h
+/// A sharded instance oracle: the deployment shape the paper's introduction
+/// gestures at, where the input is too large for one machine and lives across
+/// s shards.  Queries route by index range; weighted sampling is two-level —
+/// pick a shard with probability proportional to its profit mass, then an
+/// item within the shard — which composes to exactly the profit-proportional
+/// distribution of the flat oracle.  Per-shard access counters expose load
+/// balance, and the composition law (global counters == sum of shard
+/// counters) is tested.
+
+namespace lcaknap::oracle {
+
+class ShardedAccess final : public InstanceAccess {
+ public:
+  /// Splits `instance` into `shards` contiguous index ranges.  The instance
+  /// must outlive this object.  shards must be in [1, size].
+  ShardedAccess(const knapsack::Instance& instance, std::size_t shards);
+
+  [[nodiscard]] std::size_t size() const noexcept override;
+  [[nodiscard]] std::int64_t capacity() const noexcept override;
+  [[nodiscard]] std::int64_t total_profit() const noexcept override;
+  [[nodiscard]] std::int64_t total_weight() const noexcept override;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Accesses (queries + samples) routed to shard `s` so far.
+  [[nodiscard]] std::uint64_t shard_load(std::size_t s) const;
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  struct Shard {
+    std::size_t begin = 0;  // global index of the shard's first item
+    std::size_t end = 0;    // one past the last
+    std::unique_ptr<util::AliasSampler> sampler;  // over items within the shard
+    mutable std::atomic<std::uint64_t> load{0};
+  };
+
+  [[nodiscard]] const Shard& shard_for(std::size_t index) const;
+
+  const knapsack::Instance* instance_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<util::AliasSampler> shard_picker_;  // over shard profit masses
+};
+
+}  // namespace lcaknap::oracle
+
+#endif  // LCAKNAP_ORACLE_SHARDED_H

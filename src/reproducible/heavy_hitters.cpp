@@ -1,0 +1,54 @@
+#include "reproducible/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace lcaknap::reproducible {
+
+namespace {
+void validate(const HeavyHittersParams& params) {
+  if (!(params.v > 0.0 && params.v < 1.0)) {
+    throw std::invalid_argument("heavy_hitters: v must be in (0, 1)");
+  }
+  if (!(params.slack > 0.0 && params.slack < params.v)) {
+    throw std::invalid_argument("heavy_hitters: slack must be in (0, v)");
+  }
+}
+}  // namespace
+
+std::size_t heavy_hitters_sample_size(const HeavyHittersParams& params) {
+  validate(params);
+  // Each candidate's straddle probability is ~2*delta/(2*slack); at most
+  // ~2/v values can have frequency near v, so delta <= rho*slack*v / 2 keeps
+  // the union below rho.
+  const double delta = params.rho * params.slack * params.v / 2.0;
+  return util::dkw_sample_size(delta, params.beta / 2.0);
+}
+
+std::vector<std::int64_t> reproducible_heavy_hitters(
+    std::span<const std::int64_t> samples, const HeavyHittersParams& params,
+    const util::Prf& prf, std::uint64_t query_id) {
+  validate(params);
+  if (samples.empty()) {
+    throw std::invalid_argument("heavy_hitters: no samples");
+  }
+  std::map<std::int64_t, std::size_t> counts;
+  for (const auto s : samples) ++counts[s];
+
+  const double u = prf.uniform(
+      static_cast<std::uint64_t>(util::RandomStream::kHeavyHitters), query_id);
+  const double theta = params.v - params.slack + 2.0 * params.slack * u;
+
+  std::vector<std::int64_t> hitters;
+  const auto n = static_cast<double>(samples.size());
+  for (const auto& [value, count] : counts) {
+    if (static_cast<double>(count) / n >= theta) hitters.push_back(value);
+  }
+  return hitters;  // std::map iteration is already in increasing order
+}
+
+}  // namespace lcaknap::reproducible

@@ -1,0 +1,45 @@
+#ifndef LCAKNAP_REPRODUCIBLE_HEAVY_HITTERS_H
+#define LCAKNAP_REPRODUCIBLE_HEAVY_HITTERS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file heavy_hitters.h
+/// rho-reproducible v-heavy-hitters (the companion primitive of [ILPS22]).
+///
+/// Returns the set of values whose empirical frequency clears a *randomly
+/// shifted* threshold drawn from the shared randomness: theta is uniform in
+/// [v - slack, v + slack].  Two runs disagree on a value only when its two
+/// frequency estimates straddle theta, so the output *set* is identical
+/// across runs with probability >= 1 - rho given enough samples.
+///
+/// LCA-KP uses coupon-collection (Lemma 4.2) to find the large items; the
+/// heavy-hitters route is the natural alternative and is exercised by the
+/// reproducible-large-items extension and bench E8.
+
+namespace lcaknap::reproducible {
+
+struct HeavyHittersParams {
+  double v = 0.01;      ///< frequency threshold
+  double slack = 0.005; ///< half-width of the randomized threshold window
+  double rho = 0.1;     ///< target reproducibility (advisory, drives sample size)
+  double beta = 0.05;   ///< failure probability (advisory)
+};
+
+/// Advisory sample size: per-value estimates accurate to rho*slack with
+/// failure beta, for up to 2/v candidate values.
+[[nodiscard]] std::size_t heavy_hitters_sample_size(const HeavyHittersParams& params);
+
+/// Values of `samples` whose empirical frequency reaches the shared random
+/// threshold, in increasing order.  Replicas passing the same (prf,
+/// query_id) receive identical sets with probability >= 1 - rho.
+[[nodiscard]] std::vector<std::int64_t> reproducible_heavy_hitters(
+    std::span<const std::int64_t> samples, const HeavyHittersParams& params,
+    const util::Prf& prf, std::uint64_t query_id);
+
+}  // namespace lcaknap::reproducible
+
+#endif  // LCAKNAP_REPRODUCIBLE_HEAVY_HITTERS_H

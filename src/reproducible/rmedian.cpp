@@ -1,0 +1,121 @@
+#include "reproducible/rmedian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "reproducible/rstat.h"
+#include "util/stats.h"
+
+namespace lcaknap::reproducible {
+
+namespace {
+
+void validate(const RMedianParams& params) {
+  if (params.domain_size < 2) {
+    throw std::invalid_argument("rmedian: domain_size must be >= 2");
+  }
+  if (!(params.tau > 0.0 && params.tau < 0.5)) {
+    throw std::invalid_argument("rmedian: tau must be in (0, 0.5)");
+  }
+  if (!(params.rho > 0.0 && params.rho < 1.0)) {
+    throw std::invalid_argument("rmedian: rho must be in (0, 1)");
+  }
+  if (!(params.beta > 0.0 && params.beta < 1.0)) {
+    throw std::invalid_argument("rmedian: beta must be in (0, 1)");
+  }
+  if (params.branching < 2) {
+    throw std::invalid_argument("rmedian: branching must be >= 2");
+  }
+  if (!(params.target > 0.0 && params.target < 1.0)) {
+    throw std::invalid_argument("rmedian: target must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+int rmedian_depth(const RMedianParams& params) {
+  validate(params);
+  return static_cast<int>(std::ceil(std::log2(static_cast<double>(params.domain_size)) /
+                                    std::log2(static_cast<double>(params.branching))));
+}
+
+std::size_t rmedian_sample_size(const RMedianParams& params) {
+  validate(params);
+  const double spacing = params.tau;
+  const int levels = rmedian_depth(params);
+  const double probes = static_cast<double>(levels) * (params.branching - 1);
+  // Accuracy needs delta <= tau/4; reproducibility needs the union over all
+  // probed boundaries of the straddle events to stay below rho.
+  const double delta_accuracy = params.tau / 4.0;
+  const double delta_repro = params.rho * spacing / (2.0 * probes);
+  const double delta = std::min(delta_accuracy, delta_repro);
+  return util::dkw_sample_size(delta, params.beta / 2.0);
+}
+
+std::int64_t rmedian(std::span<const std::int64_t> samples,
+                     const RMedianParams& params, const util::Prf& prf,
+                     std::uint64_t query_id) {
+  if (samples.empty()) throw std::invalid_argument("rmedian: no samples");
+  for (const auto s : samples) {
+    if (s < 0 || s >= params.domain_size) {
+      throw std::invalid_argument("rmedian: sample outside [0, domain_size)");
+    }
+  }
+  const util::EmpiricalCdfInt ecdf(samples);
+  return rmedian_cdf([&ecdf](std::int64_t v) { return ecdf.at(v); }, params, prf,
+                     query_id);
+}
+
+std::int64_t rmedian_cdf(const CdfFn& cdf, const RMedianParams& params,
+                         const util::Prf& prf, std::uint64_t query_id) {
+  validate(params);
+  const double spacing = params.tau;
+  const double target = params.target;
+  const util::Prf search_prf =
+      prf.subkey(static_cast<std::uint64_t>(util::RandomStream::kRMedianSearch));
+
+  // Invariant: rounded-F(lo) < target (or lo == -1) and the answer lies in
+  // (lo, hi].  hi starts at the top of the domain, whose CDF is exactly 1.
+  std::int64_t lo = -1;
+  std::int64_t hi = params.domain_size - 1;
+  std::uint64_t level = 0;
+  while (hi - lo > 1) {
+    // One shared grid offset per (invocation, level): all boundary estimates
+    // at this level round on the same grid, keeping them monotone.
+    const double offset = search_prf.uniform(query_id, level);
+    const std::int64_t span = hi - lo;
+    const auto g = static_cast<std::int64_t>(params.branching);
+    std::int64_t new_lo = lo;
+    std::int64_t new_hi = hi;
+    std::int64_t previous_probe = lo;
+    for (std::int64_t j = 1; j < g; ++j) {
+      const std::int64_t probe = lo + (span * j) / g;
+      if (probe <= previous_probe || probe >= hi) continue;
+      previous_probe = probe;
+      const double rounded = round_to_offset_grid(cdf(probe), spacing, offset);
+      if (rounded >= target) {
+        new_hi = probe;
+        break;
+      }
+      new_lo = probe;
+    }
+    if (new_lo == lo && new_hi == hi) {
+      // Degenerate split (span smaller than branching produced no interior
+      // probes); fall back to the midpoint to guarantee progress.
+      const std::int64_t mid = lo + span / 2;
+      const double rounded = round_to_offset_grid(cdf(mid), spacing, offset);
+      if (rounded >= target) {
+        new_hi = mid;
+      } else {
+        new_lo = mid;
+      }
+    }
+    lo = new_lo;
+    hi = new_hi;
+    ++level;
+  }
+  return hi;
+}
+
+}  // namespace lcaknap::reproducible

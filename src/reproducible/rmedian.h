@@ -1,0 +1,73 @@
+#ifndef LCAKNAP_REPRODUCIBLE_RMEDIAN_H
+#define LCAKNAP_REPRODUCIBLE_RMEDIAN_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "util/rng.h"
+
+/// \file rmedian.h
+/// rho-reproducible tau-approximate median over a finite ordered domain
+/// (Definition 2.6 / Theorem 2.7 of the paper, after [ILPS22, Theorem 4.2]).
+///
+/// The domain is the integer grid {0, 1, ..., domain_size - 1}; callers map
+/// their ordered universe (here: normalized Knapsack efficiencies, see
+/// Section 4.2's "mapping to a finite domain") onto this grid with an exact,
+/// deterministic, order-preserving map so that all replicas agree on it.
+///
+/// Construction (documented substitution; see DESIGN.md): a g-ary search for
+/// the smallest domain value whose CDF reaches the target, where every CDF
+/// evaluation is a reproducible statistical query (rstat.h).  All boundaries
+/// probed at one level share a single grid offset, so rounded CDF values stay
+/// monotone and the chosen branch is identical across replicas unless some
+/// boundary estimate falls within the empirical error of a grid edge.  Depth
+/// is ceil(log(domain_size)/log(branching)); with branching = Theta(1/tau^2)
+/// this is O(log |X| / log(1/tau)) reproducible levels, our stand-in for the
+/// (3/tau^2)^{log* |X|} tower of [ILPS22].  The guarantees the paper consumes
+/// — Definition 2.5 reproducibility, tau-approximate quantiles, and domain
+/// dependence far below linear — are preserved and measured by bench E8.
+
+namespace lcaknap::reproducible {
+
+struct RMedianParams {
+  std::int64_t domain_size = 1LL << 20;  ///< |X|
+  double tau = 0.05;   ///< CDF accuracy of the returned approximate median
+  double rho = 0.1;    ///< target reproducibility parameter (drives grid spacing)
+  double beta = 0.05;  ///< failure probability (drives the advisory sample size)
+  int branching = 16;  ///< g of the g-ary search (>= 2)
+  /// Quantile target; 0.5 is the median.  rquantile.h uses the paper's
+  /// padding reduction instead of this knob, but exposing the target lets
+  /// tests compare the two routes.
+  double target = 0.5;
+};
+
+/// Number of reproducible levels the search performs.
+[[nodiscard]] int rmedian_depth(const RMedianParams& params);
+
+/// Advisory sample size: enough draws that (a) the empirical CDF is within
+/// tau/4 everywhere (DKW with failure beta/2) and (b) per-level rounding
+/// disagreements total at most rho (union bound over all probed boundaries).
+[[nodiscard]] std::size_t rmedian_sample_size(const RMedianParams& params);
+
+/// Computes the reproducible approximate median of `samples` (values in
+/// [0, domain_size)).  `prf` carries the shared internal randomness;
+/// `query_id` must identify this median invocation uniquely within the
+/// enclosing algorithm (replicas use equal ids, distinct statistics use
+/// distinct ids).  Throws std::invalid_argument on empty input or
+/// out-of-domain samples.
+[[nodiscard]] std::int64_t rmedian(std::span<const std::int64_t> samples,
+                                   const RMedianParams& params,
+                                   const util::Prf& prf, std::uint64_t query_id);
+
+/// Same search, driven by an arbitrary empirical CDF evaluator
+/// F̂(v) = fraction of the sample <= v.  Lets callers that run many quantile
+/// queries over one sample (Algorithm 2 reuses Q̄ for every rQuantile call)
+/// sort once instead of per call.
+using CdfFn = std::function<double(std::int64_t)>;
+[[nodiscard]] std::int64_t rmedian_cdf(const CdfFn& cdf, const RMedianParams& params,
+                                       const util::Prf& prf, std::uint64_t query_id);
+
+}  // namespace lcaknap::reproducible
+
+#endif  // LCAKNAP_REPRODUCIBLE_RMEDIAN_H

@@ -1,0 +1,85 @@
+#include "reproducible/rquantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include "util/stats.h"
+#include <vector>
+
+namespace lcaknap::reproducible {
+
+namespace {
+
+RMedianParams padded_params(const RQuantileParams& params) {
+  RMedianParams mp;
+  // Domain gains the two sentinels: -infinity below and +infinity above.
+  mp.domain_size = params.domain_size + 2;
+  mp.tau = params.tau / 2.0;  // Theorem 4.5: run the median at accuracy tau/2
+  mp.rho = params.rho;
+  mp.beta = params.beta;
+  mp.branching = params.branching;
+  mp.target = 0.5;
+  return mp;
+}
+
+}  // namespace
+
+std::size_t rquantile_sample_size(const RQuantileParams& params) {
+  // The padding doubles the array, so require twice the padded median's need.
+  return 2 * rmedian_sample_size(padded_params(params));
+}
+
+std::int64_t rquantile(std::span<const std::int64_t> samples, double p,
+                       const RQuantileParams& params, const util::Prf& prf,
+                       std::uint64_t query_id) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("rquantile: p must be in (0, 1)");
+  }
+  if (samples.empty()) throw std::invalid_argument("rquantile: no samples");
+  const std::size_t n = samples.size();
+  // x copies of -infinity (encoded 0) and y copies of +infinity (encoded
+  // domain_size + 1); original values shift up by one.
+  const auto x = static_cast<std::size_t>(std::llround((1.0 - p) * static_cast<double>(n)));
+  const std::size_t y = n - x;
+  std::vector<std::int64_t> padded;
+  padded.reserve(2 * n);
+  for (const auto s : samples) {
+    if (s < 0 || s >= params.domain_size) {
+      throw std::invalid_argument("rquantile: sample outside [0, domain_size)");
+    }
+    padded.push_back(s + 1);
+  }
+  padded.insert(padded.end(), x, 0);
+  padded.insert(padded.end(), y, params.domain_size + 1);
+
+  const std::int64_t median = rmedian(padded, padded_params(params), prf, query_id);
+  // Unmap, clamping the sentinels onto the nearest real domain value.
+  return std::clamp<std::int64_t>(median - 1, 0, params.domain_size - 1);
+}
+
+std::int64_t rquantile(const util::EmpiricalCdfInt& base, double p,
+                       const RQuantileParams& params, const util::Prf& prf,
+                       std::uint64_t query_id) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("rquantile: p must be in (0, 1)");
+  }
+  if (base.size() == 0) throw std::invalid_argument("rquantile: no samples");
+  const auto n = static_cast<double>(base.size());
+  const double x = std::round((1.0 - p) * n);  // -infinity copies
+  // Padded empirical CDF over the extended domain [0, domain_size + 2):
+  // encoded value 0 is -infinity, v in [1, domain_size] is original v - 1,
+  // domain_size + 1 is +infinity.
+  const auto padded_cdf = [&base, n, x,
+                           domain = params.domain_size](std::int64_t v) -> double {
+    if (v < 0) return 0.0;
+    double count = x;  // all -infinity copies are <= any v >= 0
+    if (v >= 1) count += base.at(std::min(v, domain) - 1) * n;
+    if (v >= domain + 1) count += n - x;  // +infinity copies
+    return count / (2.0 * n);
+  };
+  const std::int64_t median =
+      rmedian_cdf(padded_cdf, padded_params(params), prf, query_id);
+  return std::clamp<std::int64_t>(median - 1, 0, params.domain_size - 1);
+}
+
+}  // namespace lcaknap::reproducible

@@ -1,0 +1,52 @@
+#ifndef LCAKNAP_REPRODUCIBLE_RQUANTILE_H
+#define LCAKNAP_REPRODUCIBLE_RQUANTILE_H
+
+#include <cstdint>
+#include <span>
+
+#include "reproducible/rmedian.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+/// \file rquantile.h
+/// Algorithm 1 of the paper (rQuantile): reproducible tau-approximate
+/// p-quantiles, by reduction to the reproducible median.
+///
+/// To find the p-quantile of an array T of n elements, append
+/// x = (1 - p) * n copies of -infinity and y = p * n copies of +infinity;
+/// the median of the padded array T' equals the p-quantile of T.  On the
+/// distribution side this halves every original probability and places mass
+/// (1-p)/2 on -infinity and p/2 on +infinity; the domain grows from 2^d to
+/// 2^{d+1} and the required median accuracy is tau/2 (Theorem 4.5).
+
+namespace lcaknap::reproducible {
+
+struct RQuantileParams {
+  std::int64_t domain_size = 1LL << 20;  ///< |X| of the *original* domain
+  double tau = 0.05;   ///< accuracy of the returned approximate quantile
+  double rho = 0.1;    ///< target reproducibility parameter
+  double beta = 0.05;  ///< failure probability
+  int branching = 16;  ///< branching factor of the underlying median search
+};
+
+/// Advisory sample size (delegates to the padded median's requirement).
+[[nodiscard]] std::size_t rquantile_sample_size(const RQuantileParams& params);
+
+/// Reproducible tau-approximate p-quantile of `samples` (values in
+/// [0, domain_size)).  The same (prf, query_id) discipline as rmedian
+/// applies; two replicas calling with equal ids and the same prf key agree
+/// with probability at least 1 - rho (given enough samples).
+[[nodiscard]] std::int64_t rquantile(std::span<const std::int64_t> samples, double p,
+                                     const RQuantileParams& params,
+                                     const util::Prf& prf, std::uint64_t query_id);
+
+/// Overload over a pre-sorted sample (one sort serves Algorithm 2's t
+/// quantile calls on the same Q̄).  The padded CDF of the reduction is
+/// evaluated arithmetically instead of materializing the padded array.
+[[nodiscard]] std::int64_t rquantile(const util::EmpiricalCdfInt& base, double p,
+                                     const RQuantileParams& params,
+                                     const util::Prf& prf, std::uint64_t query_id);
+
+}  // namespace lcaknap::reproducible
+
+#endif  // LCAKNAP_REPRODUCIBLE_RQUANTILE_H

@@ -1,0 +1,41 @@
+#include "reproducible/rstat.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace lcaknap::reproducible {
+
+double round_to_offset_grid(double value, double spacing, double offset_u) noexcept {
+  assert(spacing > 0.0);
+  assert(offset_u >= 0.0 && offset_u < 1.0);
+  const double shifted = value / spacing - offset_u;
+  return (std::round(shifted) + offset_u) * spacing;
+}
+
+double reproducible_mean(std::span<const double> samples, double spacing,
+                         const util::Prf& prf, std::uint64_t query_id) {
+  if (samples.empty()) throw std::invalid_argument("reproducible_mean: no samples");
+  if (spacing <= 0.0) throw std::invalid_argument("reproducible_mean: spacing <= 0");
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  const double mean = sum / static_cast<double>(samples.size());
+  const double u = prf.uniform(
+      static_cast<std::uint64_t>(util::RandomStream::kRStatOffset), query_id);
+  return round_to_offset_grid(mean, spacing, u);
+}
+
+std::size_t rstat_sample_size(double spacing, double rho, double beta) {
+  if (spacing <= 0.0 || rho <= 0.0 || beta <= 0.0 || beta >= 1.0) {
+    throw std::invalid_argument("rstat_sample_size: bad parameters");
+  }
+  // Need 2*delta/spacing <= rho, i.e. delta <= rho*spacing/2, with
+  // delta = sqrt(log(2/beta) / (2n)) (Hoeffding).
+  const double delta = rho * spacing / 2.0;
+  return static_cast<std::size_t>(
+      std::ceil(std::log(2.0 / beta) / (2.0 * delta * delta)));
+}
+
+}  // namespace lcaknap::reproducible

@@ -1,0 +1,50 @@
+#ifndef LCAKNAP_REPRODUCIBLE_RSTAT_H
+#define LCAKNAP_REPRODUCIBLE_RSTAT_H
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+/// \file rstat.h
+/// Reproducible statistical queries (the rSTAT primitive of [ILPS22]).
+///
+/// A statistical query estimates E[f(X)] for bounded f.  Two independent runs
+/// compute empirical means that differ by up to ~2*delta; rounding both to a
+/// grid whose *offset* is drawn from the shared internal randomness makes the
+/// outputs *identical* unless a grid boundary happens to fall between them —
+/// an event of probability at most 2*delta/spacing over the offset.  This
+/// trade (statistical accuracy for exact output equality) is the engine
+/// behind every reproducible primitive in this library and, through them,
+/// behind the consistency of LCA-KP (Lemma 4.9).
+
+namespace lcaknap::reproducible {
+
+/// Rounds `value` to the nearest point of the grid {(k + offset_u) * spacing}.
+/// offset_u must lie in [0, 1).
+[[nodiscard]] double round_to_offset_grid(double value, double spacing,
+                                          double offset_u) noexcept;
+
+/// rho-reproducible mean of bounded observations.
+///
+///  * `samples`  — i.i.d. draws of the statistic (fresh randomness, differs
+///                 across runs);
+///  * `spacing`  — output grid spacing tau: the rounded answer is within
+///                 tau/2 + (empirical error) of the true mean;
+///  * `prf`/`query_id` — shared internal randomness; all replicas must pass
+///                 the same (prf key, query_id) to be mutually reproducible.
+///
+/// Reproducibility across two runs with n samples each is at least
+/// 1 - 2*delta/spacing where delta is the empirical deviation
+/// (~ sqrt(log(1/beta) / 2n) for [0,1]-bounded statistics).
+[[nodiscard]] double reproducible_mean(std::span<const double> samples, double spacing,
+                                       const util::Prf& prf, std::uint64_t query_id);
+
+/// Sample size making `reproducible_mean` rho-reproducible with failure
+/// probability beta, for [0,1]-bounded statistics: the empirical deviation
+/// must satisfy 2*delta/spacing <= rho.
+[[nodiscard]] std::size_t rstat_sample_size(double spacing, double rho, double beta);
+
+}  // namespace lcaknap::reproducible
+
+#endif  // LCAKNAP_REPRODUCIBLE_RSTAT_H

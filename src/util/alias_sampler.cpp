@@ -1,0 +1,51 @@
+#include "util/alias_sampler.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lcaknap::util {
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasSampler: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasSampler: zero total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining buckets are (numerically) full.
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Xoshiro256& rng) const noexcept {
+  const std::size_t bucket = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace lcaknap::util

@@ -1,0 +1,36 @@
+#ifndef LCAKNAP_UTIL_ALIAS_SAMPLER_H
+#define LCAKNAP_UTIL_ALIAS_SAMPLER_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file alias_sampler.h
+/// Walker's alias method: O(n) preprocessing, O(1) per draw from an arbitrary
+/// discrete distribution.  Backs the weighted-sampling oracle of Section 4
+/// (items are drawn with probability proportional to their profit).
+
+namespace lcaknap::util {
+
+/// Immutable alias table over indices [0, n).
+class AliasSampler {
+ public:
+  /// Builds the table from non-negative weights; at least one weight must be
+  /// positive.  Weights need not be normalised.
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draws an index with probability weight[i] / sum(weights).
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::size_t> alias_;  // fallback index per bucket
+};
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_ALIAS_SAMPLER_H

@@ -1,0 +1,55 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace lcaknap::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+}
+
+void Histogram::add(double x) noexcept {
+  const double position = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = position < 0.0 ? std::size_t{0}
+                            : static_cast<std::size_t>(position);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const { return counts_.at(bin); }
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+void Histogram::print(std::ostream& os, const std::string& title,
+                      std::size_t bar_width) const {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [bin_lo, bin_hi] = bin_range(b);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    os << std::fixed << std::setprecision(3) << "[" << std::setw(8) << bin_lo
+       << ", " << std::setw(8) << bin_hi << ")  " << std::setw(7) << counts_[b]
+       << "  " << std::string(bar, '#') << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace lcaknap::util

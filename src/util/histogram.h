@@ -1,0 +1,45 @@
+#ifndef LCAKNAP_UTIL_HISTOGRAM_H
+#define LCAKNAP_UTIL_HISTOGRAM_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file histogram.h
+/// Fixed-bin histogram with ASCII rendering, used by benches to show the
+/// distribution of per-run quantities (values served, samples drawn) rather
+/// than just their means.
+
+namespace lcaknap::util {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi]; out-of-range observations clamp
+  /// into the end bins.  Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// [lower, upper) edges of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Renders one line per bin: range, count, and a proportional bar.
+  void print(std::ostream& os, const std::string& title = "",
+             std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_HISTOGRAM_H

@@ -1,0 +1,42 @@
+#ifndef LCAKNAP_UTIL_ITERATED_LOG_H
+#define LCAKNAP_UTIL_ITERATED_LOG_H
+
+#include <cmath>
+#include <cstdint>
+
+/// \file iterated_log.h
+/// The iterated logarithm log* and small bit utilities.  log* appears in the
+/// paper's main query-complexity bound, (1/eps)^{O(log* n)} (Theorem 4.1).
+
+namespace lcaknap::util {
+
+/// log* n: the number of times log2 must be applied before the value drops
+/// to at most 1.  log_star(1) == 0, log_star(2) == 1, log_star(16) == 3,
+/// log_star(65536) == 4, log_star(2^65536) == 5.
+[[nodiscard]] inline int log_star(double n) noexcept {
+  int iterations = 0;
+  while (n > 1.0) {
+    // Guard against pathological inputs; log2 of anything representable
+    // reaches <= 1 within a handful of steps.
+    n = std::log2(n);
+    ++iterations;
+    if (iterations > 64) break;
+  }
+  return iterations;
+}
+
+/// Ceiling of log2 for positive integers; log2_ceil(1) == 0.
+[[nodiscard]] inline int log2_ceil(std::uint64_t n) noexcept {
+  int bits = 0;
+  std::uint64_t value = 1;
+  while (value < n) {
+    value <<= 1;
+    ++bits;
+    if (bits >= 64) break;
+  }
+  return bits;
+}
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_ITERATED_LOG_H

@@ -1,0 +1,63 @@
+#ifndef LCAKNAP_UTIL_LOGGING_H
+#define LCAKNAP_UTIL_LOGGING_H
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+/// \file logging.h
+/// Minimal leveled logging.  Off by default so tests and benches stay quiet;
+/// the examples flip the level to Info to narrate what they do.
+
+namespace lcaknap::util {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level (atomic; safe to flip from any thread).
+inline std::atomic<LogLevel>& log_level() {
+  static std::atomic<LogLevel> level{LogLevel::kError};
+  return level;
+}
+
+namespace detail {
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+inline void emit(const char* tag, const std::string& message) {
+  const std::lock_guard lock(log_mutex());
+  std::cerr << "[" << tag << "] " << message << "\n";
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_at(LogLevel level, const char* tag, const Args&... args) {
+  if (static_cast<int>(log_level().load(std::memory_order_relaxed)) <
+      static_cast<int>(level)) {
+    return;
+  }
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::emit(tag, oss.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  log_at(LogLevel::kInfo, "info", args...);
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  log_at(LogLevel::kError, "error", args...);
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log_at(LogLevel::kDebug, "debug", args...);
+}
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_LOGGING_H

@@ -1,0 +1,116 @@
+#include "util/rational.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lcaknap::util {
+
+namespace {
+
+/// Reduces a 128-bit fraction to a 64-bit Rational, throwing on overflow.
+Rational reduce128(__int128 num, __int128 den) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  // gcd over unsigned 128-bit magnitudes (Euclid).
+  unsigned __int128 a = num < 0 ? static_cast<unsigned __int128>(-num)
+                                : static_cast<unsigned __int128>(num);
+  unsigned __int128 b = static_cast<unsigned __int128>(den);
+  while (b != 0) {
+    const unsigned __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    const auto g = static_cast<__int128>(a);
+    num /= g;
+    den /= g;
+  }
+  constexpr __int128 kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr __int128 kMin = std::numeric_limits<std::int64_t>::min();
+  if (num > kMax || num < kMin || den > kMax) {
+    throw std::overflow_error("Rational: result exceeds 64 bits after reduction");
+  }
+  return {static_cast<std::int64_t>(num), static_cast<std::int64_t>(den)};
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return reduce128(static_cast<__int128>(num_) * other.num_,
+                   static_cast<__int128>(den_) * other.den_);
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return reduce128(static_cast<__int128>(num_) * other.den_ +
+                       static_cast<__int128>(other.num_) * den_,
+                   static_cast<__int128>(den_) * other.den_);
+}
+
+std::string Rational::to_string() const {
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::from_double(double x, std::int64_t max_den) {
+  if (!std::isfinite(x)) throw std::invalid_argument("Rational::from_double: non-finite");
+  assert(max_den >= 1);
+  const bool negative = x < 0;
+  const double magnitude = negative ? -x : x;
+  // Split off the integer part first so the Stern–Brocot descent below only
+  // ever walks the fractional tree, whose mediant denominators grow each step.
+  const double int_part_d = std::floor(magnitude);
+  if (int_part_d > 1e15) throw std::overflow_error("Rational::from_double: magnitude too large");
+  const auto int_part = static_cast<std::int64_t>(int_part_d);
+  double target = magnitude - int_part_d;
+  // Stern–Brocot descent keeping the best mediant with denominator <= max_den.
+  std::int64_t lo_n = 0, lo_d = 1;          // 0/1
+  std::int64_t hi_n = 1, hi_d = 0;          // 1/0 = +inf
+  std::int64_t best_n = 0, best_d = 1;
+  double best_err = target;
+  while (true) {
+    const std::int64_t mid_n = lo_n + hi_n;
+    const std::int64_t mid_d = lo_d + hi_d;
+    if (mid_d > max_den) break;
+    const double mid = static_cast<double>(mid_n) / static_cast<double>(mid_d);
+    const double err = std::abs(mid - target);
+    if (err < best_err) {
+      best_err = err;
+      best_n = mid_n;
+      best_d = mid_d;
+      if (err == 0) break;
+    }
+    if (mid < target) {
+      lo_n = mid_n;
+      lo_d = mid_d;
+    } else {
+      hi_n = mid_n;
+      hi_d = mid_d;
+    }
+  }
+  const __int128 with_int =
+      static_cast<__int128>(int_part) * best_d + best_n;
+  if (with_int > std::numeric_limits<std::int64_t>::max()) {
+    throw std::overflow_error("Rational::from_double: result exceeds 64 bits");
+  }
+  const auto n = static_cast<std::int64_t>(with_int);
+  return {negative ? -n : n, best_d};
+}
+
+}  // namespace lcaknap::util

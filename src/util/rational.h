@@ -1,0 +1,88 @@
+#ifndef LCAKNAP_UTIL_RATIONAL_H
+#define LCAKNAP_UTIL_RATIONAL_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+/// \file rational.h
+/// Exact rational arithmetic for efficiency values.
+///
+/// Section 4.2 of the paper ("Mapping to a finite domain") observes that when
+/// profits and weights are integers of polynomial bit-length, every efficiency
+/// ratio p/w lives in a *known, finite* ordered domain X of size 2^poly(n).
+/// Reproducibility of the quantile computation hinges on all replicas agreeing
+/// exactly on the order of these values, so we never compare efficiencies
+/// through floating point: `Rational` keeps (numerator, denominator) in 64
+/// bits and compares via 128-bit cross products, which is exact for all
+/// operands below 2^63.
+
+namespace lcaknap::util {
+
+/// A reduced fraction num/den with den > 0.  Immutable value type.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Constructs num/den, reducing to lowest terms and normalising the sign
+  /// into the numerator.  `den` must be non-zero.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  /// Exact three-way comparison via 128-bit cross multiplication.
+  [[nodiscard]] friend constexpr std::strong_ordering operator<=>(
+      const Rational& a, const Rational& b) noexcept {
+    const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+    const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  [[nodiscard]] friend constexpr bool operator==(const Rational& a,
+                                                 const Rational& b) noexcept {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+
+  /// Exact product; throws std::overflow_error if the reduced result does not
+  /// fit in 64 bits.
+  [[nodiscard]] Rational operator*(const Rational& other) const;
+
+  /// Exact sum; throws std::overflow_error on 64-bit overflow of the result.
+  [[nodiscard]] Rational operator+(const Rational& other) const;
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Best rational approximation of `x` with denominator at most `max_den`,
+  /// via the Stern–Brocot tree.  Used to snap user-facing `double` parameters
+  /// (like epsilon) onto the exact grid once, so that all replicas share the
+  /// same exact value.
+  [[nodiscard]] static Rational from_double(double x, std::int64_t max_den = 1'000'000);
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// Exact comparison of the products a1*a2 and b1*b2 where every factor fits
+/// in 64 bits and each product fits in 128 bits.  Used for "triple product"
+/// threshold tests of the form  p * C1  <=>  w * C2  that arise when
+/// comparing normalized efficiencies to rational thresholds.
+[[nodiscard]] constexpr std::strong_ordering cmp_products(
+    std::int64_t a1, std::int64_t a2, std::int64_t b1, std::int64_t b2) noexcept {
+  const __int128 lhs = static_cast<__int128>(a1) * a2;
+  const __int128 rhs = static_cast<__int128>(b1) * b2;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_RATIONAL_H

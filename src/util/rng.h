@@ -1,0 +1,141 @@
+#ifndef LCAKNAP_UTIL_RNG_H
+#define LCAKNAP_UTIL_RNG_H
+
+#include <cstdint>
+#include <limits>
+
+/// \file rng.h
+/// Deterministic pseudo-randomness for Local Computation Algorithms.
+///
+/// An LCA (Definition 2.2 of the paper) is given a read-only random seed `r`
+/// that is *shared* across all runs answering queries on the same instance;
+/// in addition, each run draws its own, *fresh* randomness when it samples
+/// items from the instance.  This header provides both halves:
+///
+///  * `SplitMix64` / `Xoshiro256` — fast, high-quality stream generators used
+///    for fresh per-run randomness (sample tapes, workload generation).
+///  * `Prf` — a keyed pseudo-random function mapping (stream, index) pairs to
+///    64-bit words.  It realises the read-only random tape `r`: every replica
+///    holding the same key reads identical words at identical addresses
+///    without any coordination, which is exactly what the consistency proof
+///    (Lemma 4.9) requires of the shared internal randomness.
+
+namespace lcaknap::util {
+
+/// SplitMix64 step: advances `state` and returns a well-mixed 64-bit word.
+/// Used for seeding and as a cheap one-shot mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless strong mixer (two rounds of the SplitMix64 finalizer).  Suitable
+/// as a PRF round function for non-cryptographic reproducibility purposes.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCDULL;
+  x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  return x ^ (x >> 33);
+}
+
+/// xoshiro256** generator (Blackman & Vigna).  Fast, 256-bit state, passes
+/// BigCrush; the work-horse for fresh sampling randomness.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64, as recommended by
+  /// the xoshiro authors (avoids all-zero and low-entropy states).
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x1B2E4D5F6A7C8E9FULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.  Uses Lemire's
+  /// rejection-free-in-expectation multiply-shift with rejection for exactness.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Keyed pseudo-random function: a read-only, randomly-filled tape addressed
+/// by (stream, index).  Two replicas constructed with the same key observe
+/// identical tape contents — this object *is* the LCA's shared random seed
+/// `r` of Definition 2.2, made random-access.
+class Prf {
+ public:
+  explicit constexpr Prf(std::uint64_t key) noexcept : key_(key) {}
+
+  /// 64-bit word at address (stream, index).
+  [[nodiscard]] constexpr std::uint64_t word(std::uint64_t stream,
+                                             std::uint64_t index) const noexcept {
+    // Feistel-free keyed mixing: decorrelate the two coordinates with
+    // distinct odd constants before the strong finalizer.
+    const std::uint64_t a = mix64(key_ ^ (stream * 0x9E3779B97F4A7C15ULL));
+    return mix64(a ^ (index * 0xD1B54A32D192ED03ULL) ^ 0x8CB92BA72F3D8DD7ULL);
+  }
+
+  /// Uniform double in [0, 1) at address (stream, index).
+  [[nodiscard]] constexpr double uniform(std::uint64_t stream,
+                                         std::uint64_t index) const noexcept {
+    return static_cast<double>(word(stream, index) >> 11) * 0x1.0p-53;
+  }
+
+  /// Derives an independent sub-key, e.g. one per algorithm phase.
+  [[nodiscard]] constexpr Prf subkey(std::uint64_t label) const noexcept {
+    return Prf(mix64(key_ ^ (label * 0xA0761D6478BD642FULL)));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Well-known stream labels for `Prf::subkey`, so every module draws its
+/// shared randomness from a disjoint part of the tape.
+enum class RandomStream : std::uint64_t {
+  kRStatOffset = 1,     ///< grid offsets used by reproducible statistical queries
+  kRMedianSearch = 2,   ///< thresholds used by the reproducible median search
+  kRQuantilePad = 3,    ///< padding decisions in the quantile-to-median reduction
+  kLcaTieBreak = 4,     ///< deterministic tie-breaking inside LCA-KP
+  kHeavyHitters = 5,    ///< reproducible heavy-hitters thresholds
+};
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_RNG_H

@@ -1,0 +1,61 @@
+#ifndef LCAKNAP_UTIL_TABLE_H
+#define LCAKNAP_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Fixed-width ASCII table printer.  Every benchmark binary reports its
+/// experiment as one or more of these tables (the paper has no tables of its
+/// own, so these *are* the reproduction artifacts recorded in EXPERIMENTS.md).
+
+namespace lcaknap::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows: formats doubles with 4 significant
+  /// decimals and integers plainly.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v, int precision = 4);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(unsigned long long v);
+    RowBuilder& cell(int v) { return cell(static_cast<long long>(v)); }
+    RowBuilder& cell(long v) { return cell(static_cast<long long>(v)); }
+    RowBuilder& cell(unsigned v) { return cell(static_cast<unsigned long long>(v)); }
+    RowBuilder& cell(unsigned long v) { return cell(static_cast<unsigned long long>(v)); }
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  /// Renders the table with aligned columns and a separator under the header.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_TABLE_H

@@ -1,0 +1,57 @@
+#ifndef LCAKNAP_UTIL_THREAD_POOL_H
+#define LCAKNAP_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A small fixed-size thread pool.  LCAs are *parallelizable* by definition
+/// (Definition 2.3): independent replicas sharing only the random seed must
+/// produce consistent answers.  The consistency harness and the distributed
+/// serving example run replicas on this pool to exercise that property for
+/// real, not just sequentially.
+
+namespace lcaknap::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_THREAD_POOL_H

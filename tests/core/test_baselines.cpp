@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/full_read_lca.h"
+#include "core/trivial_lca.h"
+#include "knapsack/generators.h"
+#include "knapsack/solvers/solve.h"
+#include "knapsack/solvers/greedy.h"
+#include "oracle/access.h"
+
+namespace lcaknap::core {
+namespace {
+
+TEST(TrivialLca, AlwaysNoAndFree) {
+  const TrivialLca lca;
+  util::Xoshiro256 rng(1);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(lca.answer(i, rng));
+  EXPECT_EQ(lca.name(), "trivial-no");
+}
+
+TEST(FullReadLca, CostsExactlyNQueriesPerAnswer) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 500, 2);
+  const oracle::MaterializedAccess access(inst);
+  const FullReadLca lca(access);
+  util::Xoshiro256 rng(3);
+  access.reset_counters();
+  (void)lca.answer(0, rng);
+  EXPECT_EQ(access.query_count(), inst.size());
+  (void)lca.answer(1, rng);
+  EXPECT_EQ(access.query_count(), 2 * inst.size());
+}
+
+TEST(FullReadLca, GreedyModeMatchesOfflineGreedy) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 200, 4);
+  const oracle::MaterializedAccess access(inst);
+  const FullReadLca lca(access, FullReadLca::Solver::kGreedyHalf);
+  util::Xoshiro256 rng(5);
+  const auto greedy = knapsack::greedy_half(inst).solution;
+  std::vector<bool> in_greedy(inst.size(), false);
+  for (const auto i : greedy.items) in_greedy[i] = true;
+  for (std::size_t i = 0; i < inst.size(); i += 7) {
+    EXPECT_EQ(lca.answer(i, rng), in_greedy[i]);
+  }
+}
+
+TEST(FullReadLca, ExactModeServesAnOptimalSolution) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 60, 6);
+  const oracle::MaterializedAccess access(inst);
+  const FullReadLca lca(access, FullReadLca::Solver::kExact);
+  util::Xoshiro256 rng(7);
+  std::vector<std::size_t> served;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    if (lca.answer(i, rng)) served.push_back(i);
+  }
+  const auto opt = knapsack::solve_exact(inst);
+  EXPECT_TRUE(inst.feasible(served));
+  EXPECT_EQ(inst.value_of(served), opt.solution.value);
+}
+
+TEST(FullReadLca, AnswersAreConsistentAcrossRuns) {
+  // Deterministic solver => perfectly consistent replicas.
+  const auto inst = knapsack::make_family(knapsack::Family::kWeaklyCorrelated, 150, 8);
+  const oracle::MaterializedAccess access(inst);
+  const FullReadLca a(access), b(access);
+  util::Xoshiro256 rng(9);
+  for (std::size_t i = 0; i < inst.size(); i += 11) {
+    EXPECT_EQ(a.answer(i, rng), b.answer(i, rng));
+  }
+}
+
+}  // namespace
+}  // namespace lcaknap::core

@@ -1,0 +1,133 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/solve.h"
+
+namespace lcaknap::core {
+namespace {
+
+LcaKpConfig test_config(double eps = 0.25) {
+  LcaKpConfig config;
+  config.eps = eps;
+  config.seed = 0xC0FFEE;
+  config.quantile_samples = 60'000;
+  return config;
+}
+
+TEST(Consistency, ReplicasAgreeWithSharedSeed) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 10'000, 61);
+  ConsistencyConfig experiment;
+  experiment.replicas = 6;
+  experiment.queries = 300;
+  experiment.experiment_seed = 62;
+  const auto report = run_consistency(inst, test_config(), experiment);
+  EXPECT_EQ(report.replicas, 6u);
+  EXPECT_EQ(report.queries, 300u);
+  // Lemma 4.9 target: consistency >= 1 - eps.  The calibrated budgets are
+  // sized so pairwise agreement clears it comfortably.
+  EXPECT_GE(report.pairwise_agreement, 1.0 - 0.25);
+  EXPECT_GT(report.unanimous_fraction, 0.5);
+}
+
+TEST(Consistency, AblationWithPlainQuantilesIsWorse) {
+  // The paper's Section 1.1 "major issue": naive per-run quantiles break
+  // consistency.  The ablation must not beat the reproducible version.
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 10'000, 63);
+  ConsistencyConfig experiment;
+  experiment.replicas = 6;
+  experiment.queries = 300;
+  experiment.experiment_seed = 64;
+
+  auto reproducible_config = test_config();
+  const auto with = run_consistency(inst, reproducible_config, experiment);
+
+  auto ablation_config = test_config();
+  ablation_config.reproducible_quantiles = false;
+  const auto without = run_consistency(inst, ablation_config, experiment);
+
+  EXPECT_GE(with.identical_pair_fraction + 1e-9, without.identical_pair_fraction);
+  EXPECT_GE(with.pairwise_agreement + 0.02, without.pairwise_agreement);
+}
+
+TEST(Consistency, AllRunsFeasible) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 5'000, 65);
+  ConsistencyConfig experiment;
+  experiment.replicas = 5;
+  experiment.queries = 100;
+  const auto report = run_consistency(inst, test_config(), experiment);
+  EXPECT_EQ(report.feasible_runs, report.replicas);
+}
+
+TEST(Consistency, ValueRatioAgainstOptimum) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 66);
+  const auto exact = knapsack::solve_exact(inst);
+  const double opt_norm = static_cast<double>(exact.solution.value) /
+                          static_cast<double>(inst.total_profit());
+  ConsistencyConfig experiment;
+  experiment.replicas = 4;
+  experiment.queries = 100;
+  const double eps = 0.25;
+  const auto report = run_consistency(inst, test_config(eps), experiment, opt_norm);
+  EXPECT_GT(report.mean_value_ratio, 0.0);
+  // Lemma 4.8 floor in ratio form: value >= OPT/2 - 6 eps.
+  EXPECT_GE(report.mean_norm_value, opt_norm / 2.0 - 6.0 * eps);
+}
+
+TEST(Consistency, ParallelExecutionMatchesSerial) {
+  // Definition 2.3 (parallelizable): running replicas on threads must give
+  // the same per-replica outcomes as running them serially, because each
+  // replica's inputs (seed, tape) are fixed.
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 67);
+  ConsistencyConfig experiment;
+  experiment.replicas = 4;
+  experiment.queries = 150;
+  experiment.experiment_seed = 68;
+  const auto serial = run_consistency(inst, test_config(), experiment);
+  util::ThreadPool pool(4);
+  const auto parallel = run_consistency(inst, test_config(), experiment, 0.0, &pool);
+  EXPECT_DOUBLE_EQ(serial.pairwise_agreement, parallel.pairwise_agreement);
+  EXPECT_DOUBLE_EQ(serial.mean_norm_value, parallel.mean_norm_value);
+  EXPECT_EQ(serial.feasible_runs, parallel.feasible_runs);
+}
+
+TEST(Consistency, ConsensusIsFeasibleAndCloseToReplicas) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 70);
+  ConsistencyConfig experiment;
+  experiment.replicas = 5;
+  experiment.queries = 100;
+  const auto report = run_consistency(inst, test_config(), experiment);
+  EXPECT_TRUE(report.consensus_feasible);
+  EXPECT_NEAR(report.consensus_norm_value, report.mean_norm_value, 0.05);
+  // Replicas diverge from the consensus on at most a small fraction of items.
+  EXPECT_LT(report.mean_divergence_from_consensus, 0.1);
+}
+
+TEST(Consistency, PerfectConsistencyMeansZeroDivergence) {
+  // With a large budget on the needle family, replicas are identical; the
+  // consensus equals every replica and the divergence is exactly zero.
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 71);
+  auto config = test_config();
+  config.quantile_samples = 200'000;
+  ConsistencyConfig experiment;
+  experiment.replicas = 4;
+  experiment.queries = 100;
+  const auto report = run_consistency(inst, config, experiment);
+  if (report.identical_pair_fraction == 1.0) {
+    EXPECT_DOUBLE_EQ(report.mean_divergence_from_consensus, 0.0);
+    EXPECT_DOUBLE_EQ(report.consensus_norm_value, report.mean_norm_value);
+  }
+}
+
+TEST(Consistency, QueryingEveryItemWorks) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 800, 69);
+  ConsistencyConfig experiment;
+  experiment.replicas = 3;
+  experiment.queries = 0;  // all items
+  const auto report = run_consistency(inst, test_config(), experiment);
+  EXPECT_EQ(report.queries, inst.size());
+}
+
+}  // namespace
+}  // namespace lcaknap::core

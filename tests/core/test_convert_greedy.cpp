@@ -1,0 +1,132 @@
+#include "core/convert_greedy.h"
+
+#include <gtest/gtest.h>
+
+namespace lcaknap::core {
+namespace {
+
+iky::NormLargeItem make_large(std::size_t index, double profit, double weight) {
+  iky::NormLargeItem item;
+  item.index = index;
+  item.profit = profit;
+  item.weight = weight;
+  item.efficiency = weight > 0 ? profit / weight
+                               : std::numeric_limits<double>::infinity();
+  return item;
+}
+
+TEST(ConvertGreedy, EmptyTilde) {
+  const iky::TildeInstance tilde{{}, 0.5};
+  const auto result = convert_greedy(tilde, {});
+  EXPECT_TRUE(result.index_large.empty());
+  EXPECT_EQ(result.e_small_idx, -1);
+  EXPECT_FALSE(result.singleton);
+}
+
+TEST(ConvertGreedy, EverythingFitsTakesAllLargeItems) {
+  const std::vector<iky::NormLargeItem> large{make_large(3, 0.4, 0.2),
+                                              make_large(7, 0.3, 0.2)};
+  const auto tilde = iky::construct_tilde(large, {}, 0.25, /*capacity=*/0.5);
+  const auto result = convert_greedy(tilde, {});
+  EXPECT_EQ(result.index_large, (std::vector<std::size_t>{3, 7}));
+  EXPECT_FALSE(result.singleton);
+  EXPECT_EQ(result.greedy_prefix_len, 2u);
+}
+
+TEST(ConvertGreedy, PrefixWinsOverLeftOutItem) {
+  // Efficiencies: a=4 (0.4/0.1), b=2 (0.3/0.15), c=1 (0.3/0.3); K=0.25 takes
+  // a then b; c (profit 0.3) does not beat prefix profit 0.7.
+  const std::vector<iky::NormLargeItem> large{make_large(0, 0.4, 0.1),
+                                              make_large(1, 0.3, 0.15),
+                                              make_large(2, 0.3, 0.3)};
+  const auto tilde = iky::construct_tilde(large, {}, 0.25, 0.25);
+  const auto result = convert_greedy(tilde, {});
+  EXPECT_EQ(result.index_large, (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(result.singleton);
+  EXPECT_DOUBLE_EQ(result.cutoff_efficiency, 1.0);
+}
+
+TEST(ConvertGreedy, SingletonBranchTakesLeftOutLargeItem) {
+  // a has the best efficiency but tiny profit; b is left out and dominates.
+  const std::vector<iky::NormLargeItem> large{make_large(0, 0.1, 0.01),
+                                              make_large(1, 0.9, 0.5)};
+  const auto tilde = iky::construct_tilde(large, {}, 0.25, 0.5);
+  // Greedy: a fits (weight 0.01), then b (0.5) does not (0.51 > 0.5).
+  // Prefix profit 0.1 < 0.9: singleton branch.
+  const auto result = convert_greedy(tilde, {});
+  EXPECT_TRUE(result.singleton);
+  EXPECT_FALSE(result.degenerate);
+  EXPECT_EQ(result.index_large, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(result.e_small_idx, -1);
+}
+
+TEST(ConvertGreedy, ESmallBacksOffTwoBands) {
+  // No large items; eps = 0.5 -> floor(1/eps) = 2 copies per band of profit
+  // 0.25 and weight 0.25/e.  Thresholds 4, 2, 1, 0.5: weights per copy are
+  // 0.0625, 0.125, 0.25, 0.5.  Capacity 0.41 fits band0 (2x0.0625=0.125)
+  // plus band1 (2x0.125=0.25) -> 0.375, then the first band2 copy (0.25)
+  // does not fit.  Cutoff efficiency = 1; largest k with e_k > 1 is k=2,
+  // so e_small = e_{k-2} = e_0? k >= 3 fails -> e_small stays -1.
+  const std::vector<double> thresholds{4.0, 2.0, 1.0, 0.5};
+  const auto tilde = iky::construct_tilde({}, thresholds, 0.5, 0.41);
+  const auto result = convert_greedy(tilde, thresholds);
+  EXPECT_FALSE(result.singleton);
+  EXPECT_EQ(result.e_small_idx, -1);  // k = 2 < 3: no small items admitted
+
+  // Capacity 0.91 fits bands 0-2 (0.875) and cuts at band 3: the last
+  // included item has efficiency ẽ_3 = 1, so the largest k with ẽ_k > 1 is
+  // still 2 and no small items are admitted either.
+  const auto tilde2 = iky::construct_tilde({}, thresholds, 0.5, 0.91);
+  const auto result2 = convert_greedy(tilde2, thresholds);
+  EXPECT_FALSE(result2.singleton);
+  EXPECT_EQ(result2.e_small_idx, -1);
+
+  // Squeeze a large item of efficiency 0.7 between ẽ_4 = 0.5 and ẽ_3 = 1:
+  // with capacity 0.975 the prefix is bands 0-2 plus that item, the cutoff
+  // is band 3, and the last included efficiency 0.7 gives k = 3, so
+  // e_small = ẽ_{k-2} = ẽ_1 (0-based index 0).
+  const std::vector<iky::NormLargeItem> large{make_large(9, 0.07, 0.1)};
+  const auto tilde3 = iky::construct_tilde(large, thresholds, 0.5, 0.975);
+  const auto result3 = convert_greedy(tilde3, thresholds);
+  EXPECT_FALSE(result3.singleton);
+  EXPECT_EQ(result3.e_small_idx, 0);
+  EXPECT_EQ(result3.index_large, (std::vector<std::size_t>{9}));
+}
+
+TEST(ConvertGreedy, EverythingFitsAdmitsAllBands) {
+  const std::vector<double> thresholds{4.0, 2.0, 1.0, 0.5};
+  // Capacity 2.0 fits every representative (total weight 1.875).
+  const auto tilde = iky::construct_tilde({}, thresholds, 0.5, 2.0);
+  const auto result = convert_greedy(tilde, thresholds);
+  EXPECT_FALSE(result.singleton);
+  // k = t = 4 -> e_small = ẽ_2 (0-based index 1).
+  EXPECT_EQ(result.e_small_idx, 1);
+}
+
+TEST(ConvertGreedy, DegenerateSingletonIsFlagged) {
+  // One small band whose single representative outweighs the capacity and
+  // out-profits the (empty) prefix: the singleton branch picks a
+  // representative, which maps to no original item.
+  const std::vector<double> thresholds{0.1};
+  // eps = 0.5: copies have profit 0.25, weight 2.5 > capacity 1.0.
+  const auto tilde = iky::construct_tilde({}, thresholds, 0.5, 1.0);
+  const auto result = convert_greedy(tilde, thresholds);
+  EXPECT_TRUE(result.singleton);
+  EXPECT_TRUE(result.degenerate);
+  EXPECT_TRUE(result.index_large.empty());
+}
+
+TEST(ConvertGreedy, DeterministicTieBreakAcrossCalls) {
+  const std::vector<iky::NormLargeItem> large{make_large(5, 0.2, 0.1),
+                                              make_large(2, 0.4, 0.2)};  // equal eff
+  const std::vector<double> thresholds{2.0};  // equal to the large efficiency
+  const auto tilde = iky::construct_tilde(large, thresholds, 0.5, 0.2);
+  const auto a = convert_greedy(tilde, thresholds);
+  const auto b = convert_greedy(tilde, thresholds);
+  EXPECT_EQ(a.index_large, b.index_large);
+  EXPECT_EQ(a.e_small_idx, b.e_small_idx);
+  EXPECT_EQ(a.singleton, b.singleton);
+}
+
+}  // namespace
+}  // namespace lcaknap::core

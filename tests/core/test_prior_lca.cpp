@@ -1,0 +1,114 @@
+#include "core/prior_lca.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+
+namespace lcaknap::core {
+namespace {
+
+LcaKpConfig learner_config() {
+  LcaKpConfig config;
+  config.eps = 0.1;
+  config.seed = 0xBC;
+  config.quantile_samples = 100'000;
+  return config;
+}
+
+TEST(PriorLca, LearnsAThresholdOnSmallItemFamilies) {
+  // Uncorrelated instances have no large items at this scale, so the whole
+  // rule is the small-item threshold — exactly what a prior can carry.
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 20'000, 91);
+  const Prior prior = learn_prior(reference, learner_config());
+  EXPECT_GE(prior.e_small_grid, 0);
+  EXPECT_DOUBLE_EQ(prior.eps, 0.1);
+}
+
+TEST(PriorLca, TransfersAcrossFreshInstancesOfTheFamily) {
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 20'000, 92);
+  const Prior prior = learn_prior(reference, learner_config());
+  ASSERT_GE(prior.e_small_grid, 0);
+  int feasible = 0;
+  double worst_value = 1.0;
+  constexpr int kFresh = 5;
+  for (int f = 0; f < kFresh; ++f) {
+    const auto fresh = knapsack::make_family(knapsack::Family::kUncorrelated,
+                                             20'000, 200 + f);
+    const oracle::MaterializedAccess access(fresh);
+    const PriorLca lca(access, prior);
+    const PriorEval eval = evaluate_prior(fresh, lca);
+    feasible += eval.feasible ? 1 : 0;
+    worst_value = std::min(worst_value, eval.norm_value);
+  }
+  // The distributional assumption holds, so the prior transfers: most fresh
+  // instances are served feasibly with non-trivial value.
+  EXPECT_GE(feasible, kFresh - 1);
+  EXPECT_GT(worst_value, 0.1);
+}
+
+TEST(PriorLca, AnswerCostsOneQueryAndNoSamples) {
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 10'000, 93);
+  const Prior prior = learn_prior(reference, learner_config());
+  const auto fresh = knapsack::make_family(knapsack::Family::kUncorrelated, 10'000, 94);
+  const oracle::MaterializedAccess access(fresh);
+  const PriorLca lca(access, prior);
+  util::Xoshiro256 rng(95);
+  access.reset_counters();
+  (void)lca.answer(3, rng);
+  (void)lca.answer(7, rng);
+  EXPECT_EQ(access.query_count(), 2u);
+  EXPECT_EQ(access.sample_count(), 0u);
+}
+
+TEST(PriorLca, IsTriviallyConsistent) {
+  // The rule is a constant: two PriorLca replicas cannot disagree.
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 10'000, 96);
+  const Prior prior = learn_prior(reference, learner_config());
+  const auto fresh = knapsack::make_family(knapsack::Family::kUncorrelated, 10'000, 97);
+  const oracle::MaterializedAccess access(fresh);
+  const PriorLca a(access, prior), b(access, prior);
+  util::Xoshiro256 rng(98);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.answer(i, rng), b.answer(i, rng));
+  }
+}
+
+TEST(PriorLca, FailsOffDistribution) {
+  // The adversarial side of [BCPR24]: on a family with planted heavy items
+  // the prior (which declines all large items) leaves most value on the
+  // table, unlike on its home family.
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 20'000, 99);
+  const Prior prior = learn_prior(reference, learner_config());
+  const auto adversarial = knapsack::make_family(knapsack::Family::kNeedle, 20'000, 100);
+  const oracle::MaterializedAccess access(adversarial);
+  const PriorLca lca(access, prior);
+  const PriorEval eval = evaluate_prior(adversarial, lca);
+  // The needle family's heavy items carry ~40% of the profit; the prior
+  // cannot capture any of it.
+  EXPECT_LT(eval.norm_value, 0.62);
+}
+
+TEST(PriorLca, SafetyMarginOnlyShrinksTheSolution) {
+  const auto reference =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 20'000, 101);
+  Prior prior = learn_prior(reference, learner_config());
+  ASSERT_GE(prior.e_small_grid, 0);
+  const auto fresh = knapsack::make_family(knapsack::Family::kUncorrelated, 20'000, 102);
+  const oracle::MaterializedAccess access(fresh);
+  const PriorLca plain(access, prior);
+  Prior padded = prior;
+  padded.safety_cells = 64;
+  const PriorLca safe(access, padded);
+  const PriorEval plain_eval = evaluate_prior(fresh, plain);
+  const PriorEval safe_eval = evaluate_prior(fresh, safe);
+  EXPECT_LE(safe_eval.norm_value, plain_eval.norm_value + 1e-12);
+}
+
+}  // namespace
+}  // namespace lcaknap::core

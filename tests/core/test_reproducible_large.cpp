@@ -1,0 +1,106 @@
+#include "core/reproducible_large.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "knapsack/instance.h"
+#include "oracle/access.h"
+
+namespace lcaknap::core {
+namespace {
+
+/// eps = 0.25 => eps^2 = 1/16.  Total profit 1600, so normalized profit p/1600.
+/// Items: 2 clearly large (400 each = 0.25), a block of straddlers at exactly
+/// 100 (= eps^2), and filler items far below.
+knapsack::Instance borderline_instance(std::size_t straddlers, std::size_t fillers) {
+  std::vector<knapsack::Item> items;
+  items.push_back({400, 1});
+  items.push_back({400, 1});
+  for (std::size_t s = 0; s < straddlers; ++s) items.push_back({100, 1});
+  const std::int64_t used =
+      800 + static_cast<std::int64_t>(straddlers) * 100;
+  const std::int64_t remaining = 1600 - used;
+  const std::int64_t per_filler =
+      std::max<std::int64_t>(1, remaining / static_cast<std::int64_t>(fillers));
+  for (std::size_t f = 0; f < fillers; ++f) items.push_back({per_filler, 1});
+  const auto capacity = static_cast<std::int64_t>(items.size());
+  return {std::move(items), capacity};
+}
+
+ReproducibleLargeConfig test_config() {
+  ReproducibleLargeConfig config;
+  config.eps = 0.25;
+  config.samples = 400'000;
+  return config;
+}
+
+TEST(ReproducibleLarge, FindsClearlyLargeExcludesClearlySmall) {
+  const auto inst = borderline_instance(4, 100);
+  const oracle::MaterializedAccess access(inst);
+  const util::Prf prf(1);
+  util::Xoshiro256 rng(2);
+  const auto result = reproducible_large_items(access, test_config(), prf, rng);
+  // Items 0 and 1 (norm profit 0.25 >> eps^2 (1 + window)) must be present.
+  EXPECT_TRUE(std::binary_search(result.indices.begin(), result.indices.end(), 0u));
+  EXPECT_TRUE(std::binary_search(result.indices.begin(), result.indices.end(), 1u));
+  // Fillers (norm profit ~0.0006 << eps^2 (1 - window)) must be absent.
+  for (const auto idx : result.indices) EXPECT_LT(idx, 6u);
+}
+
+TEST(ReproducibleLarge, NeverReadsItemPayloads) {
+  const auto inst = borderline_instance(2, 50);
+  const oracle::MaterializedAccess access(inst);
+  const util::Prf prf(3);
+  util::Xoshiro256 rng(4);
+  access.reset_counters();
+  (void)reproducible_large_items(access, test_config(), prf, rng);
+  EXPECT_EQ(access.query_count(), 0u);  // index-only model
+  EXPECT_GT(access.sample_count(), 0u);
+}
+
+TEST(ReproducibleLarge, StraddlersAreDecidedConsistently) {
+  // The whole point: items at exactly eps^2 flicker under naive thresholding
+  // but the shared randomized threshold decides them identically across runs.
+  const auto inst = borderline_instance(5, 100);
+  const oracle::MaterializedAccess access(inst);
+  util::Xoshiro256 fresh(5);
+  int disagreements = 0;
+  constexpr int kPairs = 20;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const util::Prf prf(static_cast<std::uint64_t>(pair) * 48611 + 7);
+    util::Xoshiro256 rng1(fresh()), rng2(fresh());
+    const auto a = reproducible_large_items(access, test_config(), prf, rng1);
+    const auto b = reproducible_large_items(access, test_config(), prf, rng2);
+    if (a.indices != b.indices) ++disagreements;
+  }
+  EXPECT_LE(disagreements, 3);
+}
+
+TEST(ReproducibleLarge, ValidatesConfig) {
+  const auto inst = borderline_instance(1, 10);
+  const oracle::MaterializedAccess access(inst);
+  const util::Prf prf(8);
+  util::Xoshiro256 rng(9);
+  ReproducibleLargeConfig bad;
+  bad.eps = 0.0;
+  EXPECT_THROW(reproducible_large_items(access, bad, prf, rng), std::invalid_argument);
+  bad = test_config();
+  bad.window = 1.5;
+  EXPECT_THROW(reproducible_large_items(access, bad, prf, rng), std::invalid_argument);
+}
+
+TEST(ReproducibleLarge, AutoSampleSizeIsBounded) {
+  const auto inst = borderline_instance(1, 10);
+  const oracle::MaterializedAccess access(inst);
+  const util::Prf prf(10);
+  util::Xoshiro256 rng(11);
+  ReproducibleLargeConfig config;
+  config.eps = 0.25;  // auto samples
+  const auto result = reproducible_large_items(access, config, prf, rng);
+  EXPECT_GT(result.samples_used, 0u);
+  EXPECT_LE(result.samples_used, 4'000'000u);
+}
+
+}  // namespace
+}  // namespace lcaknap::core

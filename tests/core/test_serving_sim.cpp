@@ -1,0 +1,142 @@
+#include "core/serving_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "knapsack/generators.h"
+
+namespace lcaknap::core {
+namespace {
+
+LcaKpConfig sim_config() {
+  LcaKpConfig config;
+  config.eps = 0.1;
+  config.seed = 0x5E21;
+  config.quantile_samples = 40'000;
+  return config;
+}
+
+TEST(Workload, UniformCoversTheIndexSpace) {
+  WorkloadConfig config;
+  config.queries = 50'000;
+  const auto trace = generate_workload(100, config);
+  ASSERT_EQ(trace.size(), 50'000u);
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto i : trace) {
+    ASSERT_LT(i, 100u);
+    ++counts[i];
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [item, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), 500.0, 150.0);
+  }
+}
+
+TEST(Workload, ZipfIsHeavilySkewed) {
+  WorkloadConfig config;
+  config.shape = WorkloadConfig::Shape::kZipf;
+  config.queries = 50'000;
+  config.zipf_s = 1.2;
+  const auto trace = generate_workload(10'000, config);
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto i : trace) ++counts[i];
+  std::vector<std::size_t> sorted;
+  for (const auto& [item, count] : counts) sorted.push_back(count);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // The top item dominates; the top 10 carry a large share.
+  std::size_t top10 = 0;
+  for (std::size_t k = 0; k < std::min<std::size_t>(10, sorted.size()); ++k) {
+    top10 += sorted[k];
+  }
+  EXPECT_GT(static_cast<double>(top10) / 50'000.0, 0.4);
+}
+
+TEST(Workload, HotspotRoutesTheConfiguredFraction) {
+  WorkloadConfig config;
+  config.shape = WorkloadConfig::Shape::kHotspot;
+  config.queries = 50'000;
+  config.hotspot_fraction = 0.8;
+  config.hotspot_items = 4;
+  const auto trace = generate_workload(100'000, config);
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto i : trace) ++counts[i];
+  std::vector<std::size_t> sorted;
+  for (const auto& [item, count] : counts) sorted.push_back(count);
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::size_t top4 = 0;
+  for (std::size_t k = 0; k < std::min<std::size_t>(4, sorted.size()); ++k) {
+    top4 += sorted[k];
+  }
+  EXPECT_NEAR(static_cast<double>(top4) / 50'000.0, 0.8, 0.05);
+}
+
+TEST(Workload, DeterministicPerSeedAndValidates) {
+  WorkloadConfig config;
+  config.queries = 100;
+  EXPECT_EQ(generate_workload(50, config), generate_workload(50, config));
+  EXPECT_THROW(generate_workload(0, config), std::invalid_argument);
+  config.shape = WorkloadConfig::Shape::kZipf;
+  config.zipf_s = 0.0;
+  EXPECT_THROW(generate_workload(50, config), std::invalid_argument);
+  config.shape = WorkloadConfig::Shape::kHotspot;
+  config.hotspot_items = 0;
+  EXPECT_THROW(generate_workload(50, config), std::invalid_argument);
+}
+
+TEST(ServingSim, ReportIsInternallyConsistent) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 10'000, 81);
+  ServingConfig serving;
+  serving.lca = sim_config();
+  serving.replicas = 4;
+  WorkloadConfig workload;
+  workload.queries = 2'000;
+  const auto report = simulate_serving(inst, serving, workload);
+  EXPECT_EQ(report.replicas, 4u);
+  EXPECT_EQ(report.queries, 2'000u);
+  EXPECT_GT(report.warmup_samples_per_replica, 0.0);
+  EXPECT_LE(report.p50_us, report.p95_us);
+  EXPECT_LE(report.p95_us, report.p99_us);
+  EXPECT_GE(report.p50_us, serving.rpc_fixed_us);
+  EXPECT_GE(report.yes_rate, 0.0);
+  EXPECT_LE(report.yes_rate, 1.0);
+  // The paper's consistency guarantee as an SLO.
+  EXPECT_GE(report.consistency_rate, 0.9);
+}
+
+TEST(ServingSim, ParallelWarmupMatchesSerial) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 82);
+  ServingConfig serving;
+  serving.lca = sim_config();
+  serving.replicas = 3;
+  WorkloadConfig workload;
+  workload.queries = 500;
+  const auto serial = simulate_serving(inst, serving, workload);
+  util::ThreadPool pool(3);
+  const auto parallel = simulate_serving(inst, serving, workload, &pool);
+  EXPECT_DOUBLE_EQ(serial.consistency_rate, parallel.consistency_rate);
+  EXPECT_DOUBLE_EQ(serial.yes_rate, parallel.yes_rate);
+  EXPECT_DOUBLE_EQ(serial.warmup_samples_per_replica,
+                   parallel.warmup_samples_per_replica);
+}
+
+TEST(ServingSim, SkewedWorkloadsServeTheSameSolution) {
+  // The served solution does not depend on the query distribution (the rule
+  // is fixed per run); only traffic shape changes.
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5'000, 83);
+  ServingConfig serving;
+  serving.lca = sim_config();
+  serving.replicas = 2;
+  WorkloadConfig uniform;
+  uniform.queries = 3'000;
+  WorkloadConfig zipf = uniform;
+  zipf.shape = WorkloadConfig::Shape::kZipf;
+  const auto a = simulate_serving(inst, serving, uniform);
+  const auto b = simulate_serving(inst, serving, zipf);
+  EXPECT_GE(a.consistency_rate, 0.9);
+  EXPECT_GE(b.consistency_rate, 0.9);
+}
+
+}  // namespace
+}  // namespace lcaknap::core

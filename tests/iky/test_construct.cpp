@@ -1,0 +1,106 @@
+#include "iky/construct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lcaknap::iky {
+namespace {
+
+std::vector<NormLargeItem> two_large() {
+  // Two large items: (0.3 profit, 0.2 weight) and (0.2, 0.1).
+  NormLargeItem a{0, 0.3, 0.2, 1.5};
+  NormLargeItem b{1, 0.2, 0.1, 2.0};
+  return {a, b};
+}
+
+TEST(ConstructTilde, LargeItemsCopiedVerbatim) {
+  const auto large = two_large();
+  const TildeInstance tilde = construct_tilde(large, {}, 0.25, 0.5);
+  ASSERT_EQ(tilde.items.size(), 2u);
+  EXPECT_TRUE(tilde.items[0].is_large);
+  EXPECT_EQ(tilde.items[0].source_index, 0u);
+  EXPECT_DOUBLE_EQ(tilde.items[0].profit, 0.3);
+  EXPECT_DOUBLE_EQ(tilde.items[1].weight, 0.1);
+  EXPECT_DOUBLE_EQ(tilde.capacity, 0.5);
+  EXPECT_NEAR(tilde.large_profit(), 0.5, 1e-12);
+}
+
+TEST(ConstructTilde, RepresentativeCountAndShape) {
+  const double eps = 0.25;  // floor(1/eps) = 4 copies per band
+  const std::vector<double> thresholds{2.0, 1.0, 0.5};
+  const TildeInstance tilde = construct_tilde(two_large(), thresholds, eps, 0.5);
+  // 2 large + 3 bands * 4 copies.
+  ASSERT_EQ(tilde.items.size(), 2u + 12u);
+  const double eps2 = eps * eps;
+  std::size_t band_counts[3] = {0, 0, 0};
+  for (const auto& it : tilde.items) {
+    if (it.is_large) continue;
+    ASSERT_GE(it.band, 0);
+    ASSERT_LT(it.band, 3);
+    ++band_counts[it.band];
+    EXPECT_DOUBLE_EQ(it.profit, eps2);
+    // Band k representative: (eps^2, eps^2 / e_{k+1}).
+    EXPECT_DOUBLE_EQ(it.weight, eps2 / thresholds[static_cast<std::size_t>(it.band)]);
+    EXPECT_DOUBLE_EQ(it.efficiency, thresholds[static_cast<std::size_t>(it.band)]);
+  }
+  for (const auto c : band_counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(ConstructTilde, SizeIsEpsBounded) {
+  // |Ĩ| <= |L| + t * floor(1/eps) with t <= 1/eps: O(1/eps^2), independent of n.
+  const double eps = 0.2;
+  std::vector<double> thresholds;
+  for (int k = 0; k < 5; ++k) thresholds.push_back(2.0 / (k + 1));
+  const TildeInstance tilde = construct_tilde(two_large(), thresholds, eps, 0.5);
+  EXPECT_LE(tilde.items.size(),
+            2u + static_cast<std::size_t>(std::floor(1.0 / eps)) * thresholds.size());
+}
+
+TEST(ConstructTilde, ValidatesArguments) {
+  EXPECT_THROW(construct_tilde({}, {}, 0.0, 0.5), std::invalid_argument);
+  const std::vector<double> increasing{1.0, 2.0};
+  EXPECT_THROW(construct_tilde(two_large(), increasing, 0.2, 0.5),
+               std::invalid_argument);
+  const std::vector<double> nonpositive{1.0, 0.0};
+  EXPECT_THROW(construct_tilde(two_large(), nonpositive, 0.2, 0.5),
+               std::invalid_argument);
+}
+
+TEST(SolveTildeExact, MatchesHandComputedOptimum) {
+  // Two large items with weights 0.2 and 0.1, capacity 0.25: only one fits,
+  // and the better is item 0 (profit 0.3, weight 0.2).
+  const TildeInstance tilde = construct_tilde(two_large(), {}, 0.25, 0.25);
+  EXPECT_NEAR(solve_tilde_exact(tilde), 0.3, 1e-6);
+  // Capacity 0.35: both fit (0.3 weight), profit 0.5.
+  const TildeInstance bigger = construct_tilde(two_large(), {}, 0.25, 0.35);
+  EXPECT_NEAR(solve_tilde_exact(bigger), 0.5, 1e-6);
+}
+
+TEST(SolveTildeExact, DropsOverweightItems) {
+  NormLargeItem heavy{0, 0.9, 0.9, 1.0};
+  NormLargeItem light{1, 0.1, 0.05, 2.0};
+  const std::vector<NormLargeItem> pair{heavy, light};
+  const TildeInstance tilde = construct_tilde(pair, {}, 0.25, 0.1);
+  // The heavy item cannot fit; the optimum is the light one.
+  EXPECT_NEAR(solve_tilde_exact(tilde), 0.1, 1e-6);
+}
+
+TEST(SolveTildeExact, EmptyOrInfeasibleIsZero) {
+  NormLargeItem heavy{0, 0.9, 0.9, 1.0};
+  const std::vector<NormLargeItem> only{heavy};
+  const TildeInstance tilde = construct_tilde(only, {}, 0.25, 0.1);
+  EXPECT_DOUBLE_EQ(solve_tilde_exact(tilde), 0.0);
+}
+
+TEST(SolveTildeExact, RepresentativesContributeMass) {
+  // No large items; 3 bands of representatives with eps = 0.25 (4 copies of
+  // profit 1/16 each): total representative profit = 12/16 = 0.75; ample
+  // capacity admits everything.
+  const std::vector<double> thresholds{2.0, 1.0, 0.5};
+  const TildeInstance tilde = construct_tilde({}, thresholds, 0.25, 1.0);
+  EXPECT_NEAR(solve_tilde_exact(tilde), 0.75, 1e-6);
+}
+
+}  // namespace
+}  // namespace lcaknap::iky

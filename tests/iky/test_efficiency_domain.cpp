@@ -1,0 +1,77 @@
+#include "iky/efficiency_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lcaknap::iky {
+namespace {
+
+TEST(EfficiencyDomain, SizeMatchesBits) {
+  const EfficiencyDomain d(10);
+  EXPECT_EQ(d.size(), 1024);
+  EXPECT_EQ(d.bits(), 10);
+}
+
+TEST(EfficiencyDomain, MapIsMonotone) {
+  const EfficiencyDomain d(16);
+  std::int64_t previous = -1;
+  for (double e = 1e-6; e < 1e6; e *= 1.7) {
+    const auto cell = d.to_grid(e);
+    EXPECT_GE(cell, previous);
+    previous = cell;
+  }
+}
+
+TEST(EfficiencyDomain, ClampsOutOfRange) {
+  const EfficiencyDomain d(8, -4, 4);  // range [1/16, 16]
+  EXPECT_EQ(d.to_grid(1e-9), 0);
+  EXPECT_EQ(d.to_grid(1e9), d.size() - 1);
+  EXPECT_EQ(d.to_grid(0.0), 0);
+  EXPECT_EQ(d.to_grid(-1.0), 0);
+  EXPECT_EQ(d.to_grid(std::numeric_limits<double>::infinity()), d.size() - 1);
+}
+
+TEST(EfficiencyDomain, RoundTripStability) {
+  const EfficiencyDomain d(14);
+  for (std::int64_t cell : {std::int64_t{0}, std::int64_t{1}, d.size() / 3,
+                            d.size() / 2, d.size() - 2, d.size() - 1}) {
+    EXPECT_EQ(d.to_grid(d.from_grid(cell)), cell) << "cell=" << cell;
+  }
+}
+
+TEST(EfficiencyDomain, RepresentativeIsInsideCellRange) {
+  const EfficiencyDomain d(8, -4, 4);
+  for (std::int64_t cell = 0; cell < d.size(); cell += 17) {
+    const double rep = d.from_grid(cell);
+    EXPECT_GT(rep, 0.0);
+    EXPECT_GE(rep, 1.0 / 16.0 * 0.99);
+    EXPECT_LE(rep, 16.0 * 1.01);
+  }
+}
+
+TEST(EfficiencyDomain, FinerGridsSeparateBetter) {
+  const EfficiencyDomain coarse(6);
+  const EfficiencyDomain fine(20);
+  const double a = 1.0, b = 1.001;
+  EXPECT_EQ(coarse.to_grid(a), coarse.to_grid(b));
+  EXPECT_NE(fine.to_grid(a), fine.to_grid(b));
+}
+
+TEST(EfficiencyDomain, ValidatesArguments) {
+  EXPECT_THROW(EfficiencyDomain(0), std::invalid_argument);
+  EXPECT_THROW(EfficiencyDomain(49), std::invalid_argument);
+  EXPECT_THROW(EfficiencyDomain(8, 5, 5), std::invalid_argument);
+}
+
+TEST(EfficiencyDomain, DeterministicAcrossInstances) {
+  // Two replicas constructing the domain independently must agree on every
+  // mapping — the consistency prerequisite of Section 4.2.
+  const EfficiencyDomain a(12), b(12);
+  for (double e = 1e-8; e < 1e8; e *= 3.1) {
+    EXPECT_EQ(a.to_grid(e), b.to_grid(e));
+  }
+}
+
+}  // namespace
+}  // namespace lcaknap::iky

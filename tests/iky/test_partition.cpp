@@ -1,0 +1,65 @@
+#include "iky/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+
+namespace lcaknap::iky {
+namespace {
+
+TEST(ClassifyItem, ThresholdsExactlyAtEpsSquared) {
+  const double eps = 0.25;  // eps^2 = 0.0625, exact in binary
+  EXPECT_EQ(classify_item(0.07, 1.0, eps), ItemClass::kLarge);
+  EXPECT_EQ(classify_item(0.0625, 1.0, eps), ItemClass::kSmall);     // p <= eps^2
+  EXPECT_EQ(classify_item(0.0625, 0.0625, eps), ItemClass::kSmall);  // eff >= eps^2
+  EXPECT_EQ(classify_item(0.0625, 0.06, eps), ItemClass::kGarbage);
+  EXPECT_EQ(classify_item(0.0001, 0.0001, eps), ItemClass::kGarbage);
+}
+
+TEST(ClassifyItem, ZeroWeightIsNeverGarbage) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(classify_item(0.001, inf, 0.2), ItemClass::kSmall);
+  EXPECT_EQ(classify_item(0.5, inf, 0.2), ItemClass::kLarge);
+}
+
+TEST(PartitionInstance, ClassesAreDisjointAndExhaustive) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 2000, 3);
+  const Partition part = partition_instance(inst, 0.25);
+  EXPECT_EQ(part.large.size() + part.small.size() + part.garbage.size(),
+            inst.size());
+  EXPECT_NEAR(part.large_mass + part.small_mass + part.garbage_mass, 1.0, 1e-9);
+}
+
+TEST(PartitionInstance, LargeItemCountBounded) {
+  // At most 1/eps^2 items can each carry more than eps^2 of the profit.
+  for (const auto family :
+       {knapsack::Family::kUncorrelated, knapsack::Family::kNeedle}) {
+    const auto inst = knapsack::make_family(family, 3000, 5);
+    for (const double eps : {0.15, 0.25, 0.4}) {
+      const Partition part = partition_instance(inst, eps);
+      EXPECT_LE(static_cast<double>(part.large.size()), 1.0 / (eps * eps) + 1e-9);
+    }
+  }
+}
+
+TEST(PartitionInstance, GarbageMassBoundedByEpsSquared) {
+  // Garbage items have efficiency < eps^2 and total (normalized) weight <= 1,
+  // so their profit mass is < eps^2 when total weight is normalized — the
+  // fact Lemma 4.6 uses.  Our instances have total weight normalized to 1.
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 5000, 7);
+  for (const double eps : {0.2, 0.3}) {
+    const Partition part = partition_instance(inst, eps);
+    EXPECT_LE(part.garbage_mass, eps * eps + 1e-9);
+  }
+}
+
+TEST(PartitionInstance, EpsMonotonicity) {
+  // Growing eps can only move items out of Large (threshold eps^2 rises).
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 1000, 9);
+  const Partition tight = partition_instance(inst, 0.1);
+  const Partition loose = partition_instance(inst, 0.4);
+  EXPECT_GE(tight.large.size(), loose.large.size());
+}
+
+}  // namespace
+}  // namespace lcaknap::iky

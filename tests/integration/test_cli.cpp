@@ -1,0 +1,88 @@
+// Drives the lcaknap_cli binary end-to-end through std::system.  The binary
+// path is injected by CMake as LCAKNAP_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef LCAKNAP_CLI_PATH
+#error "LCAKNAP_CLI_PATH must be defined by the build"
+#endif
+
+const std::string kCli = LCAKNAP_CLI_PATH;
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  const std::string out_file = ::testing::TempDir() + "cli_out.txt";
+  const std::string command = kCli + " " + args + " > " + out_file + " 2>&1";
+  const int status = std::system(command.c_str());
+  std::ifstream in(out_file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return {WEXITSTATUS(status), buffer.str()};
+}
+
+std::string temp_instance() { return ::testing::TempDir() + "cli_instance.txt"; }
+
+TEST(Cli, GenerateSolveServeEvalPipeline) {
+  const std::string path = temp_instance();
+  const auto gen = run("generate --family needle --n 3000 --seed 5 --out " + path);
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote 3000 items"), std::string::npos);
+
+  const auto solve = run("solve --in " + path + " --method greedy");
+  ASSERT_EQ(solve.exit_code, 0) << solve.output;
+  EXPECT_NE(solve.output.find("1/2-approximation"), std::string::npos);
+
+  const auto serve = run("serve --in " + path + " --eps 0.15 --items 0,1,2");
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("answered 3 queries"), std::string::npos);
+
+  const auto eval = run("eval --in " + path + " --replicas 3 --queries 50 --eps 0.15");
+  ASSERT_EQ(eval.exit_code, 0) << eval.output;
+  EXPECT_NE(eval.output.find("pairwise agreement"), std::string::npos);
+  EXPECT_NE(eval.output.find("3/3"), std::string::npos);  // feasible runs
+}
+
+TEST(Cli, FptasSolveWorks) {
+  const std::string path = temp_instance();
+  ASSERT_EQ(run("generate --family uncorrelated --n 120 --out " + path).exit_code, 0);
+  const auto solve = run("solve --in " + path + " --method fptas --eps 0.2");
+  ASSERT_EQ(solve.exit_code, 0) << solve.output;
+  EXPECT_NE(solve.output.find("(1 - 0.20)"), std::string::npos);  // guarantee note
+}
+
+TEST(Cli, UsageErrorsExitOne) {
+  EXPECT_EQ(run("").exit_code, 1);
+  EXPECT_EQ(run("frobnicate").exit_code, 1);
+  EXPECT_EQ(run("generate --n 10").exit_code, 1);                   // missing family
+  EXPECT_EQ(run("generate --family bogus --n 10").exit_code, 1);    // unknown family
+  const std::string path = temp_instance();
+  ASSERT_EQ(run("generate --family needle --n 100 --out " + path).exit_code, 0);
+  EXPECT_EQ(run("serve --in " + path).exit_code, 1);                // missing --items
+  EXPECT_EQ(run("solve --in " + path + " --method warp").exit_code, 1);
+}
+
+TEST(Cli, RuntimeErrorsExitTwo) {
+  EXPECT_EQ(run("solve --in /nonexistent/file --method greedy").exit_code, 2);
+}
+
+TEST(Cli, ServeAllSummarizes) {
+  const std::string path = temp_instance();
+  ASSERT_EQ(run("generate --family needle --n 800 --out " + path).exit_code, 0);
+  const auto serve = run("serve --in " + path + " --eps 0.2 --all");
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("answered 800 queries"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "knapsack/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "iky/partition.h"
+
+namespace lcaknap::knapsack {
+namespace {
+
+class GeneratorFamilyTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(GeneratorFamilyTest, ProducesValidInstance) {
+  const Instance inst = make_family(GetParam(), 500, 7);
+  EXPECT_EQ(inst.size(), 500u);
+  EXPECT_GT(inst.total_profit(), 0);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(inst.item(i).profit, 0);
+    EXPECT_GE(inst.item(i).weight, 0);
+    EXPECT_LE(inst.item(i).weight, inst.capacity());
+  }
+}
+
+TEST_P(GeneratorFamilyTest, DeterministicPerSeed) {
+  const Instance a = make_family(GetParam(), 200, 11);
+  const Instance b = make_family(GetParam(), 200, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.item(i), b.item(i));
+  EXPECT_EQ(a.capacity(), b.capacity());
+}
+
+TEST_P(GeneratorFamilyTest, DifferentSeedsDiffer) {
+  const Instance a = make_family(GetParam(), 200, 1);
+  const Instance b = make_family(GetParam(), 200, 2);
+  bool any_diff = a.capacity() != b.capacity();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = !(a.item(i) == b.item(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GeneratorFamilyTest,
+                         ::testing::ValuesIn(all_families()),
+                         [](const auto& info) { return family_name(info.param); });
+
+TEST(Generators, StronglyCorrelatedHasFixedBonus) {
+  util::Xoshiro256 rng(5);
+  GeneratorConfig cfg;
+  cfg.n = 100;
+  const Instance inst = strongly_correlated(cfg, rng);
+  const std::int64_t bonus = cfg.max_value / 10;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(inst.item(i).profit, inst.item(i).weight + bonus);
+  }
+}
+
+TEST(Generators, SubsetSumHasEqualProfitWeight) {
+  util::Xoshiro256 rng(6);
+  GeneratorConfig cfg;
+  cfg.n = 100;
+  const Instance inst = subset_sum(cfg, rng);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(inst.item(i).profit, inst.item(i).weight);
+  }
+}
+
+TEST(Generators, ProfitCeilingQuantizesProfits) {
+  util::Xoshiro256 rng(31);
+  GeneratorConfig cfg;
+  cfg.n = 200;
+  const Instance inst = profit_ceiling(cfg, rng);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(inst.item(i).profit % 3, 0);
+    EXPECT_GE(inst.item(i).profit, inst.item(i).weight);
+    EXPECT_LE(inst.item(i).profit, inst.item(i).weight + 2);
+  }
+}
+
+TEST(Generators, CircleProfitsFollowTheArc) {
+  util::Xoshiro256 rng(32);
+  GeneratorConfig cfg;
+  cfg.n = 500;
+  cfg.max_value = 10'000;
+  const Instance inst = circle(cfg, rng);
+  const double radius = 2'500.0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const double x = static_cast<double>(inst.item(i).weight) - 2.0 * radius;
+    const double expected =
+        2.0 / 3.0 * std::sqrt(std::max(0.0, 4.0 * radius * radius - x * x));
+    EXPECT_NEAR(static_cast<double>(inst.item(i).profit), std::max(1.0, expected), 1.0);
+  }
+}
+
+TEST(Generators, NeedleProducesAllThreeClasses) {
+  util::Xoshiro256 rng(8);
+  NeedleConfig cfg;
+  cfg.n = 5000;
+  const Instance inst = needle(cfg, rng);
+  const auto part = iky::partition_instance(inst, 0.25);
+  EXPECT_GE(part.large.size(), 1u);
+  EXPECT_GE(part.small.size(), 100u);
+  EXPECT_GE(part.garbage.size(), 100u);
+  // Heavy items should carry roughly heavy_mass of the profit.
+  EXPECT_NEAR(part.large_mass, cfg.heavy_mass, 0.15);
+}
+
+TEST(Generators, NeedleRejectsBadConfig) {
+  util::Xoshiro256 rng(9);
+  NeedleConfig bad;
+  bad.heavy_count = 0;
+  EXPECT_THROW(needle(bad, rng), std::invalid_argument);
+  NeedleConfig overfull;
+  overfull.heavy_mass = 0.8;
+  overfull.garbage_mass = 0.3;
+  EXPECT_THROW(needle(overfull, rng), std::invalid_argument);
+}
+
+TEST(Generators, CapacityFractionRespected) {
+  util::Xoshiro256 rng(10);
+  GeneratorConfig cfg;
+  cfg.n = 1000;
+  cfg.capacity_fraction = 0.3;
+  const Instance inst = uncorrelated(cfg, rng);
+  const double fraction = static_cast<double>(inst.capacity()) /
+                          static_cast<double>(inst.total_weight());
+  EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(Generators, FamilyNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (const auto family : all_families()) names.push_back(family_name(family));
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+}  // namespace
+}  // namespace lcaknap::knapsack

@@ -1,0 +1,105 @@
+#include "knapsack/solvers/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/brute_force.h"
+
+namespace lcaknap::knapsack {
+namespace {
+
+TEST(EfficiencyOrder, SortsByRatioExactly) {
+  // Ratios: 2/1=2, 3/2=1.5, 5/2=2.5, 1/1=1.
+  const Instance inst({{2, 1}, {3, 2}, {5, 2}, {1, 1}}, 6);
+  const auto order = efficiency_order(inst);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 0, 1, 3}));
+}
+
+TEST(EfficiencyOrder, ZeroWeightFirstThenTiesByIndex) {
+  const Instance inst({{1, 1}, {5, 0}, {2, 2}, {3, 0}}, 4);
+  const auto order = efficiency_order(inst);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  // 1/1 == 2/2: tie broken by index.
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(FractionalOpt, MatchesHandComputation) {
+  // K=5: take (6,3); then 2 units of (4,4) -> 6 + 4*(2/4) = 8.
+  const Instance inst({{6, 3}, {4, 4}}, 5);
+  EXPECT_DOUBLE_EQ(fractional_opt(inst), 8.0);
+}
+
+TEST(FractionalOpt, UpperBoundsIntegralOpt) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Xoshiro256 rng(seed);
+    GeneratorConfig cfg;
+    cfg.n = 14;
+    cfg.max_value = 50;
+    const Instance inst = uncorrelated(cfg, rng);
+    const Solution opt = brute_force(inst);
+    EXPECT_GE(fractional_opt(inst) + 1e-9, static_cast<double>(opt.value));
+  }
+}
+
+TEST(GreedyHalf, SingletonBeatsPrefixWhenNeeded) {
+  // Greedy order: (2,1) eff 2, then (10,9) eff 1.11, then (1,1).
+  // Prefix: {(2,1)} value 2, cutoff item (10,9) value 10 -> singleton wins.
+  const Instance inst({{2, 1}, {10, 9}, {1, 1}}, 9);
+  const GreedyResult g = greedy_half(inst);
+  EXPECT_TRUE(g.used_singleton);
+  EXPECT_EQ(g.solution.value, 10);
+  EXPECT_EQ(g.cutoff_index, 1u);
+}
+
+TEST(GreedyHalf, EverythingFitsIsOptimal) {
+  const Instance inst({{3, 1}, {4, 2}}, 3);
+  const GreedyResult g = greedy_half(inst);
+  EXPECT_FALSE(g.used_singleton);
+  EXPECT_EQ(g.cutoff_index, GreedyResult::kNoCutoff);
+  EXPECT_EQ(g.solution.value, 7);
+}
+
+TEST(GreedyHalf, ReportsCutoff) {
+  const Instance inst({{6, 3}, {4, 4}}, 5);
+  const GreedyResult g = greedy_half(inst);
+  EXPECT_EQ(g.cutoff_index, 1u);
+  EXPECT_EQ(g.cutoff_rank, 1u);
+  EXPECT_GT(g.cutoff_efficiency, 0.0);
+}
+
+class GreedyHalfProperty : public ::testing::TestWithParam<Family> {};
+
+TEST_P(GreedyHalfProperty, AchievesHalfOfOptimum) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Instance inst = [&] {
+      util::Xoshiro256 rng(seed * 31 + 1);
+      GeneratorConfig cfg;
+      cfg.n = 16;
+      cfg.max_value = 60;
+      switch (GetParam()) {
+        case Family::kStronglyCorrelated: return strongly_correlated(cfg, rng);
+        case Family::kSubsetSum: return subset_sum(cfg, rng);
+        case Family::kInverseCorrelated: return inverse_correlated(cfg, rng);
+        default: return uncorrelated(cfg, rng);
+      }
+    }();
+    const Solution opt = brute_force(inst);
+    const GreedyResult g = greedy_half(inst);
+    EXPECT_TRUE(inst.feasible(g.solution.items));
+    // The classical guarantee: greedy_half >= OPT / 2.
+    EXPECT_GE(2 * g.solution.value, opt.value)
+        << family_name(GetParam()) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GreedyHalfProperty,
+                         ::testing::Values(Family::kUncorrelated,
+                                           Family::kStronglyCorrelated,
+                                           Family::kInverseCorrelated,
+                                           Family::kSubsetSum),
+                         [](const auto& info) { return family_name(info.param); });
+
+}  // namespace
+}  // namespace lcaknap::knapsack

@@ -1,0 +1,82 @@
+#include "knapsack/solvers/meet_in_middle.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/brute_force.h"
+
+namespace lcaknap::knapsack {
+namespace {
+
+struct MimCase {
+  Family family;
+  std::uint64_t seed;
+  std::size_t n;
+};
+
+class MeetInMiddleAgreement : public ::testing::TestWithParam<MimCase> {};
+
+TEST_P(MeetInMiddleAgreement, MatchesBruteForce) {
+  const auto& param = GetParam();
+  const Instance inst = make_family(param.family, param.n, param.seed);
+  const Solution reference = brute_force(inst);
+  const Solution mim = meet_in_middle(inst);
+  EXPECT_EQ(mim.value, reference.value);
+  EXPECT_TRUE(inst.feasible(mim.items));
+  EXPECT_EQ(inst.value_of(mim.items), mim.value);
+}
+
+std::vector<MimCase> mim_cases() {
+  std::vector<MimCase> cases;
+  for (const auto family :
+       {Family::kUncorrelated, Family::kStronglyCorrelated, Family::kSubsetSum,
+        Family::kSimilarWeights}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      cases.push_back({family, seed, 18});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeetInMiddleAgreement,
+                         ::testing::ValuesIn(mim_cases()),
+                         [](const auto& info) {
+                           return family_name(info.param.family) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(MeetInMiddle, HandlesHugeValuesWhereDpsCannot) {
+  // Strongly correlated items with 10^12-scale values: both DP tables are
+  // out of reach, branch & bound struggles, meet-in-the-middle is exact.
+  std::vector<Item> items;
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t w = rng.next_in(900'000'000'000, 1'100'000'000'000);
+    items.push_back({w + 50'000'000'000, w});
+  }
+  std::int64_t total = 0;
+  for (const auto& it : items) total += it.weight;
+  const Instance inst(std::move(items), total / 2);
+  const Solution mim = meet_in_middle(inst);
+  EXPECT_TRUE(inst.feasible(mim.items));
+  // Optimum must use at least ~half the capacity on this family.
+  EXPECT_GE(mim.weight, inst.capacity() / 2);
+}
+
+TEST(MeetInMiddle, TinyEdgeCases) {
+  const Instance one({{5, 3}}, 3);
+  EXPECT_EQ(meet_in_middle(one).value, 5);
+  const Instance blocked({{5, 3}, {7, 3}}, 3);
+  EXPECT_EQ(meet_in_middle(blocked).value, 7);
+  const Instance zero_cap({{5, 0}, {1, 0}}, 0);
+  EXPECT_EQ(meet_in_middle(zero_cap).value, 6);
+}
+
+TEST(MeetInMiddle, RejectsLargeN) {
+  std::vector<Item> items(41, {1, 1});
+  const Instance inst(std::move(items), 5);
+  EXPECT_THROW(meet_in_middle(inst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcaknap::knapsack

@@ -1,0 +1,98 @@
+// Cross-checks between independent exact solvers at sizes beyond brute
+// force, and larger-scale invariants of the approximate solvers.
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/branch_bound.h"
+#include "knapsack/solvers/dp.h"
+#include "knapsack/solvers/fptas.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/meet_in_middle.h"
+
+namespace lcaknap::knapsack {
+namespace {
+
+Instance medium(std::uint64_t seed, Family family, std::size_t n,
+                std::int64_t max_value) {
+  util::Xoshiro256 rng(seed);
+  GeneratorConfig cfg;
+  cfg.n = n;
+  cfg.max_value = max_value;
+  switch (family) {
+    case Family::kStronglyCorrelated: return strongly_correlated(cfg, rng);
+    case Family::kWeaklyCorrelated: return weakly_correlated(cfg, rng);
+    case Family::kSubsetSum: return subset_sum(cfg, rng);
+    default: return uncorrelated(cfg, rng);
+  }
+}
+
+class CrossCheck34 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossCheck34, MeetInMiddleAgreesWithWeightDp) {
+  // n = 34 is beyond brute force; two structurally unrelated exact solvers
+  // must still agree.
+  const Instance inst = medium(GetParam(), Family::kUncorrelated, 34, 200);
+  const Solution dp = dp_by_weight(inst);
+  const Solution mim = meet_in_middle(inst);
+  EXPECT_EQ(mim.value, dp.value);
+}
+
+TEST_P(CrossCheck34, MeetInMiddleAgreesWithBranchBoundOnCorrelated) {
+  const Instance inst = medium(GetParam() + 100, Family::kStronglyCorrelated, 30, 500);
+  const auto bb = branch_bound(inst, 200'000'000);
+  const Solution mim = meet_in_middle(inst);
+  if (bb.proven_optimal) {
+    EXPECT_EQ(mim.value, bb.solution.value);
+  } else {
+    EXPECT_GE(mim.value, bb.solution.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheck34, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(CrossCheckLarge, BranchBoundAgreesWithDpAtN500) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Instance inst = medium(seed, Family::kWeaklyCorrelated, 500, 300);
+    const Solution dp = dp_by_weight(inst);
+    const auto bb = branch_bound(inst);
+    ASSERT_TRUE(bb.proven_optimal);
+    EXPECT_EQ(bb.solution.value, dp.value) << "seed " << seed;
+  }
+}
+
+TEST(CrossCheckLarge, GreedyBoundHoldsAtScale) {
+  // At n = 100k exact solving is off the table; verify greedy's guarantee
+  // against the fractional upper bound instead: greedy >= OPT/2 >= frac/2 - max item.
+  for (const auto family : {Family::kUncorrelated, Family::kStronglyCorrelated}) {
+    const Instance inst = medium(7, family, 100'000, 10'000);
+    const GreedyResult greedy = greedy_half(inst);
+    const double frac = fractional_opt(inst);
+    // frac < prefix + cutoff item <= 2 * max(prefix, singleton) = 2 * greedy.
+    EXPECT_GE(2.0 * static_cast<double>(greedy.solution.value) + 1e-6, frac);
+  }
+}
+
+TEST(CrossCheckLarge, FptasDominatesItsGuaranteeAgainstDp) {
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const Instance inst = medium(seed, Family::kUncorrelated, 150, 100);
+    const Solution opt = dp_by_weight(inst);
+    for (const double eps : {0.2, 0.05}) {
+      const Solution approx = fptas(inst, eps);
+      EXPECT_GE(static_cast<double>(approx.value) + 1e-9,
+                (1.0 - eps) * static_cast<double>(opt.value))
+          << "seed " << seed << " eps " << eps;
+    }
+  }
+}
+
+TEST(CrossCheckLarge, SubsetSumOptimumFillsCapacityWhenDense) {
+  // Subset-sum with many small items: the DP should essentially fill K.
+  const Instance inst = medium(21, Family::kSubsetSum, 400, 50);
+  const Solution opt = dp_by_weight(inst);
+  EXPECT_EQ(opt.value, opt.weight);  // p == w on this family
+  EXPECT_GE(opt.weight, inst.capacity() - 1);
+}
+
+}  // namespace
+}  // namespace lcaknap::knapsack

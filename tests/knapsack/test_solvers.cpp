@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "knapsack/solvers/branch_bound.h"
+#include "knapsack/solvers/brute_force.h"
+#include "knapsack/solvers/dp.h"
+#include "knapsack/solvers/fptas.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+
+namespace lcaknap::knapsack {
+namespace {
+
+Instance random_small(std::uint64_t seed, Family family, std::size_t n = 15) {
+  util::Xoshiro256 rng(seed);
+  GeneratorConfig cfg;
+  cfg.n = n;
+  cfg.max_value = 40;
+  switch (family) {
+    case Family::kStronglyCorrelated: return strongly_correlated(cfg, rng);
+    case Family::kWeaklyCorrelated: return weakly_correlated(cfg, rng);
+    case Family::kSubsetSum: return subset_sum(cfg, rng);
+    case Family::kSimilarWeights: return similar_weights(cfg, rng);
+    case Family::kInverseCorrelated: return inverse_correlated(cfg, rng);
+    default: return uncorrelated(cfg, rng);
+  }
+}
+
+TEST(BruteForce, KnownTinyInstance) {
+  const Instance inst({{60, 10}, {100, 20}, {120, 30}}, 50);
+  const Solution opt = brute_force(inst);
+  EXPECT_EQ(opt.value, 220);
+  EXPECT_EQ(opt.items, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(BruteForce, RejectsLargeN) {
+  std::vector<Item> items(27, {1, 1});
+  const Instance inst(std::move(items), 5);
+  EXPECT_THROW(brute_force(inst), std::invalid_argument);
+}
+
+struct SolverCase {
+  Family family;
+  std::uint64_t seed;
+};
+
+class ExactSolverAgreement : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(ExactSolverAgreement, AllExactSolversMatchBruteForce) {
+  const Instance inst = random_small(GetParam().seed, GetParam().family);
+  const Solution reference = brute_force(inst);
+
+  const Solution by_weight = dp_by_weight(inst);
+  EXPECT_EQ(by_weight.value, reference.value);
+  EXPECT_TRUE(inst.feasible(by_weight.items));
+  EXPECT_EQ(inst.value_of(by_weight.items), by_weight.value);
+
+  const Solution by_profit = dp_by_profit(inst);
+  EXPECT_EQ(by_profit.value, reference.value);
+  EXPECT_TRUE(inst.feasible(by_profit.items));
+  EXPECT_EQ(inst.value_of(by_profit.items), by_profit.value);
+
+  const BranchBoundResult bb = branch_bound(inst);
+  EXPECT_TRUE(bb.proven_optimal);
+  EXPECT_EQ(bb.solution.value, reference.value);
+  EXPECT_TRUE(inst.feasible(bb.solution.items));
+
+  const ExactResult referee = solve_exact(inst);
+  EXPECT_EQ(referee.solution.value, reference.value);
+}
+
+std::vector<SolverCase> solver_cases() {
+  std::vector<SolverCase> cases;
+  for (const auto family :
+       {Family::kUncorrelated, Family::kWeaklyCorrelated, Family::kStronglyCorrelated,
+        Family::kInverseCorrelated, Family::kSubsetSum, Family::kSimilarWeights}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) cases.push_back({family, seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactSolverAgreement,
+                         ::testing::ValuesIn(solver_cases()),
+                         [](const auto& info) {
+                           return family_name(info.param.family) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(DpByWeight, GuardsTableSize) {
+  const Instance inst({{1, 1}, {2, 2}}, 2);
+  EXPECT_THROW(dp_by_weight(inst, /*cell_limit=*/1), std::invalid_argument);
+}
+
+TEST(DpByProfit, GuardsTableSize) {
+  const Instance inst({{100, 1}, {200, 2}}, 2);
+  EXPECT_THROW(dp_by_profit(inst, /*cell_limit=*/10), std::invalid_argument);
+}
+
+TEST(DpByProfit, HandlesZeroProfitItems) {
+  const Instance inst({{0, 1}, {5, 1}, {3, 1}}, 2);
+  const Solution s = dp_by_profit(inst);
+  EXPECT_EQ(s.value, 8);
+}
+
+TEST(BranchBound, LargerInstanceAgainstDp) {
+  util::Xoshiro256 rng(77);
+  GeneratorConfig cfg;
+  cfg.n = 60;
+  cfg.max_value = 100;
+  const Instance inst = uncorrelated(cfg, rng);
+  const Solution dp = dp_by_weight(inst);
+  const BranchBoundResult bb = branch_bound(inst);
+  EXPECT_TRUE(bb.proven_optimal);
+  EXPECT_EQ(bb.solution.value, dp.value);
+}
+
+TEST(BranchBound, SurvivesVeryDeepInstances) {
+  // Regression: the DFS must not recurse on the call stack — n = 300k would
+  // overflow it.  A tiny node budget keeps the test fast; the point is that
+  // the walk starts, truncates, and returns a valid solution.
+  util::Xoshiro256 rng(79);
+  GeneratorConfig cfg;
+  cfg.n = 300'000;
+  const Instance inst = uncorrelated(cfg, rng);
+  const BranchBoundResult bb = branch_bound(inst, /*node_budget=*/200'000);
+  EXPECT_TRUE(inst.feasible(bb.solution.items));
+  EXPECT_GE(bb.solution.value, greedy_half(inst).solution.value);
+}
+
+TEST(BranchBound, TruncationStillReturnsGreedyOrBetter) {
+  util::Xoshiro256 rng(78);
+  GeneratorConfig cfg;
+  cfg.n = 200;
+  cfg.max_value = 10'000;
+  const Instance inst = strongly_correlated(cfg, rng);
+  const BranchBoundResult bb = branch_bound(inst, /*node_budget=*/100);
+  EXPECT_FALSE(bb.proven_optimal);
+  EXPECT_TRUE(inst.feasible(bb.solution.items));
+  EXPECT_GE(bb.solution.value, greedy_half(inst).solution.value);
+}
+
+class FptasProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FptasProperty, AchievesOneMinusEps) {
+  const double eps = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance inst = random_small(seed, Family::kUncorrelated, 14);
+    const Solution opt = brute_force(inst);
+    const Solution approx = fptas(inst, eps);
+    EXPECT_TRUE(inst.feasible(approx.items));
+    EXPECT_GE(static_cast<double>(approx.value) + 1e-9,
+              (1.0 - eps) * static_cast<double>(opt.value))
+        << "eps=" << eps << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, FptasProperty,
+                         ::testing::Values(0.5, 0.3, 0.1, 0.05));
+
+TEST(Fptas, RejectsBadEps) {
+  const Instance inst({{1, 1}}, 1);
+  EXPECT_THROW(fptas(inst, 0.0), std::invalid_argument);
+  EXPECT_THROW(fptas(inst, 1.0), std::invalid_argument);
+}
+
+TEST(SolveExact, PicksAnExactRoute) {
+  const Instance inst = random_small(5, Family::kWeaklyCorrelated);
+  const ExactResult result = solve_exact(inst);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.solution.value, brute_force(inst).value);
+}
+
+}  // namespace
+}  // namespace lcaknap::knapsack

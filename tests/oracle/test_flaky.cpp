@@ -1,0 +1,96 @@
+#include "oracle/flaky.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "oracle/latency_model.h"
+
+namespace lcaknap::oracle {
+namespace {
+
+TEST(FlakyAccess, InjectsAtConfiguredRate) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 50, 1);
+  const MaterializedAccess inner(inst);
+  const FlakyAccess flaky(inner, 0.3, /*seed=*/7);
+  int failures = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    try {
+      (void)flaky.query(static_cast<std::size_t>(i % 50));
+    } catch (const OracleUnavailable&) {
+      ++failures;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kTrials, 0.3, 0.02);
+  EXPECT_EQ(flaky.failures_injected(), static_cast<std::uint64_t>(failures));
+}
+
+TEST(FlakyAccess, ZeroRateNeverFails) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 10, 2);
+  const MaterializedAccess inner(inst);
+  const FlakyAccess flaky(inner, 0.0, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_NO_THROW((void)flaky.query(0));
+}
+
+TEST(FlakyAccess, RejectsBadRate) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 10, 2);
+  const MaterializedAccess inner(inst);
+  EXPECT_THROW(FlakyAccess(inner, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(FlakyAccess(inner, -0.1, 1), std::invalid_argument);
+}
+
+TEST(RetryingAccess, MasksTransientFailures) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 50, 4);
+  const MaterializedAccess inner(inst);
+  const FlakyAccess flaky(inner, 0.4, 9);
+  const RetryingAccess retrying(flaky, /*max_attempts=*/32);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto item = retrying.query(static_cast<std::size_t>(i % 50));
+    EXPECT_EQ(item, inst.item(static_cast<std::size_t>(i % 50)));
+    (void)retrying.weighted_sample(rng);
+  }
+  EXPECT_GT(retrying.retries_performed(), 0u);
+}
+
+TEST(RetryingAccess, GivesUpAfterMaxAttempts) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 10, 5);
+  const MaterializedAccess inner(inst);
+  // 90% failure rate with only 2 attempts: failures must escape sometimes.
+  const FlakyAccess flaky(inner, 0.9, 11);
+  const RetryingAccess retrying(flaky, 2);
+  int escaped = 0;
+  for (int i = 0; i < 500; ++i) {
+    try {
+      (void)retrying.query(0);
+    } catch (const OracleUnavailable&) {
+      ++escaped;
+    }
+  }
+  EXPECT_GT(escaped, 300);  // ~81% expected
+}
+
+TEST(RetryingAccess, RejectsBadAttemptCount) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 10, 6);
+  const MaterializedAccess inner(inst);
+  EXPECT_THROW(RetryingAccess(inner, 0), std::invalid_argument);
+}
+
+TEST(LatencyAccess, AccruesSimulatedTime) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 20, 7);
+  const MaterializedAccess inner(inst);
+  LatencyModel model;
+  model.fixed_us = 100.0;
+  model.exp_mean_us = 10.0;
+  const LatencyAccess timed(inner, model, 13);
+  util::Xoshiro256 rng(6);
+  constexpr int kCalls = 1'000;
+  for (int i = 0; i < kCalls; ++i) (void)timed.weighted_sample(rng);
+  const double us = timed.simulated_us();
+  // Mean per call is fixed + exp_mean = 110us.
+  EXPECT_NEAR(us / kCalls, 110.0, 5.0);
+  EXPECT_EQ(timed.sample_count(), static_cast<std::uint64_t>(kCalls));
+}
+
+}  // namespace
+}  // namespace lcaknap::oracle

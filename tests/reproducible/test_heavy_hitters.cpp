@@ -1,0 +1,104 @@
+#include "reproducible/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lcaknap::reproducible {
+namespace {
+
+HeavyHittersParams default_params() {
+  HeavyHittersParams p;
+  p.v = 0.1;
+  p.slack = 0.03;
+  p.rho = 0.2;
+  p.beta = 0.1;
+  return p;
+}
+
+TEST(HeavyHitters, FindsClearHeavyValues) {
+  // Value 7 has frequency 0.5, value 9 has 0.3, the rest spread thin.
+  util::Xoshiro256 rng(1);
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    if (u < 0.5) {
+      samples.push_back(7);
+    } else if (u < 0.8) {
+      samples.push_back(9);
+    } else {
+      samples.push_back(100 + static_cast<std::int64_t>(rng.next_below(1000)));
+    }
+  }
+  const util::Prf prf(31);
+  const auto hitters = reproducible_heavy_hitters(samples, default_params(), prf, 0);
+  EXPECT_TRUE(std::binary_search(hitters.begin(), hitters.end(), 7));
+  EXPECT_TRUE(std::binary_search(hitters.begin(), hitters.end(), 9));
+  // Thin values (frequency ~2e-4 each) must be excluded.
+  for (const auto h : hitters) EXPECT_LT(h, 100);
+}
+
+TEST(HeavyHitters, OutputIsSortedAndDeduplicated) {
+  std::vector<std::int64_t> samples;
+  samples.insert(samples.end(), 500, 3);
+  samples.insert(samples.end(), 500, 1);
+  const util::Prf prf(32);
+  const auto hitters = reproducible_heavy_hitters(samples, default_params(), prf, 0);
+  ASSERT_EQ(hitters.size(), 2u);
+  EXPECT_EQ(hitters[0], 1);
+  EXPECT_EQ(hitters[1], 3);
+}
+
+TEST(HeavyHitters, ReproducibleAcrossFreshSamples) {
+  auto params = default_params();
+  util::Xoshiro256 fresh(7);
+  // The provable budget (heavy_hitters_sample_size) is ~1e7 draws; use a
+  // calibrated test-sized sample and a correspondingly looser bound.
+  const std::size_t n = 200'000;
+  int disagreements = 0;
+  constexpr int kPairs = 40;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const util::Prf prf(static_cast<std::uint64_t>(pair) * 65537 + 9);
+    const auto draw = [&] {
+      std::vector<std::int64_t> s(n);
+      for (auto& v : s) {
+        const double u = fresh.next_double();
+        // Frequencies: 0.30, 0.12, 0.08 (near threshold), rest thin.
+        if (u < 0.30) {
+          v = 1;
+        } else if (u < 0.42) {
+          v = 2;
+        } else if (u < 0.50) {
+          v = 3;
+        } else {
+          v = 1000 + static_cast<std::int64_t>(fresh.next_below(10'000));
+        }
+      }
+      return s;
+    };
+    if (reproducible_heavy_hitters(draw(), params, prf, 0) !=
+        reproducible_heavy_hitters(draw(), params, prf, 0)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_LE(disagreements, static_cast<int>(kPairs * params.rho * 2.0 + 3));
+}
+
+TEST(HeavyHitters, ValidatesParameters) {
+  const std::vector<std::int64_t> samples{1, 2, 3};
+  const util::Prf prf(33);
+  auto p = default_params();
+  p.v = 0.0;
+  EXPECT_THROW(reproducible_heavy_hitters(samples, p, prf, 0), std::invalid_argument);
+  p = default_params();
+  p.slack = p.v;  // slack must be < v
+  EXPECT_THROW(reproducible_heavy_hitters(samples, p, prf, 0), std::invalid_argument);
+  p = default_params();
+  EXPECT_THROW(reproducible_heavy_hitters({}, p, prf, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcaknap::reproducible

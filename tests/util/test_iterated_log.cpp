@@ -1,0 +1,39 @@
+#include "util/iterated_log.h"
+
+#include <gtest/gtest.h>
+
+namespace lcaknap::util {
+namespace {
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star(0.5), 0);
+  EXPECT_EQ(log_star(1.0), 0);
+  EXPECT_EQ(log_star(2.0), 1);
+  EXPECT_EQ(log_star(4.0), 2);
+  EXPECT_EQ(log_star(16.0), 3);
+  EXPECT_EQ(log_star(65536.0), 4);
+  // 2^65536 overflows double, but anything up to ~1e308 is still <= 5.
+  EXPECT_EQ(log_star(1e308), 5);
+}
+
+TEST(LogStar, MonotoneNondecreasing) {
+  int previous = 0;
+  for (double n = 1.0; n < 1e12; n *= 3.0) {
+    const int now = log_star(n);
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(Log2Ceil, KnownValues) {
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(4), 2);
+  EXPECT_EQ(log2_ceil(5), 3);
+  EXPECT_EQ(log2_ceil(1ULL << 40), 40);
+  EXPECT_EQ(log2_ceil((1ULL << 40) + 1), 41);
+}
+
+}  // namespace
+}  // namespace lcaknap::util

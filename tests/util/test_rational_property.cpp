@@ -1,0 +1,110 @@
+// Randomized property sweeps for the exact rational layer: ordering,
+// arithmetic, and double round-trips verified against a 128-bit reference.
+
+#include <gtest/gtest.h>
+
+#include "util/rational.h"
+#include "util/rng.h"
+
+namespace lcaknap::util {
+namespace {
+
+std::strong_ordering reference_cmp(std::int64_t an, std::int64_t ad,
+                                   std::int64_t bn, std::int64_t bd) {
+  // ad, bd > 0 by construction below.
+  const __int128 lhs = static_cast<__int128>(an) * bd;
+  const __int128 rhs = static_cast<__int128>(bn) * ad;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+TEST(RationalProperty, OrderingMatchesInt128Reference) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const std::int64_t an = rng.next_in(-1'000'000, 1'000'000);
+    const std::int64_t ad = rng.next_in(1, 1'000'000);
+    const std::int64_t bn = rng.next_in(-1'000'000, 1'000'000);
+    const std::int64_t bd = rng.next_in(1, 1'000'000);
+    const Rational a(an, ad), b(bn, bd);
+    ASSERT_EQ(a <=> b, reference_cmp(an, ad, bn, bd))
+        << an << "/" << ad << " vs " << bn << "/" << bd;
+  }
+}
+
+TEST(RationalProperty, AdditionAgreesWithReference) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const std::int64_t an = rng.next_in(-100'000, 100'000);
+    const std::int64_t ad = rng.next_in(1, 100'000);
+    const std::int64_t bn = rng.next_in(-100'000, 100'000);
+    const std::int64_t bd = rng.next_in(1, 100'000);
+    const Rational sum = Rational(an, ad) + Rational(bn, bd);
+    // Reference: sum == (an*bd + bn*ad) / (ad*bd), compared exactly.
+    const __int128 ref_num = static_cast<__int128>(an) * bd +
+                             static_cast<__int128>(bn) * ad;
+    const __int128 ref_den = static_cast<__int128>(ad) * bd;
+    const __int128 lhs = static_cast<__int128>(sum.num()) * ref_den;
+    const __int128 rhs = ref_num * sum.den();
+    ASSERT_EQ(lhs, rhs);
+  }
+}
+
+TEST(RationalProperty, MultiplicationAgreesWithReference) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const std::int64_t an = rng.next_in(-100'000, 100'000);
+    const std::int64_t ad = rng.next_in(1, 100'000);
+    const std::int64_t bn = rng.next_in(-100'000, 100'000);
+    const std::int64_t bd = rng.next_in(1, 100'000);
+    const Rational product = Rational(an, ad) * Rational(bn, bd);
+    const __int128 ref_num = static_cast<__int128>(an) * bn;
+    const __int128 ref_den = static_cast<__int128>(ad) * bd;
+    const __int128 lhs = static_cast<__int128>(product.num()) * ref_den;
+    const __int128 rhs = ref_num * product.den();
+    ASSERT_EQ(lhs, rhs);
+  }
+}
+
+TEST(RationalProperty, FromDoubleRoundTripsBoundedDenominators) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 5'000; ++trial) {
+    const std::int64_t num = rng.next_in(-999, 999);
+    const std::int64_t den = rng.next_in(1, 999);
+    const Rational original(num, den);
+    const Rational recovered =
+        Rational::from_double(original.to_double(), /*max_den=*/1'000);
+    ASSERT_EQ(recovered, original)
+        << num << "/" << den << " -> " << recovered.to_string();
+  }
+}
+
+TEST(RationalProperty, ReductionIsCanonical) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const std::int64_t num = rng.next_in(-10'000, 10'000);
+    const std::int64_t den = rng.next_in(1, 10'000);
+    const std::int64_t k = rng.next_in(1, 1'000);
+    // Scaling numerator and denominator together must not change the value.
+    ASSERT_EQ(Rational(num, den), Rational(num * k, den * k));
+  }
+}
+
+TEST(CmpProductsProperty, MatchesInt128Reference) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const std::int64_t a1 = rng.next_in(-2'000'000'000LL, 2'000'000'000LL);
+    const std::int64_t a2 = rng.next_in(-2'000'000'000LL, 2'000'000'000LL);
+    const std::int64_t b1 = rng.next_in(-2'000'000'000LL, 2'000'000'000LL);
+    const std::int64_t b2 = rng.next_in(-2'000'000'000LL, 2'000'000'000LL);
+    const __int128 lhs = static_cast<__int128>(a1) * a2;
+    const __int128 rhs = static_cast<__int128>(b1) * b2;
+    const auto expected = lhs < rhs   ? std::strong_ordering::less
+                          : lhs > rhs ? std::strong_ordering::greater
+                                      : std::strong_ordering::equal;
+    ASSERT_EQ(cmp_products(a1, a2, b1, b2), expected);
+  }
+}
+
+}  // namespace
+}  // namespace lcaknap::util

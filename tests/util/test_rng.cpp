@@ -1,0 +1,126 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lcaknap::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t a = 7, b = 7;
+  EXPECT_EQ(splitmix64(a), splitmix64(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto first = splitmix64(s);
+  const auto second = splitmix64(s);
+  EXPECT_NE(first, second);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(17);
+  constexpr std::uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.next_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kTrials / kBound, 500);
+  }
+}
+
+TEST(Xoshiro256, NextInCoversInclusiveRange) {
+  Xoshiro256 rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prf, SameKeySameTape) {
+  const Prf a(42), b(42);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(a.word(s, i), b.word(s, i));
+  }
+}
+
+TEST(Prf, DifferentKeysDiffer) {
+  const Prf a(42), b(43);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    if (a.word(0, i) == b.word(0, i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Prf, StreamsAreIndependentAddresses) {
+  const Prf p(7);
+  EXPECT_NE(p.word(0, 5), p.word(1, 5));
+  EXPECT_NE(p.word(2, 0), p.word(3, 0));
+}
+
+TEST(Prf, UniformInUnitInterval) {
+  const Prf p(11);
+  double sum = 0.0;
+  constexpr int kN = 10'000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = p.uniform(1, static_cast<std::uint64_t>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Prf, SubkeyDerivationIsStable) {
+  const Prf p(99);
+  EXPECT_EQ(p.subkey(1).key(), p.subkey(1).key());
+  EXPECT_NE(p.subkey(1).key(), p.subkey(2).key());
+  EXPECT_NE(p.subkey(1).key(), p.key());
+}
+
+}  // namespace
+}  // namespace lcaknap::util

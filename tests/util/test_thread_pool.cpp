@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace lcaknap::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  const ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Handshake: two tasks that each wait for the other's arrival.  Completing
+  // within the deadline is only possible if they overlap in time.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> both_seen{false};
+  for (int t = 0; t < 2; ++t) {
+    pool.submit([&arrived, &both_seen] {
+      arrived.fetch_add(1);
+      for (int spin = 0; spin < 200'000'000; ++spin) {
+        if (arrived.load() == 2) {
+          both_seen.store(true);
+          break;
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_TRUE(both_seen.load());
+}
+
+}  // namespace
+}  // namespace lcaknap::util

@@ -1,0 +1,251 @@
+// lcaknap — command-line front end for the library.
+//
+// Subcommands:
+//   generate --family <name> --n <count> [--seed S] [--out FILE]
+//       Write an instance of a built-in family to FILE (or stdout).
+//   solve    --in FILE [--method exact|greedy|fptas] [--eps E]
+//       Solve an instance offline and print the solution summary.
+//   serve    --in FILE [--eps E] [--seed S] (--items "i,j,k" | --all)
+//       Run LCA-KP and answer membership queries.
+//   eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]
+//       Run the consistency/quality harness and print the report.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/lca_kp.h"
+#include "core/mapping_greedy.h"
+#include "knapsack/generators.h"
+#include "knapsack/solvers/fptas.h"
+#include "knapsack/solvers/greedy.h"
+#include "knapsack/solvers/solve.h"
+#include "oracle/access.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lcaknap;
+
+/// Minimal --flag value parser; flags are unique, all take one value except
+/// the boolean `--all`.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (key == "all") {
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) throw std::invalid_argument("--" + key + " needs a value");
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required --" + key);
+    return *v;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+knapsack::Family parse_family(const std::string& name) {
+  for (const auto family : knapsack::all_families()) {
+    if (knapsack::family_name(family) == name) return family;
+  }
+  throw std::invalid_argument("unknown family: " + name +
+                              " (try: uncorrelated, needle, subset_sum, ...)");
+}
+
+knapsack::Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return knapsack::Instance::load(in);
+}
+
+int cmd_generate(const Args& args) {
+  const auto family = parse_family(args.require("family"));
+  const auto n = static_cast<std::size_t>(args.get_u64("n", 10'000));
+  const auto seed = args.get_u64("seed", 1);
+  const auto inst = knapsack::make_family(family, n, seed);
+  if (const auto out = args.get("out")) {
+    std::ofstream os(*out);
+    if (!os) throw std::runtime_error("cannot write " + *out);
+    inst.save(os);
+    std::cout << "wrote " << inst.size() << " items (capacity "
+              << inst.capacity() << ") to " << *out << "\n";
+  } else {
+    inst.save(std::cout);
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const auto inst = load_instance(args.require("in"));
+  const std::string method = args.get("method").value_or("greedy");
+  knapsack::Solution solution;
+  std::string note;
+  if (method == "exact") {
+    const auto result = knapsack::solve_exact(inst);
+    solution = result.solution;
+    note = result.proven_optimal ? "proven optimal" : "best found (budget hit)";
+  } else if (method == "greedy") {
+    solution = knapsack::greedy_half(inst).solution;
+    note = "1/2-approximation guarantee";
+  } else if (method == "fptas") {
+    const double eps = args.get_double("eps", 0.1);
+    solution = knapsack::fptas(inst, eps);
+    note = "(1 - " + util::format_double(eps, 2) + ")-approximation guarantee";
+  } else {
+    throw std::invalid_argument("unknown --method: " + method);
+  }
+  util::Table table({"metric", "value"});
+  table.row().cell("items selected").cell(solution.items.size());
+  table.row().cell("value").cell(solution.value);
+  table.row().cell("weight / capacity").cell(
+      std::to_string(solution.weight) + " / " + std::to_string(inst.capacity()));
+  table.row().cell("value share").cell(
+      static_cast<double>(solution.value) / static_cast<double>(inst.total_profit()));
+  table.row().cell("note").cell(note);
+  table.print(std::cout, "solve (" + method + ")");
+  return 0;
+}
+
+std::vector<std::size_t> parse_items(const std::string& csv, std::size_t n) {
+  std::vector<std::size_t> items;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const auto idx = std::stoull(token);
+    if (idx >= n) throw std::invalid_argument("item index out of range: " + token);
+    items.push_back(static_cast<std::size_t>(idx));
+  }
+  if (items.empty()) throw std::invalid_argument("--items list is empty");
+  return items;
+}
+
+int cmd_serve(const Args& args) {
+  const auto inst = load_instance(args.require("in"));
+  core::LcaKpConfig config;
+  config.eps = args.get_double("eps", 0.1);
+  config.seed = args.get_u64("seed", 0xC0DE);
+  const oracle::MaterializedAccess access(inst);
+  const core::LcaKp lca(access, config);
+
+  util::Xoshiro256 tape(args.get_u64("tape", 7));
+  const auto run = lca.run_pipeline(tape);
+
+  std::vector<std::size_t> items;
+  if (args.get("all")) {
+    items.resize(inst.size());
+    for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  } else {
+    items = parse_items(args.require("items"), inst.size());
+  }
+  std::size_t yes = 0;
+  for (const auto i : items) {
+    const bool in = lca.answer_from(run, i);
+    yes += in ? 1 : 0;
+    if (!args.get("all")) {
+      std::cout << "item " << i << ": " << (in ? "yes" : "no") << "\n";
+    }
+  }
+  std::cout << "answered " << items.size() << " queries (" << yes
+            << " yes) using " << run.samples_used
+            << " weighted samples for the run\n";
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const auto inst = load_instance(args.require("in"));
+  core::LcaKpConfig config;
+  config.eps = args.get_double("eps", 0.1);
+  config.seed = args.get_u64("seed", 0xC0DE);
+  core::ConsistencyConfig experiment;
+  experiment.replicas = static_cast<std::size_t>(args.get_u64("replicas", 8));
+  experiment.queries = static_cast<std::size_t>(args.get_u64("queries", 200));
+
+  double opt_norm = 0.0;
+  const auto exact = knapsack::solve_exact(inst);
+  if (exact.proven_optimal) {
+    opt_norm = static_cast<double>(exact.solution.value) /
+               static_cast<double>(inst.total_profit());
+  }
+  const auto report = core::run_consistency(inst, config, experiment, opt_norm);
+  util::Table table({"metric", "value"});
+  table.row().cell("replicas x queries").cell(
+      std::to_string(report.replicas) + " x " + std::to_string(report.queries));
+  table.row().cell("pairwise agreement").cell(report.pairwise_agreement);
+  table.row().cell("unanimous queries").cell(report.unanimous_fraction);
+  table.row().cell("identical replica pairs").cell(report.identical_pair_fraction);
+  table.row().cell("feasible runs").cell(
+      std::to_string(report.feasible_runs) + "/" + std::to_string(report.replicas));
+  table.row().cell("mean value (normalized)").cell(report.mean_norm_value);
+  if (opt_norm > 0) table.row().cell("mean value / OPT").cell(report.mean_value_ratio);
+  table.row().cell("mean samples per run").cell(report.mean_samples_per_run, 0);
+  table.print(std::cout, "eval");
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: lcaknap_cli <command> [flags]\n"
+      "  generate --family NAME --n N [--seed S] [--out FILE]\n"
+      "  solve    --in FILE [--method exact|greedy|fptas] [--eps E]\n"
+      "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
+      "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "eval") return cmd_eval(args);
+    usage();
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
