@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_average_case"
+  "../bench/bench_average_case.pdb"
+  "CMakeFiles/bench_average_case.dir/bench_average_case.cpp.o"
+  "CMakeFiles/bench_average_case.dir/bench_average_case.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_average_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

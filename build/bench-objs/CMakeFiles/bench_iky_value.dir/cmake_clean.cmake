@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iky_value"
+  "../bench/bench_iky_value.pdb"
+  "CMakeFiles/bench_iky_value.dir/bench_iky_value.cpp.o"
+  "CMakeFiles/bench_iky_value.dir/bench_iky_value.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iky_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lb_approx.cpp" "bench-objs/CMakeFiles/bench_lb_approx.dir/bench_lb_approx.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_lb_approx.dir/bench_lb_approx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcaknap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/iky/CMakeFiles/lcaknap_iky.dir/DependInfo.cmake"
+  "/root/repo/build/src/reproducible/CMakeFiles/lcaknap_reproducible.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lb_maximal"
+  "../bench/bench_lb_maximal.pdb"
+  "CMakeFiles/bench_lb_maximal.dir/bench_lb_maximal.cpp.o"
+  "CMakeFiles/bench_lb_maximal.dir/bench_lb_maximal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_maximal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lb_optimal"
+  "../bench/bench_lb_optimal.pdb"
+  "CMakeFiles/bench_lb_optimal.dir/bench_lb_optimal.cpp.o"
+  "CMakeFiles/bench_lb_optimal.dir/bench_lb_optimal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rmedian"
+  "../bench/bench_rmedian.pdb"
+  "CMakeFiles/bench_rmedian.dir/bench_rmedian.cpp.o"
+  "CMakeFiles/bench_rmedian.dir/bench_rmedian.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmedian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serving"
+  "../bench/bench_serving.pdb"
+  "CMakeFiles/bench_serving.dir/bench_serving.cpp.o"
+  "CMakeFiles/bench_serving.dir/bench_serving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_allocation.dir/ad_allocation.cpp.o"
+  "CMakeFiles/ad_allocation.dir/ad_allocation.cpp.o.d"
+  "ad_allocation"
+  "ad_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_serving.dir/distributed_serving.cpp.o"
+  "CMakeFiles/distributed_serving.dir/distributed_serving.cpp.o.d"
+  "distributed_serving"
+  "distributed_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

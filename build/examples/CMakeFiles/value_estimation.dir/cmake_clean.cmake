@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_estimation.dir/value_estimation.cpp.o"
+  "CMakeFiles/value_estimation.dir/value_estimation.cpp.o.d"
+  "value_estimation"
+  "value_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

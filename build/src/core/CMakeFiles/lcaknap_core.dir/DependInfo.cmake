@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/lcaknap_core.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/convert_greedy.cpp" "src/core/CMakeFiles/lcaknap_core.dir/convert_greedy.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/convert_greedy.cpp.o.d"
+  "/root/repo/src/core/full_read_lca.cpp" "src/core/CMakeFiles/lcaknap_core.dir/full_read_lca.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/full_read_lca.cpp.o.d"
+  "/root/repo/src/core/lca_kp.cpp" "src/core/CMakeFiles/lcaknap_core.dir/lca_kp.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/lca_kp.cpp.o.d"
+  "/root/repo/src/core/mapping_greedy.cpp" "src/core/CMakeFiles/lcaknap_core.dir/mapping_greedy.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/mapping_greedy.cpp.o.d"
+  "/root/repo/src/core/prior_lca.cpp" "src/core/CMakeFiles/lcaknap_core.dir/prior_lca.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/prior_lca.cpp.o.d"
+  "/root/repo/src/core/reproducible_large.cpp" "src/core/CMakeFiles/lcaknap_core.dir/reproducible_large.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/reproducible_large.cpp.o.d"
+  "/root/repo/src/core/serving_sim.cpp" "src/core/CMakeFiles/lcaknap_core.dir/serving_sim.cpp.o" "gcc" "src/core/CMakeFiles/lcaknap_core.dir/serving_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iky/CMakeFiles/lcaknap_iky.dir/DependInfo.cmake"
+  "/root/repo/build/src/reproducible/CMakeFiles/lcaknap_reproducible.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

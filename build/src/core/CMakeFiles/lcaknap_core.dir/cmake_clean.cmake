@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_core.dir/consistency.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/convert_greedy.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/convert_greedy.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/full_read_lca.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/full_read_lca.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/lca_kp.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/lca_kp.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/mapping_greedy.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/mapping_greedy.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/prior_lca.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/prior_lca.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/reproducible_large.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/reproducible_large.cpp.o.d"
+  "CMakeFiles/lcaknap_core.dir/serving_sim.cpp.o"
+  "CMakeFiles/lcaknap_core.dir/serving_sim.cpp.o.d"
+  "liblcaknap_core.a"
+  "liblcaknap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iky/construct.cpp" "src/iky/CMakeFiles/lcaknap_iky.dir/construct.cpp.o" "gcc" "src/iky/CMakeFiles/lcaknap_iky.dir/construct.cpp.o.d"
+  "/root/repo/src/iky/efficiency_domain.cpp" "src/iky/CMakeFiles/lcaknap_iky.dir/efficiency_domain.cpp.o" "gcc" "src/iky/CMakeFiles/lcaknap_iky.dir/efficiency_domain.cpp.o.d"
+  "/root/repo/src/iky/eps.cpp" "src/iky/CMakeFiles/lcaknap_iky.dir/eps.cpp.o" "gcc" "src/iky/CMakeFiles/lcaknap_iky.dir/eps.cpp.o.d"
+  "/root/repo/src/iky/partition.cpp" "src/iky/CMakeFiles/lcaknap_iky.dir/partition.cpp.o" "gcc" "src/iky/CMakeFiles/lcaknap_iky.dir/partition.cpp.o.d"
+  "/root/repo/src/iky/value_approx.cpp" "src/iky/CMakeFiles/lcaknap_iky.dir/value_approx.cpp.o" "gcc" "src/iky/CMakeFiles/lcaknap_iky.dir/value_approx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_iky.dir/construct.cpp.o"
+  "CMakeFiles/lcaknap_iky.dir/construct.cpp.o.d"
+  "CMakeFiles/lcaknap_iky.dir/efficiency_domain.cpp.o"
+  "CMakeFiles/lcaknap_iky.dir/efficiency_domain.cpp.o.d"
+  "CMakeFiles/lcaknap_iky.dir/eps.cpp.o"
+  "CMakeFiles/lcaknap_iky.dir/eps.cpp.o.d"
+  "CMakeFiles/lcaknap_iky.dir/partition.cpp.o"
+  "CMakeFiles/lcaknap_iky.dir/partition.cpp.o.d"
+  "CMakeFiles/lcaknap_iky.dir/value_approx.cpp.o"
+  "CMakeFiles/lcaknap_iky.dir/value_approx.cpp.o.d"
+  "liblcaknap_iky.a"
+  "liblcaknap_iky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_iky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lcaknap_iky.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knapsack/generators.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/generators.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/generators.cpp.o.d"
+  "/root/repo/src/knapsack/instance.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/instance.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/instance.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/branch_bound.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/branch_bound.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/branch_bound.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/brute_force.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/brute_force.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/brute_force.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/dp.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/dp.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/dp.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/fptas.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/fptas.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/fptas.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/greedy.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/greedy.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/greedy.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/meet_in_middle.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/meet_in_middle.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/meet_in_middle.cpp.o.d"
+  "/root/repo/src/knapsack/solvers/solve.cpp" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/solve.cpp.o" "gcc" "src/knapsack/CMakeFiles/lcaknap_knapsack.dir/solvers/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_knapsack.dir/generators.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/generators.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/instance.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/instance.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/branch_bound.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/branch_bound.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/brute_force.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/brute_force.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/dp.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/dp.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/fptas.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/fptas.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/greedy.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/greedy.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/meet_in_middle.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/meet_in_middle.cpp.o.d"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/solve.cpp.o"
+  "CMakeFiles/lcaknap_knapsack.dir/solvers/solve.cpp.o.d"
+  "liblcaknap_knapsack.a"
+  "liblcaknap_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

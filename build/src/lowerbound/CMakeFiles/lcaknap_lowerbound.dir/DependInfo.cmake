@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbound/greedy_sim_lca.cpp" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/greedy_sim_lca.cpp.o" "gcc" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/greedy_sim_lca.cpp.o.d"
+  "/root/repo/src/lowerbound/maximal_hard.cpp" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/maximal_hard.cpp.o" "gcc" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/maximal_hard.cpp.o.d"
+  "/root/repo/src/lowerbound/or_reduction.cpp" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/or_reduction.cpp.o" "gcc" "src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/or_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_lowerbound.dir/greedy_sim_lca.cpp.o"
+  "CMakeFiles/lcaknap_lowerbound.dir/greedy_sim_lca.cpp.o.d"
+  "CMakeFiles/lcaknap_lowerbound.dir/maximal_hard.cpp.o"
+  "CMakeFiles/lcaknap_lowerbound.dir/maximal_hard.cpp.o.d"
+  "CMakeFiles/lcaknap_lowerbound.dir/or_reduction.cpp.o"
+  "CMakeFiles/lcaknap_lowerbound.dir/or_reduction.cpp.o.d"
+  "liblcaknap_lowerbound.a"
+  "liblcaknap_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/access.cpp" "src/oracle/CMakeFiles/lcaknap_oracle.dir/access.cpp.o" "gcc" "src/oracle/CMakeFiles/lcaknap_oracle.dir/access.cpp.o.d"
+  "/root/repo/src/oracle/flaky.cpp" "src/oracle/CMakeFiles/lcaknap_oracle.dir/flaky.cpp.o" "gcc" "src/oracle/CMakeFiles/lcaknap_oracle.dir/flaky.cpp.o.d"
+  "/root/repo/src/oracle/latency_model.cpp" "src/oracle/CMakeFiles/lcaknap_oracle.dir/latency_model.cpp.o" "gcc" "src/oracle/CMakeFiles/lcaknap_oracle.dir/latency_model.cpp.o.d"
+  "/root/repo/src/oracle/sharded.cpp" "src/oracle/CMakeFiles/lcaknap_oracle.dir/sharded.cpp.o" "gcc" "src/oracle/CMakeFiles/lcaknap_oracle.dir/sharded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

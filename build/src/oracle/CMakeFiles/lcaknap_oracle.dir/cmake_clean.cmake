@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_oracle.dir/access.cpp.o"
+  "CMakeFiles/lcaknap_oracle.dir/access.cpp.o.d"
+  "CMakeFiles/lcaknap_oracle.dir/flaky.cpp.o"
+  "CMakeFiles/lcaknap_oracle.dir/flaky.cpp.o.d"
+  "CMakeFiles/lcaknap_oracle.dir/latency_model.cpp.o"
+  "CMakeFiles/lcaknap_oracle.dir/latency_model.cpp.o.d"
+  "CMakeFiles/lcaknap_oracle.dir/sharded.cpp.o"
+  "CMakeFiles/lcaknap_oracle.dir/sharded.cpp.o.d"
+  "liblcaknap_oracle.a"
+  "liblcaknap_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reproducible/heavy_hitters.cpp" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/heavy_hitters.cpp.o" "gcc" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/heavy_hitters.cpp.o.d"
+  "/root/repo/src/reproducible/rmedian.cpp" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rmedian.cpp.o" "gcc" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rmedian.cpp.o.d"
+  "/root/repo/src/reproducible/rquantile.cpp" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rquantile.cpp.o" "gcc" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rquantile.cpp.o.d"
+  "/root/repo/src/reproducible/rstat.cpp" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rstat.cpp.o" "gcc" "src/reproducible/CMakeFiles/lcaknap_reproducible.dir/rstat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_reproducible.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/lcaknap_reproducible.dir/heavy_hitters.cpp.o.d"
+  "CMakeFiles/lcaknap_reproducible.dir/rmedian.cpp.o"
+  "CMakeFiles/lcaknap_reproducible.dir/rmedian.cpp.o.d"
+  "CMakeFiles/lcaknap_reproducible.dir/rquantile.cpp.o"
+  "CMakeFiles/lcaknap_reproducible.dir/rquantile.cpp.o.d"
+  "CMakeFiles/lcaknap_reproducible.dir/rstat.cpp.o"
+  "CMakeFiles/lcaknap_reproducible.dir/rstat.cpp.o.d"
+  "liblcaknap_reproducible.a"
+  "liblcaknap_reproducible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_reproducible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

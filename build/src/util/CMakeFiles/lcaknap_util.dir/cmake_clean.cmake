@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_util.dir/alias_sampler.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/alias_sampler.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/histogram.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/rational.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/rational.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/rng.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/stats.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/table.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/table.cpp.o.d"
+  "CMakeFiles/lcaknap_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lcaknap_util.dir/thread_pool.cpp.o.d"
+  "liblcaknap_util.a"
+  "liblcaknap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

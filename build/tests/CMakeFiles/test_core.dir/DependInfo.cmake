@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_baselines.cpp" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o.d"
+  "/root/repo/tests/core/test_consistency.cpp" "tests/CMakeFiles/test_core.dir/core/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_consistency.cpp.o.d"
+  "/root/repo/tests/core/test_convert_greedy.cpp" "tests/CMakeFiles/test_core.dir/core/test_convert_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_convert_greedy.cpp.o.d"
+  "/root/repo/tests/core/test_lca_kp.cpp" "tests/CMakeFiles/test_core.dir/core/test_lca_kp.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lca_kp.cpp.o.d"
+  "/root/repo/tests/core/test_lca_kp_singleton.cpp" "tests/CMakeFiles/test_core.dir/core/test_lca_kp_singleton.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lca_kp_singleton.cpp.o.d"
+  "/root/repo/tests/core/test_prior_lca.cpp" "tests/CMakeFiles/test_core.dir/core/test_prior_lca.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_prior_lca.cpp.o.d"
+  "/root/repo/tests/core/test_reproducible_large.cpp" "tests/CMakeFiles/test_core.dir/core/test_reproducible_large.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_reproducible_large.cpp.o.d"
+  "/root/repo/tests/core/test_serving_sim.cpp" "tests/CMakeFiles/test_core.dir/core/test_serving_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_serving_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcaknap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/iky/CMakeFiles/lcaknap_iky.dir/DependInfo.cmake"
+  "/root/repo/build/src/reproducible/CMakeFiles/lcaknap_reproducible.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_baselines.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_baselines.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_consistency.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_consistency.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_convert_greedy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_convert_greedy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lca_kp.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lca_kp.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lca_kp_singleton.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lca_kp_singleton.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_prior_lca.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_prior_lca.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_reproducible_large.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_reproducible_large.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_serving_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_serving_sim.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

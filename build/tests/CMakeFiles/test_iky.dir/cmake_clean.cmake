@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iky.dir/iky/test_construct.cpp.o"
+  "CMakeFiles/test_iky.dir/iky/test_construct.cpp.o.d"
+  "CMakeFiles/test_iky.dir/iky/test_efficiency_domain.cpp.o"
+  "CMakeFiles/test_iky.dir/iky/test_efficiency_domain.cpp.o.d"
+  "CMakeFiles/test_iky.dir/iky/test_eps.cpp.o"
+  "CMakeFiles/test_iky.dir/iky/test_eps.cpp.o.d"
+  "CMakeFiles/test_iky.dir/iky/test_partition.cpp.o"
+  "CMakeFiles/test_iky.dir/iky/test_partition.cpp.o.d"
+  "CMakeFiles/test_iky.dir/iky/test_value_approx.cpp.o"
+  "CMakeFiles/test_iky.dir/iky/test_value_approx.cpp.o.d"
+  "test_iky"
+  "test_iky.pdb"
+  "test_iky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knapsack.dir/knapsack/test_generators.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_generators.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_greedy.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_greedy.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_instance.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_instance.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_meet_in_middle.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_meet_in_middle.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_solver_cross.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_solver_cross.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_solvers.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_solvers.cpp.o.d"
+  "test_knapsack"
+  "test_knapsack.pdb"
+  "test_knapsack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_greedy_sim_lca.cpp.o"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_greedy_sim_lca.cpp.o.d"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_maximal_hard.cpp.o"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_maximal_hard.cpp.o.d"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_or_reduction.cpp.o"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_or_reduction.cpp.o.d"
+  "test_lowerbound"
+  "test_lowerbound.pdb"
+  "test_lowerbound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

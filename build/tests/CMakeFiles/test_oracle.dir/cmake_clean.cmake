@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle.dir/oracle/test_access.cpp.o"
+  "CMakeFiles/test_oracle.dir/oracle/test_access.cpp.o.d"
+  "CMakeFiles/test_oracle.dir/oracle/test_flaky.cpp.o"
+  "CMakeFiles/test_oracle.dir/oracle/test_flaky.cpp.o.d"
+  "CMakeFiles/test_oracle.dir/oracle/test_sharded.cpp.o"
+  "CMakeFiles/test_oracle.dir/oracle/test_sharded.cpp.o.d"
+  "test_oracle"
+  "test_oracle.pdb"
+  "test_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

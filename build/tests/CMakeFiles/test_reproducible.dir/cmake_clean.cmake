@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reproducible.dir/reproducible/test_heavy_hitters.cpp.o"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_heavy_hitters.cpp.o.d"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rmedian.cpp.o"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rmedian.cpp.o.d"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rquantile.cpp.o"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rquantile.cpp.o.d"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rstat.cpp.o"
+  "CMakeFiles/test_reproducible.dir/reproducible/test_rstat.cpp.o.d"
+  "test_reproducible"
+  "test_reproducible.pdb"
+  "test_reproducible[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reproducible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_alias_sampler.cpp" "tests/CMakeFiles/test_util.dir/util/test_alias_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_alias_sampler.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_iterated_log.cpp" "tests/CMakeFiles/test_util.dir/util/test_iterated_log.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_iterated_log.cpp.o.d"
+  "/root/repo/tests/util/test_rational.cpp" "tests/CMakeFiles/test_util.dir/util/test_rational.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rational.cpp.o.d"
+  "/root/repo/tests/util/test_rational_property.cpp" "tests/CMakeFiles/test_util.dir/util/test_rational_property.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rational_property.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_rng_statistics.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng_statistics.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng_statistics.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcaknap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/lcaknap_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/iky/CMakeFiles/lcaknap_iky.dir/DependInfo.cmake"
+  "/root/repo/build/src/reproducible/CMakeFiles/lcaknap_reproducible.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/lcaknap_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/knapsack/CMakeFiles/lcaknap_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lcaknap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

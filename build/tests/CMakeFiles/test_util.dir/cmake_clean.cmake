@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_alias_sampler.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_alias_sampler.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_histogram.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_histogram.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_iterated_log.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_iterated_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rational.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rational.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rational_property.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rational_property.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng_statistics.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng_statistics.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

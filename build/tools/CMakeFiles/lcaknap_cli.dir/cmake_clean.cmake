@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcaknap_cli.dir/lcaknap_cli.cpp.o"
+  "CMakeFiles/lcaknap_cli.dir/lcaknap_cli.cpp.o.d"
+  "lcaknap_cli"
+  "lcaknap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcaknap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
