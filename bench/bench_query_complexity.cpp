@@ -15,10 +15,26 @@
 #include "core/full_read_lca.h"
 #include "core/lca_kp.h"
 #include "knapsack/generators.h"
+#include "metrics/metrics.h"
 #include "oracle/access.h"
+#include "oracle/instrumented.h"
 #include "reproducible/rmedian.h"
 #include "util/iterated_log.h"
 #include "util/table.h"
+
+namespace {
+
+/// Total oracle accesses according to the metrics registry — the canonical
+/// read-out path.  The benches take before/after deltas of this and check
+/// them against the legacy per-object atomics; any drift between the two is
+/// an instrumentation bug worth failing loudly on.
+std::uint64_t registry_accesses() {
+  const auto& registry = lcaknap::metrics::global_registry();
+  return registry.counter_value("oracle_queries_total") +
+         registry.counter_value("oracle_samples_total");
+}
+
+}  // namespace
 
 int main() {
   using namespace lcaknap;
@@ -31,57 +47,72 @@ int main() {
   config.seed = 0xE4;
   config.quantile_samples = 400'000;
 
-  util::Table table({"n", "lca-kp accesses/answer", "lca-kp ms/answer",
-                     "full-read accesses/answer", "full-read ms/answer",
-                     "access ratio"});
+  util::Table table({"n", "lca-kp accesses/answer", "registry delta",
+                     "lca-kp ms/answer", "full-read accesses/answer",
+                     "full-read ms/answer", "access ratio"});
   const auto now = [] { return std::chrono::steady_clock::now(); };
   const auto ms = [](auto start, auto stop) {
     return std::chrono::duration<double, std::milli>(stop - start).count();
   };
+  bool registry_matches = true;
   for (const std::size_t n : {2'000UL, 20'000UL, 200'000UL, 2'000'000UL}) {
     const auto inst = knapsack::make_family(knapsack::Family::kNeedle, n, 11);
-    const oracle::MaterializedAccess access(inst);
+    const oracle::MaterializedAccess storage(inst);
+    const oracle::InstrumentedAccess access(storage);
 
     const core::LcaKp lca(access, config);
     util::Xoshiro256 tape(12);
     access.reset_counters();
+    const auto lca_registry_before = registry_accesses();
     const auto lca_start = now();
     (void)lca.answer(n / 2, tape);
     const double lca_ms = ms(lca_start, now());
     const auto lca_cost = access.access_count();
+    const auto lca_registry = registry_accesses() - lca_registry_before;
+    registry_matches = registry_matches && lca_registry == lca_cost;
 
     access.reset_counters();
     const core::FullReadLca baseline(access);
+    const auto full_registry_before = registry_accesses();
     const auto full_start = now();
     (void)baseline.answer(n / 2, tape);
     const double full_ms = ms(full_start, now());
     const auto full_cost = access.access_count();
+    registry_matches =
+        registry_matches && registry_accesses() - full_registry_before == full_cost;
 
     table.row()
         .cell(static_cast<unsigned long long>(n))
         .cell(lca_cost)
+        .cell(lca_registry)
         .cell(lca_ms, 1)
         .cell(full_cost)
         .cell(full_ms, 1)
         .cell(static_cast<double>(full_cost) / static_cast<double>(lca_cost));
   }
   table.print(std::cout, "per-answer oracle cost (needle family, eps = 0.1)");
-  std::cout << "\nShape to check: the LCA column is constant while full-read is n;\n"
-               "the crossover sits at tiny n and the gap widens linearly.\n\n";
+  std::cout << "\nregistry vs legacy accessors: "
+            << (registry_matches ? "identical" : "MISMATCH (instrumentation bug!)")
+            << "\n";
+  std::cout << "\nShape to check: the LCA column is constant while full-read is n\n"
+               "(and equals its registry delta); the crossover sits at tiny n and\n"
+               "the gap widens linearly.\n\n";
 
   // --- Amortized serving: warm-up vs marginal cost. ------------------------
   // A replica that executes the pipeline once and then serves from it pays
   // the sampling budget a single time; each further answer costs exactly one
   // query.  This is the deployment-relevant cost split.
   {
-    util::Table amortized({"queries served", "total accesses", "accesses/query",
-                           "full-read accesses/query"});
+    util::Table amortized({"queries served", "total accesses (registry)",
+                           "accesses/query", "full-read accesses/query"});
     const std::size_t n = 200'000;
     const auto inst = knapsack::make_family(knapsack::Family::kNeedle, n, 11);
-    const oracle::MaterializedAccess access(inst);
+    const oracle::MaterializedAccess storage(inst);
+    const oracle::InstrumentedAccess access(storage);
     const core::LcaKp lca(access, config);
     util::Xoshiro256 tape(13);
     access.reset_counters();
+    const auto registry_before = registry_accesses();
     const auto run = lca.run_pipeline(tape);
     std::uint64_t served = 0;
     for (const std::size_t batch : {1UL, 100UL, 10'000UL, 1'000'000UL}) {
@@ -89,11 +120,15 @@ int main() {
         (void)lca.answer_from(run, served % n);
         ++served;
       }
+      const auto registry_total = registry_accesses() - registry_before;
+      if (registry_total != access.access_count()) {
+        std::cout << "WARNING: registry (" << registry_total
+                  << ") != legacy accessors (" << access.access_count() << ")\n";
+      }
       amortized.row()
           .cell(batch)
-          .cell(access.access_count())
-          .cell(static_cast<double>(access.access_count()) /
-                static_cast<double>(batch))
+          .cell(registry_total)
+          .cell(static_cast<double>(registry_total) / static_cast<double>(batch))
           .cell(static_cast<unsigned long long>(n));
     }
     amortized.print(std::cout,

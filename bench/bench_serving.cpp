@@ -9,6 +9,7 @@
 
 #include "core/serving_sim.h"
 #include "knapsack/generators.h"
+#include "metrics/metrics.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -27,15 +28,27 @@ int main() {
   serving.lca.quantile_samples = 200'000;
   serving.replicas = 6;
 
+  // Access accounting flows through two paths: the legacy per-oracle atomics
+  // (report.oracle_*) and the metrics registry (the canonical read-out).
+  // The two must agree exactly; the table's last column watches that.
+  auto& registry = metrics::global_registry();
+  const auto registry_accesses = [&registry] {
+    return registry.counter_value("oracle_queries_total") +
+           registry.counter_value("oracle_samples_total");
+  };
+
   util::Table table({"workload", "queries", "p50 us", "p95 us", "p99 us",
-                     "yes rate", "consistency"});
+                     "yes rate", "consistency", "registry==legacy"});
   for (const auto shape :
        {core::WorkloadConfig::Shape::kUniform, core::WorkloadConfig::Shape::kZipf,
         core::WorkloadConfig::Shape::kHotspot}) {
     core::WorkloadConfig workload;
     workload.shape = shape;
     workload.queries = 20'000;
+    const auto registry_before = registry_accesses();
     const auto report = core::simulate_serving(inst, serving, workload, &pool);
+    const auto registry_delta = registry_accesses() - registry_before;
+    const auto legacy_total = report.oracle_queries + report.oracle_samples;
     const char* name = shape == core::WorkloadConfig::Shape::kUniform ? "uniform"
                        : shape == core::WorkloadConfig::Shape::kZipf  ? "zipf(1.1)"
                                                                       : "hotspot(90/16)";
@@ -46,9 +59,20 @@ int main() {
         .cell(report.p95_us, 1)
         .cell(report.p99_us, 1)
         .cell(report.yes_rate)
-        .cell(report.consistency_rate);
+        .cell(report.consistency_rate)
+        .cell(registry_delta == legacy_total ? "yes" : "MISMATCH");
   }
   table.print(std::cout, "6 replicas, n = 50000, eps = 0.1, RPC 80us + exp(30us)");
+
+  // The SLO view, straight off the registry histogram that serving fed.
+  {
+    const auto snap = registry.snapshot();
+    for (const auto& h : snap.histograms) {
+      if (h.name != "serving_query_latency_us") continue;
+      std::cout << "\nserving_query_latency_us (registry): count=" << h.count
+                << "  sum_ms=" << h.sum / 1'000.0 << "\n";
+    }
+  }
 
   // Warm-up economics: the one-time pipeline vs the per-query price, and the
   // full-read alternative.

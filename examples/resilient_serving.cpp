@@ -2,7 +2,9 @@
 // is a flaky remote service with realistic latency; a retry layer restores
 // reliability; LCA-KP serves on top unchanged.  The run reports how many
 // injected failures occurred, how many retries absorbed them, the simulated
-// time bill, and that the served solution is unaffected.
+// time bill, and that the served solution is unaffected.  At the end it
+// prints what a Prometheus scrape of this process would return — the same
+// failure/retry accounting, read off the metrics registry.
 //
 //   ./resilient_serving [failure_rate]
 
@@ -12,8 +14,11 @@
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
 #include "knapsack/generators.h"
+#include "metrics/exporters.h"
+#include "metrics/metrics.h"
 #include "oracle/access.h"
 #include "oracle/flaky.h"
+#include "oracle/instrumented.h"
 #include "oracle/latency_model.h"
 #include "util/table.h"
 
@@ -25,10 +30,11 @@ int main(int argc, char** argv) {
 
   const auto instance = knapsack::make_family(knapsack::Family::kNeedle, kN, 23);
 
-  // The stack, innermost first: storage -> simulated RPC latency -> injected
-  // failures -> client-side retries.
+  // The stack, innermost first: storage -> metrics instrumentation ->
+  // simulated RPC latency -> injected failures -> client-side retries.
   const oracle::MaterializedAccess storage(instance);
-  const oracle::LatencyAccess remote(storage, {/*fixed_us=*/80.0, /*exp_mean_us=*/30.0}, 31);
+  const oracle::InstrumentedAccess counted(storage);
+  const oracle::LatencyAccess remote(counted, {/*fixed_us=*/80.0, /*exp_mean_us=*/30.0}, 31);
   const oracle::FlakyAccess flaky(remote, failure_rate, 37);
   const oracle::RetryingAccess client(flaky, /*max_attempts=*/64);
 
@@ -75,5 +81,9 @@ int main(int argc, char** argv) {
             << "are fully transparent: with the same seed and tape the flaky\n"
             << "stack reproduces the reliable run bit-for-bit (columns match\n"
             << "exactly) — it just pays more RPC time.\n";
+
+  std::cout << "\n--- what a Prometheus scrape of this process returns ---\n";
+  metrics::write_registry(metrics::global_registry(),
+                          metrics::ExportFormat::kPrometheus, std::cout);
   return 0;
 }

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "metrics/metrics.h"
 #include "oracle/access.h"
+#include "oracle/instrumented.h"
 #include "util/rng.h"
 
 namespace lcaknap::core {
@@ -66,12 +68,25 @@ std::vector<std::size_t> generate_workload(std::size_t n_items,
   return trace;
 }
 
+std::vector<double> serving_latency_buckets() {
+  return metrics::Histogram::exponential_buckets(20.0, 1.5, 20);
+}
+
 ServingReport simulate_serving(const knapsack::Instance& instance,
                                const ServingConfig& serving,
                                const WorkloadConfig& workload,
                                util::ThreadPool* pool) {
-  const oracle::MaterializedAccess access(instance);
+  auto& registry = metrics::global_registry();
+  const oracle::MaterializedAccess storage(instance);
+  const oracle::InstrumentedAccess access(storage, registry);
   const LcaKp lca(access, serving.lca);
+  metrics::Counter& served_total = registry.counter(
+      "serving_queries_total", "Membership queries served by the replica fleet");
+  metrics::Histogram& latency_hist = registry.histogram(
+      "serving_query_latency_us",
+      "Simulated per-query serving latency in microseconds (one oracle read "
+      "under the RPC model)",
+      serving_latency_buckets());
   const std::size_t replicas = std::max<std::size_t>(1, serving.replicas);
 
   // Warm-ups.
@@ -96,6 +111,14 @@ ServingReport simulate_serving(const knapsack::Instance& instance,
   report.warmup_sim_ms_per_replica =
       report.warmup_samples_per_replica *
       (serving.rpc_fixed_us + serving.rpc_exp_mean_us) / 1'000.0;
+  registry
+      .gauge("serving_warmup_samples_per_replica",
+             "Weighted samples one replica spends executing the LCA-KP pipeline")
+      .set(report.warmup_samples_per_replica);
+  registry
+      .gauge("serving_warmup_sim_ms_per_replica",
+             "Simulated warm-up time per replica under the RPC model (ms)")
+      .set(report.warmup_sim_ms_per_replica);
 
   // Serve the trace.
   const auto trace = generate_workload(instance.size(), workload);
@@ -121,10 +144,14 @@ ServingReport simulate_serving(const knapsack::Instance& instance,
     }
     const bool consensus = 2 * votes > replicas;
     consistent += (answer == consensus) ? 1 : 0;
-    // One oracle read per answer under the RPC model.
+    // One oracle read per answer under the RPC model; the span feeds the
+    // registry histogram the SLO readout is built from.
     const double u = latency_rng.next_double();
-    latencies.push_back(serving.rpc_fixed_us -
-                        serving.rpc_exp_mean_us * std::log1p(-u));
+    const double latency_us =
+        serving.rpc_fixed_us - serving.rpc_exp_mean_us * std::log1p(-u);
+    latency_hist.observe(latency_us);
+    served_total.inc();
+    latencies.push_back(latency_us);
   }
   std::sort(latencies.begin(), latencies.end());
   const auto pct = [&](double p) {
@@ -141,6 +168,12 @@ ServingReport simulate_serving(const knapsack::Instance& instance,
   report.consistency_rate =
       trace.empty() ? 1.0
                     : static_cast<double>(consistent) / static_cast<double>(trace.size());
+  registry
+      .gauge("serving_consistency_rate",
+             "Fraction of served answers matching the fleet consensus")
+      .set(report.consistency_rate);
+  report.oracle_queries = access.query_count();
+  report.oracle_samples = access.sample_count();
   return report;
 }
 

@@ -18,6 +18,15 @@
 /// fleet consensus.  The report carries the numbers an operator would watch:
 /// warm-up cost, per-query latency percentiles, answer skew, and the
 /// consistency rate — the paper's guarantee expressed as an SLO.
+///
+/// The simulator feeds the metrics registry as it runs: the oracle sits
+/// behind an `InstrumentedAccess` (so `oracle_queries_total` /
+/// `oracle_samples_total` advance), every served query observes its
+/// simulated latency into the `serving_query_latency_us` histogram and
+/// increments `serving_queries_total`, and warm-up economics land in gauges.
+/// The report additionally carries the legacy oracle counter readings
+/// (`oracle_queries` / `oracle_samples`) so benches can assert that the
+/// registry and the hand-rolled atomics never drift.
 
 namespace lcaknap::core {
 
@@ -66,7 +75,18 @@ struct ServingReport {
   /// Fraction of queries whose answer matched the fleet consensus (majority
   /// of all replicas on that item) — the operator-visible consistency SLO.
   double consistency_rate = 0.0;
+
+  /// Legacy per-oracle counter readings for this simulation's access object
+  /// (queries and weighted samples).  The same events are recorded in the
+  /// registry; benches cross-check the two read-out paths.
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t oracle_samples = 0;
 };
+
+/// Bucket bounds shared by every `serving_query_latency_us` histogram (20 us
+/// up by factor 1.5: the RPC fixed cost lands mid-range, the exponential
+/// tail spreads over the top buckets).
+[[nodiscard]] std::vector<double> serving_latency_buckets();
 
 /// Runs the simulation.  Replica warm-ups execute on `pool` when provided.
 [[nodiscard]] ServingReport simulate_serving(const knapsack::Instance& instance,

@@ -1,0 +1,171 @@
+#include "metrics/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace lcaknap::metrics {
+
+namespace {
+
+/// Shortest-round-trip formatting for sample values; Prometheus and JSON both
+/// accept plain decimal or exponent notation.
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, v);
+    if (std::strtod(candidate, nullptr) == v) return candidate;
+  }
+  return buf;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{a="x",b="y"}` (empty string for no labels); `extra` appends one
+/// more pair, used for histogram `le`.
+std::string label_block(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + escape_label_value(extra_value) + "\"";
+  }
+  return out + "}";
+}
+
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+ExportFormat parse_export_format(const std::string& name) {
+  if (name == "prom" || name == "prometheus") return ExportFormat::kPrometheus;
+  if (name == "json" || name == "jsonl") return ExportFormat::kJson;
+  throw std::invalid_argument("unknown metrics format: " + name +
+                              " (expected prom or json)");
+}
+
+void write_prometheus(const Snapshot& snapshot, std::ostream& os) {
+  std::string last_family;
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    if (name == last_family) return;  // one header per family
+    last_family = name;
+    os << "# HELP " << name << " " << help << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+  for (const auto& c : snapshot.counters) {
+    header(c.name, c.help, "counter");
+    os << c.name << label_block(c.labels) << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    header(g.name, g.help, "gauge");
+    os << g.name << label_block(g.labels) << " " << format_value(g.value) << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string le =
+          i < h.upper_bounds.size() ? format_value(h.upper_bounds[i]) : "+Inf";
+      os << h.name << "_bucket" << label_block(h.labels, "le", le) << " "
+         << cumulative << "\n";
+    }
+    os << h.name << "_sum" << label_block(h.labels) << " " << format_value(h.sum)
+       << "\n";
+    os << h.name << "_count" << label_block(h.labels) << " " << h.count << "\n";
+  }
+}
+
+void write_json_lines(const Snapshot& snapshot, std::ostream& os) {
+  for (const auto& c : snapshot.counters) {
+    os << "{\"name\":\"" << json_escape(c.name) << "\",\"type\":\"counter\","
+       << "\"labels\":" << json_labels(c.labels) << ",\"value\":" << c.value
+       << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "{\"name\":\"" << json_escape(g.name) << "\",\"type\":\"gauge\","
+       << "\"labels\":" << json_labels(g.labels)
+       << ",\"value\":" << format_value(g.value) << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "{\"name\":\"" << json_escape(h.name) << "\",\"type\":\"histogram\","
+       << "\"labels\":" << json_labels(h.labels) << ",\"count\":" << h.count
+       << ",\"sum\":" << format_value(h.sum) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"le\":";
+      if (i < h.upper_bounds.size()) {
+        os << format_value(h.upper_bounds[i]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.bucket_counts[i] << "}";
+    }
+    os << "]}\n";
+  }
+}
+
+void write_registry(const Registry& registry, ExportFormat format, std::ostream& os) {
+  const Snapshot snap = registry.snapshot();
+  switch (format) {
+    case ExportFormat::kPrometheus: write_prometheus(snap, os); break;
+    case ExportFormat::kJson: write_json_lines(snap, os); break;
+  }
+}
+
+}  // namespace lcaknap::metrics

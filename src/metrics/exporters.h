@@ -1,0 +1,40 @@
+#ifndef LCAKNAP_METRICS_EXPORTERS_H
+#define LCAKNAP_METRICS_EXPORTERS_H
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/metrics.h"
+
+/// \file exporters.h
+/// Registry serialization, selectable at runtime:
+///
+///  * Prometheus text exposition (version 0.0.4) — `# HELP` / `# TYPE`
+///    headers, `_bucket{le=...}` / `_sum` / `_count` series for histograms —
+///    ready for a scrape endpoint or the textfile collector;
+///  * JSON lines — one self-describing object per instrument, for piping
+///    into `jq` or a log-based metrics store.
+///
+/// Both exporters work from a `Snapshot`, so they never hold the registry
+/// lock while formatting.
+
+namespace lcaknap::metrics {
+
+enum class ExportFormat {
+  kPrometheus,
+  kJson,
+};
+
+/// Parses "prom"/"prometheus" or "json"/"jsonl"; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] ExportFormat parse_export_format(const std::string& name);
+
+void write_prometheus(const Snapshot& snapshot, std::ostream& os);
+void write_json_lines(const Snapshot& snapshot, std::ostream& os);
+
+/// Snapshots `registry` and writes it in `format`.
+void write_registry(const Registry& registry, ExportFormat format, std::ostream& os);
+
+}  // namespace lcaknap::metrics
+
+#endif  // LCAKNAP_METRICS_EXPORTERS_H

@@ -1,0 +1,214 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcaknap::metrics {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept { atomic_add(value_, delta); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  if (upper_bounds_.empty()) {
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  }
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) ||
+      std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) !=
+          upper_bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::percentile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The +Inf bucket has no finite upper edge; report its lower edge.
+    if (i >= upper_bounds_.size()) return upper_bounds_.back();
+    const double lower = i == 0 ? std::min(0.0, upper_bounds_[0]) : upper_bounds_[i - 1];
+    const double upper = upper_bounds_[i];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return upper_bounds_.back();
+}
+
+std::vector<double> Histogram::exponential_buckets(double start, double factor,
+                                                   std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument("exponential_buckets: start > 0, factor > 1, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::linear_buckets(double start, double width,
+                                              std::size_t count) {
+  if (!(width > 0.0) || count == 0) {
+    throw std::invalid_argument("linear_buckets: width > 0, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+Registry::Family& Registry::family(const std::string& name, const std::string& help,
+                                   Kind kind) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second->kind != kind) {
+      throw std::invalid_argument("metrics: family '" + name +
+                                  "' already registered with a different kind");
+    }
+    return *it->second;
+  }
+  auto owned = std::make_unique<Family>();
+  owned->name = name;
+  owned->help = help;
+  owned->kind = kind;
+  Family* raw = owned.get();
+  families_.push_back(std::move(owned));
+  by_name_[name] = raw;
+  return *raw;
+}
+
+Registry::Instrument* Registry::find(std::vector<Instrument>& instruments,
+                                     const Labels& labels) {
+  for (auto& instrument : instruments) {
+    if (instrument.labels == labels) return &instrument;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  const auto key = sorted(labels);
+  const std::lock_guard lock(mutex_);
+  auto& fam = family(name, help, Kind::kCounter);
+  if (auto* existing = find(fam.instruments, key)) return *existing->counter;
+  fam.instruments.push_back({key, std::make_unique<Counter>(), nullptr, nullptr});
+  return *fam.instruments.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  const auto key = sorted(labels);
+  const std::lock_guard lock(mutex_);
+  auto& fam = family(name, help, Kind::kGauge);
+  if (auto* existing = find(fam.instruments, key)) return *existing->gauge;
+  fam.instruments.push_back({key, nullptr, std::make_unique<Gauge>(), nullptr});
+  return *fam.instruments.back().gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> upper_bounds,
+                               const Labels& labels) {
+  const auto key = sorted(labels);
+  const std::lock_guard lock(mutex_);
+  auto& fam = family(name, help, Kind::kHistogram);
+  if (auto* existing = find(fam.instruments, key)) return *existing->histogram;
+  fam.instruments.push_back(
+      {key, nullptr, nullptr, std::make_unique<Histogram>(std::move(upper_bounds))});
+  return *fam.instruments.back().histogram;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  const auto key = sorted(labels);
+  const std::lock_guard lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second->kind != Kind::kCounter) return 0;
+  for (const auto& instrument : it->second->instruments) {
+    if (instrument.labels == key) return instrument.counter->value();
+  }
+  return 0;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard lock(mutex_);
+  for (const auto& fam : families_) {
+    for (const auto& instrument : fam->instruments) {
+      switch (fam->kind) {
+        case Kind::kCounter:
+          snap.counters.push_back(
+              {fam->name, fam->help, instrument.labels, instrument.counter->value()});
+          break;
+        case Kind::kGauge:
+          snap.gauges.push_back(
+              {fam->name, fam->help, instrument.labels, instrument.gauge->value()});
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          snap.histograms.push_back({fam->name, fam->help, instrument.labels,
+                                     h.upper_bounds(), h.bucket_counts(), h.count(),
+                                     h.sum()});
+          break;
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+Registry& global_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace lcaknap::metrics

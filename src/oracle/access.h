@@ -21,7 +21,14 @@
 /// Instance metadata that the model treats as known — the number of items n,
 /// the capacity K, and the normalization constants (total profit/weight are
 /// both normalized to 1 in Section 4) — is available without being counted.
-/// Every complexity figure in the benches is read off these counters.
+///
+/// The *canonical* read-out path for these costs is the metrics registry fed
+/// by `InstrumentedAccess` (see instrumented.h): `oracle_queries_total` and
+/// `oracle_samples_total` are what the benches, the CLI's `--metrics`
+/// exporters, and docs/OBSERVABILITY.md report.  The per-object atomics below
+/// (`query_count` / `sample_count` / `access_count`) remain as shims — handy
+/// for single-oracle tests and kept bit-equal to the registry by
+/// tests/oracle/instrumented_test.cpp.
 
 namespace lcaknap::oracle {
 

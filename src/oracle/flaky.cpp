@@ -5,8 +5,13 @@
 namespace lcaknap::oracle {
 
 FlakyAccess::FlakyAccess(const InstanceAccess& inner, double failure_rate,
-                         std::uint64_t seed)
-    : inner_(&inner), failure_rate_(failure_rate), fail_rng_(seed) {
+                         std::uint64_t seed, metrics::Registry& registry)
+    : inner_(&inner),
+      failure_rate_(failure_rate),
+      failures_total_(&registry.counter(
+          "oracle_failures_total",
+          "Transient oracle failures injected before reaching storage")),
+      fail_rng_(seed) {
   if (failure_rate < 0.0 || failure_rate >= 1.0) {
     throw std::invalid_argument("FlakyAccess: failure_rate must be in [0, 1)");
   }
@@ -26,7 +31,10 @@ void FlakyAccess::maybe_fail() const {
       fail = true;
     }
   }
-  if (fail) throw OracleUnavailable();
+  if (fail) {
+    failures_total_->inc();
+    throw OracleUnavailable();
+  }
 }
 
 knapsack::Item FlakyAccess::do_query(std::size_t i) const {
@@ -39,8 +47,13 @@ WeightedDraw FlakyAccess::do_sample(util::Xoshiro256& rng) const {
   return inner_->weighted_sample(rng);
 }
 
-RetryingAccess::RetryingAccess(const InstanceAccess& inner, int max_attempts)
-    : inner_(&inner), max_attempts_(max_attempts) {
+RetryingAccess::RetryingAccess(const InstanceAccess& inner, int max_attempts,
+                               metrics::Registry& registry)
+    : inner_(&inner),
+      max_attempts_(max_attempts),
+      retries_total_(&registry.counter(
+          "oracle_retries_total",
+          "Oracle call attempts absorbed by the client-side retry policy")) {
   if (max_attempts < 1) {
     throw std::invalid_argument("RetryingAccess: max_attempts must be >= 1");
   }
@@ -53,6 +66,7 @@ knapsack::Item RetryingAccess::do_query(std::size_t i) const {
     } catch (const OracleUnavailable&) {
       if (attempt >= max_attempts_) throw;
       retries_.fetch_add(1, std::memory_order_relaxed);
+      retries_total_->inc();
     }
   }
 }
@@ -64,6 +78,7 @@ WeightedDraw RetryingAccess::do_sample(util::Xoshiro256& rng) const {
     } catch (const OracleUnavailable&) {
       if (attempt >= max_attempts_) throw;
       retries_.fetch_add(1, std::memory_order_relaxed);
+      retries_total_->inc();
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "metrics/metrics.h"
 #include "oracle/access.h"
 
 /// \file flaky.h
@@ -14,6 +15,11 @@
 /// `RetryingAccess` is the corresponding client-side policy.  Tests verify
 /// that retrying restores exactness and that LCA answers are unaffected
 /// (retries consume fresh sampling randomness only).
+///
+/// Both decorators feed the metrics registry: injected failures increment
+/// `oracle_failures_total`, absorbed retries increment `oracle_retries_total`
+/// — the fleet-level view of the same events the per-instance accessors
+/// (`failures_injected`, `retries_performed`) report locally.
 
 namespace lcaknap::oracle {
 
@@ -22,7 +28,8 @@ namespace lcaknap::oracle {
 class FlakyAccess final : public InstanceAccess {
  public:
   /// `inner` must outlive this object.  failure_rate in [0, 1).
-  FlakyAccess(const InstanceAccess& inner, double failure_rate, std::uint64_t seed);
+  FlakyAccess(const InstanceAccess& inner, double failure_rate, std::uint64_t seed,
+              metrics::Registry& registry = metrics::global_registry());
 
   [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
   [[nodiscard]] std::int64_t capacity() const noexcept override {
@@ -47,6 +54,7 @@ class FlakyAccess final : public InstanceAccess {
 
   const InstanceAccess* inner_;
   double failure_rate_;
+  metrics::Counter* failures_total_;
   mutable std::mutex mutex_;
   mutable util::Xoshiro256 fail_rng_;
   mutable std::uint64_t failures_ = 0;
@@ -57,7 +65,8 @@ class FlakyAccess final : public InstanceAccess {
 class RetryingAccess final : public InstanceAccess {
  public:
   /// `inner` must outlive this object.
-  RetryingAccess(const InstanceAccess& inner, int max_attempts = 16);
+  explicit RetryingAccess(const InstanceAccess& inner, int max_attempts = 16,
+                          metrics::Registry& registry = metrics::global_registry());
 
   [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
   [[nodiscard]] std::int64_t capacity() const noexcept override {
@@ -81,6 +90,7 @@ class RetryingAccess final : public InstanceAccess {
  private:
   const InstanceAccess* inner_;
   int max_attempts_;
+  metrics::Counter* retries_total_;
   mutable std::atomic<std::uint64_t> retries_{0};
 };
 

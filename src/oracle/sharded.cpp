@@ -1,10 +1,12 @@
 #include "oracle/sharded.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace lcaknap::oracle {
 
-ShardedAccess::ShardedAccess(const knapsack::Instance& instance, std::size_t shards)
+ShardedAccess::ShardedAccess(const knapsack::Instance& instance, std::size_t shards,
+                             metrics::Registry& registry)
     : instance_(&instance) {
   const std::size_t n = instance.size();
   if (shards == 0 || shards > n) {
@@ -33,6 +35,12 @@ ShardedAccess::ShardedAccess(const knapsack::Instance& instance, std::size_t sha
       weights.assign(count, 1.0);
     }
     shards_[s].sampler = std::make_unique<util::AliasSampler>(weights);
+    if (shards <= kMaxLabeledShards) {
+      shards_[s].traffic = &registry.counter(
+          "oracle_shard_accesses_total",
+          "Oracle accesses (queries + samples) routed to each shard",
+          {{"shard", std::to_string(s)}});
+    }
     cursor = shards_[s].end;
   }
   shard_picker_ = std::make_unique<util::AliasSampler>(shard_masses);
@@ -67,6 +75,7 @@ const ShardedAccess::Shard& ShardedAccess::shard_for(std::size_t index) const {
 knapsack::Item ShardedAccess::do_query(std::size_t i) const {
   const Shard& shard = shard_for(i);
   shard.load.fetch_add(1, std::memory_order_relaxed);
+  if (shard.traffic != nullptr) shard.traffic->inc();
   return instance_->item(i);
 }
 
@@ -74,6 +83,7 @@ WeightedDraw ShardedAccess::do_sample(util::Xoshiro256& rng) const {
   const std::size_t s = shard_picker_->sample(rng);
   const Shard& shard = shards_[s];
   shard.load.fetch_add(1, std::memory_order_relaxed);
+  if (shard.traffic != nullptr) shard.traffic->inc();
   const std::size_t local = shard.sampler->sample(rng);
   const std::size_t global = shard.begin + local;
   return {global, instance_->item(global)};

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "oracle/access.h"
 #include "util/alias_sampler.h"
 
@@ -16,14 +17,23 @@
 /// distribution of the flat oracle.  Per-shard access counters expose load
 /// balance, and the composition law (global counters == sum of shard
 /// counters) is tested.
+///
+/// Shard traffic is mirrored into the metrics registry as
+/// `oracle_shard_accesses_total{shard="s"}` so an operator sees the load
+/// split live.  To bound label cardinality, the mirror is only installed for
+/// fleets of at most `kMaxLabeledShards` shards; `shard_load` always works.
 
 namespace lcaknap::oracle {
 
 class ShardedAccess final : public InstanceAccess {
  public:
+  /// Largest fleet that still gets per-shard labeled registry counters.
+  static constexpr std::size_t kMaxLabeledShards = 256;
+
   /// Splits `instance` into `shards` contiguous index ranges.  The instance
   /// must outlive this object.  shards must be in [1, size].
-  ShardedAccess(const knapsack::Instance& instance, std::size_t shards);
+  ShardedAccess(const knapsack::Instance& instance, std::size_t shards,
+                metrics::Registry& registry = metrics::global_registry());
 
   [[nodiscard]] std::size_t size() const noexcept override;
   [[nodiscard]] std::int64_t capacity() const noexcept override;
@@ -44,6 +54,7 @@ class ShardedAccess final : public InstanceAccess {
     std::size_t end = 0;    // one past the last
     std::unique_ptr<util::AliasSampler> sampler;  // over items within the shard
     mutable std::atomic<std::uint64_t> load{0};
+    metrics::Counter* traffic = nullptr;  // labeled registry mirror (may be null)
   };
 
   [[nodiscard]] const Shard& shard_for(std::size_t index) const;

@@ -6,9 +6,16 @@
 //   solve    --in FILE [--method exact|greedy|fptas] [--eps E]
 //       Solve an instance offline and print the solution summary.
 //   serve    --in FILE [--eps E] [--seed S] (--items "i,j,k" | --all)
-//       Run LCA-KP and answer membership queries.
+//            [--flaky RATE] [--retries N]
+//       Run LCA-KP and answer membership queries over the instrumented
+//       oracle stack (storage -> metrics -> optional failure injection ->
+//       retries).
 //   eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]
 //       Run the consistency/quality harness and print the report.
+//
+// Global flag: --metrics=prom|json dumps the metrics registry (Prometheus
+// text exposition or JSON lines) to stdout when the command finishes — see
+// docs/OBSERVABILITY.md for the family catalogue.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
@@ -23,19 +30,24 @@
 #include "core/consistency.h"
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
+#include "core/serving_sim.h"
 #include "knapsack/generators.h"
 #include "knapsack/solvers/fptas.h"
 #include "knapsack/solvers/greedy.h"
 #include "knapsack/solvers/solve.h"
+#include "metrics/exporters.h"
+#include "metrics/metrics.h"
 #include "oracle/access.h"
+#include "oracle/flaky.h"
+#include "oracle/instrumented.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace lcaknap;
 
-/// Minimal --flag value parser; flags are unique, all take one value except
-/// the boolean `--all`.
+/// Minimal --flag value parser; flags are unique and take one value, given
+/// either as `--flag value` or `--flag=value`, except the boolean `--all`.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -45,6 +57,10 @@ class Args {
         throw std::invalid_argument("expected --flag, got: " + key);
       }
       key = key.substr(2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (key == "all") {
         values_[key] = "true";
         continue;
@@ -157,7 +173,23 @@ int cmd_serve(const Args& args) {
   core::LcaKpConfig config;
   config.eps = args.get_double("eps", 0.1);
   config.seed = args.get_u64("seed", 0xC0DE);
-  const oracle::MaterializedAccess access(inst);
+
+  // The serving oracle stack, innermost first: storage -> instrumentation
+  // (the registry's canonical counters) -> optional injected failures ->
+  // client-side retries.  The decorators are access-transparent, so answers
+  // are identical to serving straight off storage.
+  auto& registry = metrics::global_registry();
+  const oracle::MaterializedAccess storage(inst);
+  const oracle::InstrumentedAccess instrumented(storage, registry);
+  const double flaky_rate = args.get_double("flaky", 0.0);
+  std::optional<oracle::FlakyAccess> flaky;
+  if (flaky_rate > 0.0) {
+    flaky.emplace(instrumented, flaky_rate, args.get_u64("flaky-seed", 0xF1A), registry);
+  }
+  const oracle::InstanceAccess& upstream = flaky ? static_cast<const oracle::InstanceAccess&>(*flaky)
+                                                 : instrumented;
+  const oracle::RetryingAccess access(
+      upstream, static_cast<int>(args.get_u64("retries", 16)), registry);
   const core::LcaKp lca(access, config);
 
   util::Xoshiro256 tape(args.get_u64("tape", 7));
@@ -170,9 +202,20 @@ int cmd_serve(const Args& args) {
   } else {
     items = parse_items(args.require("items"), inst.size());
   }
+  metrics::Counter& served_total = registry.counter(
+      "serving_queries_total", "Membership queries served by the replica fleet");
+  metrics::Histogram& latency_hist = registry.histogram(
+      "serving_query_latency_us",
+      "Per-query serving latency in microseconds",
+      core::serving_latency_buckets());
   std::size_t yes = 0;
   for (const auto i : items) {
-    const bool in = lca.answer_from(run, i);
+    bool in = false;
+    {
+      const metrics::ScopedTimer span(latency_hist);
+      in = lca.answer_from(run, i);
+    }
+    served_total.inc();
     yes += in ? 1 : 0;
     if (!args.get("all")) {
       std::cout << "item " << i << ": " << (in ? "yes" : "no") << "\n";
@@ -217,11 +260,14 @@ int cmd_eval(const Args& args) {
 
 void usage() {
   std::cerr <<
-      "usage: lcaknap_cli <command> [flags]\n"
+      "usage: lcaknap_cli <command> [flags] [--metrics=prom|json]\n"
       "  generate --family NAME --n N [--seed S] [--out FILE]\n"
       "  solve    --in FILE [--method exact|greedy|fptas] [--eps E]\n"
       "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
-      "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n";
+      "           [--flaky RATE] [--retries N]\n"
+      "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
+      "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
+      "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }
 
 }  // namespace
@@ -234,12 +280,29 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "solve") return cmd_solve(args);
-    if (command == "serve") return cmd_serve(args);
-    if (command == "eval") return cmd_eval(args);
-    usage();
-    return 1;
+    // Resolve the exporter up front so a bad --metrics value is a usage
+    // error before any work happens.
+    std::optional<metrics::ExportFormat> metrics_format;
+    if (const auto format = args.get("metrics")) {
+      metrics_format = metrics::parse_export_format(*format);
+    }
+    int rc = 1;
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "solve") {
+      rc = cmd_solve(args);
+    } else if (command == "serve") {
+      rc = cmd_serve(args);
+    } else if (command == "eval") {
+      rc = cmd_eval(args);
+    } else {
+      usage();
+      return 1;
+    }
+    if (metrics_format) {
+      metrics::write_registry(metrics::global_registry(), *metrics_format, std::cout);
+    }
+    return rc;
   } catch (const std::invalid_argument& e) {
     std::cerr << "usage error: " << e.what() << "\n";
     usage();
