@@ -77,7 +77,11 @@ class InstanceAccess {
     return do_query(i);
   }
   /// Draws an item with probability proportional to its profit; one unit of
-  /// sample cost.
+  /// sample cost.  `rng` is the caller's fresh-randomness tape and is
+  /// single-owner: it mutates on every draw, so concurrent callers (e.g.
+  /// serving-engine workers) must each pass their own tape.  The access
+  /// object itself is safe to share — counting is atomic and
+  /// implementations keep any internal randomness behind their own locks.
   [[nodiscard]] WeightedDraw weighted_sample(util::Xoshiro256& rng) const {
     samples_.fetch_add(1, std::memory_order_relaxed);
     return do_sample(rng);

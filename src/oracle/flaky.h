@@ -20,6 +20,19 @@
 /// `oracle_failures_total`, absorbed retries increment `oracle_retries_total`
 /// — the fleet-level view of the same events the per-instance accessors
 /// (`failures_injected`, `retries_performed`) report locally.
+///
+/// Thread safety (audited for the serving engine's worker pool): both
+/// decorators are safe for concurrent callers.  `FlakyAccess` serializes
+/// its failure-decision RNG and failure count behind a mutex (the RNG is
+/// the only mutable PRNG state either decorator owns); `RetryingAccess`
+/// keeps only an atomic retry counter; registry counters are lock-free.
+/// The one single-owner object in any call is the *caller's* sampling tape
+/// — the `Xoshiro256&` passed to `weighted_sample` mutates on every draw
+/// and must not be shared across threads (see access.h).  Under concurrency
+/// the per-thread failure sequences are no longer deterministic (threads
+/// interleave draws from the shared failure RNG), but conservation holds
+/// exactly: every injected failure is observed by exactly one caller.
+/// tests/oracle/test_concurrent_access.cpp hammers both properties.
 
 namespace lcaknap::oracle {
 

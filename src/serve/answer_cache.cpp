@@ -1,0 +1,145 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace lcaknap::serve {
+namespace {
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AnswerCache::AnswerCache(const AnswerCacheConfig& config,
+                         metrics::Registry& registry)
+    : config_(config),
+      hits_total_(&registry.counter(
+          "serve_cache_hits_total", "Answer-cache hits in the serving engine")),
+      misses_total_(&registry.counter(
+          "serve_cache_misses_total", "Answer-cache misses in the serving engine")),
+      evictions_total_(&registry.counter(
+          "serve_cache_evictions_total", "Answer-cache LRU evictions")),
+      paranoia_checks_total_(&registry.counter(
+          "serve_cache_paranoia_checks_total",
+          "Cache hits re-evaluated by the paranoia consistency check")),
+      paranoia_violations_total_(&registry.counter(
+          "serve_cache_paranoia_violations_total",
+          "Paranoia re-evaluations that disagreed with the cached answer "
+          "(must stay 0; Definition 2.3 as an SLO)")) {
+  std::size_t n_shards =
+      round_up_pow2(std::max<std::size_t>(1, config.shards));
+  if (config.capacity > 0) {
+    // Every shard must hold at least one entry or it could never cache.
+    while (n_shards > 1 && n_shards > config.capacity) n_shards >>= 1;
+  }
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute the capacity; earlier shards absorb the remainder.
+    shard->capacity = config.capacity / n_shards +
+                      (s < config.capacity % n_shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+AnswerCache::Shard& AnswerCache::shard_for(std::size_t item) noexcept {
+  // shards_.size() is a power of two; mix so adjacent indices spread.
+  const auto h = util::mix64(static_cast<std::uint64_t>(item));
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+std::optional<AnswerCache::Hit> AnswerCache::get(std::size_t item) {
+  if (config_.capacity == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_total_->inc();
+    return std::nullopt;
+  }
+  Shard& shard = shard_for(item);
+  bool answer = false;
+  {
+    const std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(item);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_total_->inc();
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    answer = it->second->second;
+  }
+  const auto hit_no = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  hits_total_->inc();
+  Hit hit;
+  hit.answer = answer;
+  hit.paranoia_due =
+      config_.paranoia_every > 0 && hit_no % config_.paranoia_every == 0;
+  return hit;
+}
+
+void AnswerCache::put(std::size_t item, bool answer) {
+  if (config_.capacity == 0) return;
+  Shard& shard = shard_for(item);
+  bool evicted = false;
+  {
+    const std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(item);
+    if (it != shard.index.end()) {
+      it->second->second = answer;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.capacity == 0) return;  // degenerate split: shard holds nothing
+    if (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evicted = true;
+    }
+    shard.lru.emplace_front(item, answer);
+    shard.index.emplace(item, shard.lru.begin());
+  }
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_total_->inc();
+  }
+}
+
+void AnswerCache::record_paranoia(bool consistent) {
+  paranoia_checks_.fetch_add(1, std::memory_order_relaxed);
+  paranoia_checks_total_->inc();
+  if (!consistent) {
+    paranoia_violations_.fetch_add(1, std::memory_order_relaxed);
+    paranoia_violations_total_->inc();
+  }
+}
+
+std::uint64_t AnswerCache::hits() const noexcept {
+  return hits_.load(std::memory_order_relaxed);
+}
+std::uint64_t AnswerCache::misses() const noexcept {
+  return misses_.load(std::memory_order_relaxed);
+}
+std::uint64_t AnswerCache::evictions() const noexcept {
+  return evictions_.load(std::memory_order_relaxed);
+}
+std::uint64_t AnswerCache::paranoia_checks() const noexcept {
+  return paranoia_checks_.load(std::memory_order_relaxed);
+}
+std::uint64_t AnswerCache::paranoia_violations() const noexcept {
+  return paranoia_violations_.load(std::memory_order_relaxed);
+}
+
+std::size_t AnswerCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace lcaknap::serve

@@ -1,0 +1,115 @@
+#ifndef LCAKNAP_SERVE_ANSWER_CACHE_H
+#define LCAKNAP_SERVE_ANSWER_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+/// \file answer_cache.h
+/// Sharded LRU cache of `(item index -> membership decision)` answers.
+///
+/// Caching a query answer is only sound because of Definition 2.3: every
+/// answer is a deterministic function of (shared seed, item), so a stored
+/// decision can never go stale — replaying the evaluation must produce the
+/// same bit.  The cache makes that assumption *checkable* instead of
+/// trusted: in paranoia mode it flags every Nth hit for re-evaluation, and
+/// the engine recomputes the answer and reports back whether it matched.
+/// `serve_cache_paranoia_violations_total` staying at zero is the paper's
+/// consistency guarantee (Lemma 4.9) as a live SLO; any nonzero value means
+/// a reproducibility regression, not load.
+///
+/// Layout: `shards` (rounded up to a power of two) independent shards, each
+/// a mutex-guarded LRU list + index, items routed by a mixed hash of the
+/// index.  Counters (hits/misses/evictions/paranoia) are relaxed atomics
+/// mirrored into the metrics registry.
+
+namespace lcaknap::serve {
+
+struct AnswerCacheConfig {
+  /// Total entries across all shards; 0 disables the cache (every get
+  /// misses, every put is dropped).
+  std::size_t capacity = 1 << 16;
+  /// Requested shard count; rounded up to the next power of two and capped
+  /// at `capacity` so every shard holds at least one entry.
+  std::size_t shards = 8;
+  /// Re-evaluate every Nth hit and compare (0 = paranoia off).
+  std::uint64_t paranoia_every = 0;
+};
+
+class AnswerCache {
+ public:
+  explicit AnswerCache(const AnswerCacheConfig& config,
+                       metrics::Registry& registry = metrics::global_registry());
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  struct Hit {
+    bool answer = false;
+    /// This hit was sampled for a paranoia re-evaluation: the caller should
+    /// recompute the answer and call `record_paranoia`.
+    bool paranoia_due = false;
+  };
+
+  /// Looks `item` up, refreshing its LRU position on a hit.
+  [[nodiscard]] std::optional<Hit> get(std::size_t item);
+
+  /// Inserts or refreshes `item`, evicting the shard's LRU tail when full.
+  void put(std::size_t item, bool answer);
+
+  /// Reports the result of a paranoia re-evaluation (`consistent` = the
+  /// recomputed answer matched the cached one).
+  void record_paranoia(bool consistent);
+
+  // Counter readouts (also exported as `serve_cache_*` registry families).
+  [[nodiscard]] std::uint64_t hits() const noexcept;
+  [[nodiscard]] std::uint64_t misses() const noexcept;
+  [[nodiscard]] std::uint64_t evictions() const noexcept;
+  [[nodiscard]] std::uint64_t paranoia_checks() const noexcept;
+  [[nodiscard]] std::uint64_t paranoia_violations() const noexcept;
+
+  /// Entries currently cached (sums shard sizes; racy but exact at rest).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] const AnswerCacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::size_t capacity = 0;
+    /// Front = most recently used; entries are (item, answer).
+    std::list<std::pair<std::size_t, bool>> lru;
+    std::unordered_map<std::size_t,
+                       std::list<std::pair<std::size_t, bool>>::iterator>
+        index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::size_t item) noexcept;
+
+  AnswerCacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> paranoia_checks_{0};
+  std::atomic<std::uint64_t> paranoia_violations_{0};
+
+  metrics::Counter* hits_total_;
+  metrics::Counter* misses_total_;
+  metrics::Counter* evictions_total_;
+  metrics::Counter* paranoia_checks_total_;
+  metrics::Counter* paranoia_violations_total_;
+};
+
+}  // namespace lcaknap::serve
+
+#endif  // LCAKNAP_SERVE_ANSWER_CACHE_H

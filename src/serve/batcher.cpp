@@ -1,0 +1,54 @@
+#include "serve/batcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lcaknap::serve {
+
+Batcher::Batcher(const BatcherConfig& config) : config_(config) {
+  if (config.max_batch_size == 0) {
+    throw std::invalid_argument("Batcher: max_batch_size must be >= 1");
+  }
+  if (config.max_linger.count() < 0) {
+    throw std::invalid_argument("Batcher: max_linger must be >= 0");
+  }
+}
+
+void Batcher::add(Request&& request, Clock::time_point now,
+                  std::vector<Batch>& ready) {
+  auto [it, inserted] = open_.try_emplace(request.item);
+  Batch& batch = it->second;
+  if (inserted) {
+    batch.item = request.item;
+    batch.opened_at = now;
+  }
+  batch.requests.push_back(std::move(request));
+  ++pending_;
+  if (batch.requests.size() >= config_.max_batch_size) {
+    pending_ -= batch.requests.size();
+    ready.push_back(std::move(batch));
+    open_.erase(it);
+  }
+}
+
+void Batcher::collect_expired(Clock::time_point now, std::vector<Batch>& ready) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.opened_at >= config_.max_linger) {
+      pending_ -= it->second.requests.size();
+      ready.push_back(std::move(it->second));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Batcher::flush_all(std::vector<Batch>& ready) {
+  for (auto& [item, batch] : open_) {
+    pending_ -= batch.requests.size();
+    ready.push_back(std::move(batch));
+  }
+  open_.clear();
+}
+
+}  // namespace lcaknap::serve

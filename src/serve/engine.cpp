@@ -1,0 +1,257 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace lcaknap::serve {
+
+std::vector<double> serve_latency_buckets() {
+  // 0.5 us up by factor 2: cache hits land in the bottom buckets, linger-
+  // bounded batches mid-range, deadline-scale tails at the top (~0.5 s).
+  return metrics::Histogram::exponential_buckets(0.5, 2.0, 20);
+}
+
+std::vector<double> serve_batch_size_buckets() {
+  return metrics::Histogram::exponential_buckets(1.0, 2.0, 10);
+}
+
+ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
+                         metrics::Registry& registry)
+    : lca_(&lca),
+      config_(config),
+      requests_ok_(&registry.counter("serve_requests_total",
+                                     "Requests finished by the serving engine",
+                                     {{"outcome", "ok"}})),
+      requests_overloaded_(&registry.counter(
+          "serve_requests_total", "Requests finished by the serving engine",
+          {{"outcome", "overloaded"}})),
+      requests_deadline_(&registry.counter(
+          "serve_requests_total", "Requests finished by the serving engine",
+          {{"outcome", "deadline"}})),
+      requests_error_(&registry.counter(
+          "serve_requests_total", "Requests finished by the serving engine",
+          {{"outcome", "error"}})),
+      batch_size_(&registry.histogram(
+          "serve_batch_size", "Requests grouped into one micro-batch",
+          serve_batch_size_buckets())),
+      latency_us_(&registry.histogram(
+          "serve_request_latency_us",
+          "End-to-end request latency in microseconds (admission to completion)",
+          serve_latency_buckets())),
+      queue_depth_gauge_(&registry.gauge(
+          "serve_queue_depth", "Requests waiting in the engine's bounded queue")),
+      queue_(std::max<std::size_t>(1, config.queue_capacity)),
+      cache_(config.cache, registry),
+      pool_(std::max<std::size_t>(1, config.workers)) {
+  // The one-time Theorem 4.1 warm-up; afterwards `run_` is read-only and
+  // shared by every worker (Definition 2.3's shared-seed replica).
+  util::Xoshiro256 tape(util::mix64(config.warmup_tape_seed));
+  run_ = lca_->run_pipeline(tape);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+void ServeEngine::finish(Request& request, const Response& response) {
+  switch (response.outcome) {
+    case Outcome::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      requests_ok_->inc();
+      break;
+    case Outcome::kOverloaded:
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      requests_overloaded_->inc();
+      break;
+    case Outcome::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      requests_deadline_->inc();
+      break;
+    case Outcome::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      requests_error_->inc();
+      break;
+  }
+  latency_us_->observe(std::chrono::duration<double, std::micro>(
+                           Clock::now() - request.enqueued_at)
+                           .count());
+  request.promise.set_value(response);
+}
+
+std::future<Response> ServeEngine::submit_at(std::size_t item,
+                                             Clock::time_point deadline) {
+  Request request;
+  request.item = item;
+  request.enqueued_at = Clock::now();
+  request.deadline = deadline;
+  auto future = request.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.try_push(std::move(request))) {
+    // try_push fails without consuming the request; reject it here so every
+    // submitted request completes exactly once.
+    Response response;
+    response.outcome = Outcome::kOverloaded;
+    finish(request, response);
+  }
+  queue_depth_gauge_->set(static_cast<double>(queue_.depth()));
+  return future;
+}
+
+std::future<Response> ServeEngine::submit(std::size_t item) {
+  if (config_.default_deadline.count() != 0) {
+    return submit(item, config_.default_deadline);
+  }
+  return submit_at(item, Clock::time_point::max());
+}
+
+std::future<Response> ServeEngine::submit(std::size_t item,
+                                          std::chrono::microseconds deadline) {
+  return submit_at(item, Clock::now() + deadline);
+}
+
+Response ServeEngine::submit_wait(std::size_t item) {
+  return submit(item).get();
+}
+
+void ServeEngine::dispatch_loop() {
+  Batcher batcher(config_.batcher);
+  std::vector<Batch> ready;
+  std::deque<Request> backlog;
+  // Wake at least this often so linger windows close promptly even when the
+  // queue is quiet.
+  const auto poll = std::chrono::microseconds(
+      std::clamp<std::int64_t>(config_.batcher.max_linger.count() / 2, 50, 1000));
+  while (true) {
+    Request request;
+    const bool got = queue_.pop_for(request, poll);
+    if (got) {
+      backlog.push_back(std::move(request));
+      // Under load, take the rest of the backlog in one lock acquisition so
+      // per-request queue overhead stops being the dispatch bottleneck.
+      queue_.pop_all(backlog);
+    }
+    const auto now = Clock::now();
+    for (auto& pending : backlog) {
+      if (pending.expired(now)) {
+        Response response;
+        response.outcome = Outcome::kDeadlineExceeded;
+        finish(pending, response);
+      } else {
+        batcher.add(std::move(pending), now, ready);
+      }
+    }
+    backlog.clear();
+    batcher.collect_expired(now, ready);
+    dispatch_ready(ready);
+    queue_depth_gauge_->set(static_cast<double>(queue_.depth()));
+    if (!got && queue_.closed() && queue_.depth() == 0) {
+      batcher.flush_all(ready);
+      dispatch_ready(ready);
+      return;
+    }
+  }
+}
+
+void ServeEngine::dispatch_ready(std::vector<Batch>& ready) {
+  if (ready.empty()) return;
+  // Deep backlogs get several batches per pool task so the per-task cost
+  // (allocation, pool mutex, wake-up) amortizes; shallow ones keep one
+  // batch per task so independent evaluations still run in parallel.
+  const std::size_t per_task = std::clamp<std::size_t>(
+      ready.size() / std::max<std::size_t>(1, config_.workers), 1, 8);
+  for (std::size_t begin = 0; begin < ready.size(); begin += per_task) {
+    const std::size_t end = std::min(begin + per_task, ready.size());
+    // std::function requires copyable callables; batches hold move-only
+    // promises, so they travel to the worker behind a shared_ptr.
+    auto boxed = std::make_shared<std::vector<Batch>>();
+    boxed->reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) boxed->push_back(std::move(ready[i]));
+    pool_.submit([this, boxed] {
+      for (auto& batch : *boxed) execute_batch(std::move(batch));
+    });
+  }
+  ready.clear();
+}
+
+void ServeEngine::execute_batch(Batch batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.requests.size(), std::memory_order_relaxed);
+  batch_size_->observe(static_cast<double>(batch.requests.size()));
+
+  // One evaluation serves the whole batch: every request asks about the
+  // same item, and the answer is a deterministic function of the shared
+  // seed, so computing it once is not an optimization gamble — it is what
+  // Definition 2.3 licenses.
+  Response response;
+  const auto cached = cache_.get(batch.item);
+  if (cached.has_value()) {
+    response.outcome = Outcome::kOk;
+    response.answer = cached->answer;
+    response.cache_hit = true;
+    if (cached->paranoia_due) {
+      // Live consistency SLO: recompute and compare.  A mismatch is a
+      // reproducibility bug, not staleness; repair the cache and count it.
+      try {
+        const bool fresh = lca_->answer_from(run_, batch.item);
+        cache_.record_paranoia(fresh == cached->answer);
+        if (fresh != cached->answer) {
+          cache_.put(batch.item, fresh);
+          response.answer = fresh;
+        }
+      } catch (...) {
+        // The recheck is best-effort; an oracle failure here must not take
+        // down an answer we already hold.
+      }
+    }
+  } else {
+    try {
+      response.answer = lca_->answer_from(run_, batch.item);
+      response.outcome = Outcome::kOk;
+      cache_.put(batch.item, response.answer);
+    } catch (...) {
+      response.outcome = Outcome::kError;
+    }
+  }
+
+  const auto now = Clock::now();
+  for (auto& request : batch.requests) {
+    if (response.outcome == Outcome::kOk && request.expired(now)) {
+      Response shed;
+      shed.outcome = Outcome::kDeadlineExceeded;
+      finish(request, shed);
+    } else {
+      finish(request, response);
+    }
+  }
+}
+
+void ServeEngine::drain() {
+  std::call_once(drain_once_, [this] {
+    queue_.close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    pool_.wait_idle();
+    queue_depth_gauge_->set(0.0);
+  });
+}
+
+EngineStats ServeEngine::stats() const {
+  EngineStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.ok = ok_.load(std::memory_order_relaxed);
+  stats.overloaded = overloaded_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  stats.paranoia_checks = cache_.paranoia_checks();
+  stats.paranoia_violations = cache_.paranoia_violations();
+  return stats;
+}
+
+}  // namespace lcaknap::serve

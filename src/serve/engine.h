@@ -1,0 +1,160 @@
+#ifndef LCAKNAP_SERVE_ENGINE_H
+#define LCAKNAP_SERVE_ENGINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/lca_kp.h"
+#include "metrics/metrics.h"
+#include "serve/answer_cache.h"
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "util/thread_pool.h"
+
+/// \file engine.h
+/// The concurrent serving engine: queue → batcher → worker pool → cache.
+///
+/// `core/serving_sim` *simulates* a fleet (latency drawn from an RPC model,
+/// queries executed one at a time); this engine is the real request path the
+/// paper's model promises is possible: per-query work independent of n and
+/// of the query interleaving.  One warm-up pipeline execution happens at
+/// construction (the Theorem 4.1 one-time cost); afterwards every admitted
+/// request is answered from the shared `LcaKpRun` — a read-only membership
+/// rule all workers consult concurrently, which is exactly the shared-seed
+/// replica of Definition 2.3.
+///
+/// Request lifecycle:
+///   submit() ── admission ──> RequestQueue (bounded; full ⇒ kOverloaded)
+///            ── dispatcher ─> Batcher (group by item; linger/size close)
+///            ── ThreadPool ─> execute_batch: AnswerCache get → on miss one
+///                             `answer_from` evaluation (one oracle read) →
+///                             cache put → fulfil every request's future
+/// Deadlines are checked at dispatch and again at evaluation; expired
+/// requests are shed with kDeadlineExceeded.  `drain()` closes admission,
+/// flushes the batcher, and completes every in-flight request — an admitted
+/// request is never lost.
+///
+/// Metrics (see docs/OBSERVABILITY.md): `serve_requests_total{outcome}`,
+/// `serve_batch_size`, `serve_request_latency_us`, `serve_queue_depth`, and
+/// the `serve_cache_*` families owned by `AnswerCache`.
+
+namespace lcaknap::serve {
+
+struct EngineConfig {
+  /// Evaluation workers (the engine owns its `util::ThreadPool`).
+  std::size_t workers = 4;
+  /// Admission bound: requests beyond this backlog are rejected kOverloaded.
+  std::size_t queue_capacity = 1024;
+  BatcherConfig batcher;
+  AnswerCacheConfig cache;
+  /// Deadline applied by `submit(item)`; 0 = no deadline (negative values
+  /// are honoured as already-expired, which tests use to force shedding).
+  std::chrono::microseconds default_deadline{0};
+  /// Fresh-randomness tape for the constructor's warm-up pipeline run.
+  std::uint64_t warmup_tape_seed = 7;
+};
+
+/// Point-in-time readout of the engine's own counters plus its cache's.
+/// Conservation law (post-drain): submitted == ok + overloaded +
+/// deadline_exceeded + errors.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  ///< requests that went through batches
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t paranoia_checks = 0;
+  std::uint64_t paranoia_violations = 0;
+};
+
+class ServeEngine {
+ public:
+  /// Executes the warm-up pipeline run and starts the dispatcher + workers.
+  /// `lca` (and the access object behind it) must outlive the engine.
+  ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
+              metrics::Registry& registry = metrics::global_registry());
+
+  /// Drains (all outstanding futures complete) and joins all threads.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Submits a membership query; the future always completes (with an
+  /// answer, or an admission/deadline/error outcome).  Applies
+  /// `config().default_deadline` when nonzero.
+  [[nodiscard]] std::future<Response> submit(std::size_t item);
+  /// Same, with an explicit per-request deadline (from now).
+  [[nodiscard]] std::future<Response> submit(std::size_t item,
+                                             std::chrono::microseconds deadline);
+  /// Convenience: submit and block for the response.
+  [[nodiscard]] Response submit_wait(std::size_t item);
+
+  /// Stops admission, completes everything already admitted, and joins the
+  /// dispatcher.  Subsequent submits are rejected kOverloaded.  Idempotent.
+  void drain();
+
+  [[nodiscard]] EngineStats stats() const;
+  /// The shared membership rule every worker answers from.
+  [[nodiscard]] const core::LcaKpRun& run() const noexcept { return run_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AnswerCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  [[nodiscard]] std::future<Response> submit_at(std::size_t item,
+                                                Clock::time_point deadline);
+  void dispatch_loop();
+  /// Hands `ready` to the worker pool, grouping several batches per pool
+  /// task when the backlog is deep (amortizes per-task overhead) while
+  /// keeping one-batch tasks when it is shallow (preserves parallelism).
+  void dispatch_ready(std::vector<Batch>& ready);
+  void execute_batch(Batch batch);
+  void finish(Request& request, const Response& response);
+
+  const core::LcaKp* lca_;
+  EngineConfig config_;
+  core::LcaKpRun run_;
+
+  metrics::Counter* requests_ok_;
+  metrics::Counter* requests_overloaded_;
+  metrics::Counter* requests_deadline_;
+  metrics::Counter* requests_error_;
+  metrics::Histogram* batch_size_;
+  metrics::Histogram* latency_us_;
+  metrics::Gauge* queue_depth_gauge_;
+
+  RequestQueue queue_;
+  AnswerCache cache_;
+  util::ThreadPool pool_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::once_flag drain_once_;
+  std::thread dispatcher_;
+};
+
+/// Bucket bounds for `serve_request_latency_us` (end-to-end spans: admission
+/// to completion; sub-microsecond cache hits up to long-linger batches).
+[[nodiscard]] std::vector<double> serve_latency_buckets();
+/// Bucket bounds for `serve_batch_size` (1 .. max fan-in, powers of two).
+[[nodiscard]] std::vector<double> serve_batch_size_buckets();
+
+}  // namespace lcaknap::serve
+
+#endif  // LCAKNAP_SERVE_ENGINE_H

@@ -1,0 +1,68 @@
+#ifndef LCAKNAP_SERVE_REQUEST_H
+#define LCAKNAP_SERVE_REQUEST_H
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+
+/// \file request.h
+/// The request vocabulary of the concurrent serving engine (src/serve/).
+///
+/// The paper's LCA model is a serving contract: independent replicas answer
+/// point queries "is item i in the solution?" consistently from a shared
+/// seed (Definition 2.3).  The engine makes that contract operational — a
+/// request is one membership query travelling queue → batcher → worker →
+/// cache, and its `Response` reports both the answer and the admission
+/// outcome (a production serving path may legitimately say "no capacity"
+/// or "too late" instead of an answer; it must never say two different
+/// answers for the same item).
+
+namespace lcaknap::serve {
+
+/// Engine-wide monotonic clock; deadlines and linger windows use it.
+using Clock = std::chrono::steady_clock;
+
+/// How a request left the engine.
+enum class Outcome {
+  kOk,                ///< answered (from the cache or a fresh evaluation)
+  kOverloaded,        ///< rejected at admission: queue full or engine drained
+  kDeadlineExceeded,  ///< shed: its deadline passed before evaluation
+  kError,             ///< evaluation failed (e.g. the oracle stayed unavailable)
+};
+
+/// Stable label for metrics (`serve_requests_total{outcome=...}`) and logs.
+[[nodiscard]] constexpr const char* outcome_name(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kOverloaded: return "overloaded";
+    case Outcome::kDeadlineExceeded: return "deadline";
+    case Outcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+/// What the submitter gets back, exactly once per submitted request.
+struct Response {
+  Outcome outcome = Outcome::kError;
+  bool answer = false;     ///< membership decision; meaningful iff kOk
+  bool cache_hit = false;  ///< answered from the sharded cache
+};
+
+/// One in-flight membership query.  Move-only (owns the promise side of the
+/// submitter's future).
+struct Request {
+  std::size_t item = 0;
+  Clock::time_point enqueued_at{};
+  /// Requests whose deadline passes before evaluation are shed with
+  /// kDeadlineExceeded; `Clock::time_point::max()` means no deadline.
+  Clock::time_point deadline = Clock::time_point::max();
+  std::promise<Response> promise;
+
+  [[nodiscard]] bool expired(Clock::time_point now) const noexcept {
+    return deadline <= now;
+  }
+};
+
+}  // namespace lcaknap::serve
+
+#endif  // LCAKNAP_SERVE_REQUEST_H

@@ -1,0 +1,69 @@
+#ifndef LCAKNAP_SERVE_REQUEST_QUEUE_H
+#define LCAKNAP_SERVE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "serve/request.h"
+
+/// \file request_queue.h
+/// Bounded MPMC request queue with admission control.
+///
+/// Admission control is the first of the engine's two load-shedding points:
+/// when the queue is full, `try_push` refuses immediately and the caller
+/// completes the request with `kOverloaded` — the engine never buffers
+/// unbounded backlog, so a traffic spike degrades into fast rejections
+/// instead of unbounded latency.  (The second shedding point is the deadline
+/// check at dispatch/evaluation time; see engine.cpp.)
+///
+/// Any number of producers may push concurrently; any number of consumers
+/// may pop.  `close()` makes the shutdown path race-free: no push is
+/// admitted afterwards, while consumers drain what was already accepted —
+/// the queue never loses an admitted request.
+
+namespace lcaknap::serve {
+
+class RequestQueue {
+ public:
+  /// `capacity` must be >= 1 (a zero-capacity queue would reject everything).
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits `request` unless the queue is full or closed.  Returns whether
+  /// the request was admitted; on `false` the caller still owns it.
+  [[nodiscard]] bool try_push(Request&& request);
+
+  /// Pops the oldest request, waiting up to `wait` for one to arrive.
+  /// Returns false on timeout, or immediately when closed and empty.
+  [[nodiscard]] bool pop_for(Request& out, std::chrono::microseconds wait);
+
+  /// Appends every queued request to `out` without waiting and returns how
+  /// many were moved.  One lock acquisition for the whole backlog — the
+  /// dispatcher uses this after a successful pop so per-request queue
+  /// overhead amortizes away under load.
+  std::size_t pop_all(std::deque<Request>& out);
+
+  /// Rejects all future pushes and wakes every waiting consumer.  Already
+  /// admitted requests remain poppable.  Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace lcaknap::serve
+
+#endif  // LCAKNAP_SERVE_REQUEST_QUEUE_H

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,11 +34,20 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
+  ///
+  /// Exception propagation (rethrow-first semantics): if any task threw
+  /// since the last wait, the *first* captured exception is rethrown here
+  /// once — remaining tasks still ran to completion, and later exceptions
+  /// from the same generation are dropped.  A pool destroyed with a pending
+  /// exception swallows it (destructors cannot throw); callers that care
+  /// must wait_idle() before destruction.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Waits via wait_idle(), so a throwing fn surfaces here (first exception
+  /// wins; every index is still attempted).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -50,6 +60,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  ///< first uncaught task exception, if any
 };
 
 }  // namespace lcaknap::util

@@ -1,0 +1,119 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace lcaknap::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+Request make_request(std::size_t item) {
+  Request r;
+  r.item = item;
+  return r;
+}
+
+TEST(Batcher, ValidatesConfig) {
+  BatcherConfig bad;
+  bad.max_batch_size = 0;
+  EXPECT_THROW(Batcher{bad}, std::invalid_argument);
+}
+
+TEST(Batcher, ClosesBatchAtMaxSize) {
+  BatcherConfig config;
+  config.max_batch_size = 3;
+  config.max_linger = 1h;  // never expires in this test
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto now = Clock::now();
+  batcher.add(make_request(42), now, ready);
+  batcher.add(make_request(42), now, ready);
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(batcher.pending(), 2u);
+  batcher.add(make_request(42), now, ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].item, 42u);
+  EXPECT_EQ(ready[0].requests.size(), 3u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(Batcher, GroupsByItemIndex) {
+  BatcherConfig config;
+  config.max_batch_size = 2;
+  config.max_linger = 1h;
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto now = Clock::now();
+  batcher.add(make_request(1), now, ready);
+  batcher.add(make_request(2), now, ready);
+  EXPECT_TRUE(ready.empty());  // different items, neither batch full
+  batcher.add(make_request(1), now, ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].item, 1u);
+  EXPECT_EQ(batcher.pending(), 1u);  // item 2 still open
+}
+
+TEST(Batcher, LingerExpiryClosesBatches) {
+  BatcherConfig config;
+  config.max_batch_size = 100;
+  config.max_linger = 500us;
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto t0 = Clock::now();
+  batcher.add(make_request(5), t0, ready);
+  batcher.collect_expired(t0 + 100us, ready);
+  EXPECT_TRUE(ready.empty());  // still inside the linger window
+  batcher.collect_expired(t0 + 600us, ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].requests.size(), 1u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(Batcher, ZeroLingerClosesOnNextSweep) {
+  BatcherConfig config;
+  config.max_batch_size = 100;
+  config.max_linger = 0us;
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto now = Clock::now();
+  batcher.add(make_request(9), now, ready);
+  batcher.collect_expired(now, ready);
+  EXPECT_EQ(ready.size(), 1u);
+}
+
+TEST(Batcher, FlushAllDrainsEveryOpenBatch) {
+  BatcherConfig config;
+  config.max_batch_size = 100;
+  config.max_linger = 1h;
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto now = Clock::now();
+  for (std::size_t item = 0; item < 4; ++item) {
+    batcher.add(make_request(item), now, ready);
+    batcher.add(make_request(item), now, ready);
+  }
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(batcher.pending(), 8u);
+  batcher.flush_all(ready);
+  EXPECT_EQ(ready.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& batch : ready) total += batch.requests.size();
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(Batcher, BatchSizeOneDisablesGrouping) {
+  BatcherConfig config;
+  config.max_batch_size = 1;
+  Batcher batcher(config);
+  std::vector<Batch> ready;
+  const auto now = Clock::now();
+  batcher.add(make_request(3), now, ready);
+  batcher.add(make_request(3), now, ready);
+  EXPECT_EQ(ready.size(), 2u);  // each request is its own batch, immediately
+}
+
+}  // namespace
+}  // namespace lcaknap::serve

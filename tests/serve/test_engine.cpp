@@ -1,0 +1,232 @@
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "oracle/access.h"
+
+namespace lcaknap::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Shared warm substrate: one instance + LCA for every engine under test
+/// (the pipeline run each engine executes at construction stays cheap).
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    instance_ = new knapsack::Instance(
+        knapsack::make_family(knapsack::Family::kNeedle, 2'000, 17));
+    access_ = new oracle::MaterializedAccess(*instance_);
+    core::LcaKpConfig config;
+    config.eps = 0.2;
+    config.seed = 0x5E;
+    config.quantile_samples = 20'000;
+    lca_ = new core::LcaKp(*access_, config);
+  }
+  static void TearDownTestSuite() {
+    delete lca_;
+    delete access_;
+    delete instance_;
+    lca_ = nullptr;
+    access_ = nullptr;
+    instance_ = nullptr;
+  }
+
+  static EngineConfig fast_config() {
+    EngineConfig config;
+    config.workers = 3;
+    config.queue_capacity = 4'096;
+    config.batcher.max_batch_size = 16;
+    config.batcher.max_linger = 100us;
+    config.cache.capacity = 1'024;
+    config.cache.shards = 4;
+    return config;
+  }
+
+  static const knapsack::Instance* instance_;
+  static const oracle::MaterializedAccess* access_;
+  static const core::LcaKp* lca_;
+};
+
+const knapsack::Instance* EngineTest::instance_ = nullptr;
+const oracle::MaterializedAccess* EngineTest::access_ = nullptr;
+const core::LcaKp* EngineTest::lca_ = nullptr;
+
+TEST_F(EngineTest, AnswersMatchDirectEvaluation) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t item = 0; item < 300; ++item) {
+    futures.push_back(engine.submit(item));
+  }
+  for (std::size_t item = 0; item < 300; ++item) {
+    const auto response = futures[item].get();
+    ASSERT_EQ(response.outcome, Outcome::kOk);
+    EXPECT_EQ(response.answer, lca_->answer_from(engine.run(), item))
+        << "item " << item;
+  }
+}
+
+TEST_F(EngineTest, HotTrafficHitsTheCacheAndBatches) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  constexpr std::size_t kHot = 13;
+  constexpr std::size_t kRepeats = 2'000;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRepeats);
+  for (std::size_t q = 0; q < kRepeats; ++q) {
+    futures.push_back(engine.submit(kHot));
+  }
+  const bool expected = lca_->answer_from(engine.run(), kHot);
+  std::size_t hits = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    ASSERT_EQ(response.outcome, Outcome::kOk);
+    EXPECT_EQ(response.answer, expected);
+    hits += response.cache_hit ? 1 : 0;
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kRepeats);
+  EXPECT_EQ(stats.ok, kRepeats);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(hits, 0u);
+  // Batching collapses duplicate hot-key requests: strictly fewer batches
+  // (and evaluations) than requests.
+  EXPECT_LT(stats.batches, kRepeats);
+  EXPECT_EQ(stats.batched_requests, kRepeats);
+  EXPECT_EQ(registry.counter_value("serve_requests_total", {{"outcome", "ok"}}),
+            kRepeats);
+}
+
+TEST_F(EngineTest, DrainLeavesNoLostRequests) {
+  metrics::Registry registry;
+  auto config = fast_config();
+  config.batcher.max_linger = 5ms;  // leave batches open when drain hits
+  ServeEngine engine(*lca_, config, registry);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t q = 0; q < 500; ++q) {
+    futures.push_back(engine.submit(q % 50));
+  }
+  engine.drain();
+  std::size_t answered = 0;
+  for (auto& future : futures) {
+    // Every future must be ready after drain — no request is lost.
+    ASSERT_EQ(future.wait_for(0s), std::future_status::ready);
+    const auto response = future.get();
+    answered += response.outcome == Outcome::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(answered, 500u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted,
+            stats.ok + stats.overloaded + stats.deadline_exceeded + stats.errors);
+}
+
+TEST_F(EngineTest, SubmitAfterDrainIsRejectedOverloaded) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  engine.drain();
+  const auto response = engine.submit_wait(1);
+  EXPECT_EQ(response.outcome, Outcome::kOverloaded);
+  EXPECT_EQ(engine.stats().overloaded, 1u);
+  EXPECT_EQ(
+      registry.counter_value("serve_requests_total", {{"outcome", "overloaded"}}),
+      1u);
+}
+
+TEST_F(EngineTest, ExpiredDeadlinesAreShed) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  // A zero deadline has already passed by dispatch time.
+  const auto response = engine.submit(3, 0us).get();
+  EXPECT_EQ(response.outcome, Outcome::kDeadlineExceeded);
+  engine.drain();
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(
+      registry.counter_value("serve_requests_total", {{"outcome", "deadline"}}),
+      1u);
+}
+
+TEST_F(EngineTest, DefaultDeadlineAppliesToPlainSubmit) {
+  metrics::Registry registry;
+  auto config = fast_config();
+  config.default_deadline = -1us;  // negative: expired at submission
+  ServeEngine engine(*lca_, config, registry);
+  const auto response = engine.submit_wait(5);
+  EXPECT_EQ(response.outcome, Outcome::kDeadlineExceeded);
+}
+
+TEST_F(EngineTest, ParanoiaModeVerifiesHitsWithoutViolations) {
+  metrics::Registry registry;
+  auto config = fast_config();
+  config.cache.paranoia_every = 1;  // recheck every hit
+  ServeEngine engine(*lca_, config, registry);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t q = 0; q < 400; ++q) {
+    futures.push_back(engine.submit(q % 8));
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.get().outcome, Outcome::kOk);
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.paranoia_checks, 0u);
+  // Definition 2.3: re-evaluation can never disagree with the cache.
+  EXPECT_EQ(stats.paranoia_violations, 0u);
+  EXPECT_EQ(
+      registry.counter_value("serve_cache_paranoia_violations_total"), 0u);
+}
+
+TEST_F(EngineTest, EvaluationFailureYieldsErrorOutcome) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  // Out-of-range item: the oracle read throws, the engine answers kError
+  // instead of crashing a worker.
+  const auto response = engine.submit_wait(instance_->size() + 10);
+  EXPECT_EQ(response.outcome, Outcome::kError);
+  // The engine stays healthy afterwards.
+  EXPECT_EQ(engine.submit_wait(0).outcome, Outcome::kOk);
+  engine.drain();
+  EXPECT_EQ(engine.stats().errors, 1u);
+  EXPECT_EQ(registry.counter_value("serve_requests_total", {{"outcome", "error"}}),
+            1u);
+}
+
+TEST_F(EngineTest, ConcurrentSubmittersStayConsistent) {
+  metrics::Registry registry;
+  ServeEngine engine(*lca_, fast_config(), registry);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1'000;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::pair<std::size_t, Response>>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&engine, &results, t] {
+      results[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto item = static_cast<std::size_t>((t * 37 + i) % 200);
+        results[t].emplace_back(item, engine.submit_wait(item));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  engine.drain();
+  for (const auto& per_thread : results) {
+    for (const auto& [item, response] : per_thread) {
+      ASSERT_EQ(response.outcome, Outcome::kOk);
+      EXPECT_EQ(response.answer, lca_->answer_from(engine.run(), item));
+    }
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.ok, stats.submitted);
+}
+
+}  // namespace
+}  // namespace lcaknap::serve

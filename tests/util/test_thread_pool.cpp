@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace lcaknap::util {
@@ -45,6 +46,66 @@ TEST(ThreadPool, DestructorDrainsQueue) {
 TEST(ThreadPool, ReportsThreadCount) {
   const ThreadPool pool(5);
   EXPECT_EQ(pool.thread_count(), 5u);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception is consumed: the pool is clean again.
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, RethrowFirstKeepsRunningRemainingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::logic_error("first"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  pool.submit([] { throw std::runtime_error("second"); });
+  // First captured exception wins; later ones from this generation drop.
+  EXPECT_THROW(
+      {
+        try {
+          pool.wait_idle();
+        } catch (const std::logic_error& e) {
+          EXPECT_STREQ(e.what(), "first");
+          throw;
+        }
+      },
+      std::logic_error);
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerFailure) {
+  ThreadPool pool(3);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&visited](std::size_t i) {
+                          visited.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("index 13");
+                        }),
+      std::runtime_error);
+  // Every index was still attempted (rethrow happens at the wait).
+  EXPECT_EQ(visited.load(), 64);
+  // The pool is reusable after a failed parallel_for.
+  pool.parallel_for(8, [&visited](std::size_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 72);
+}
+
+TEST(ThreadPool, DestructionWithPendingExceptionIsSafe) {
+  // A pool destroyed without wait_idle() swallows the pending exception
+  // (destructors cannot throw); this must not crash or leak the task queue.
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never observed"); });
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_EQ(completed.load(), 1);
 }
 
 TEST(ThreadPool, TasksRunConcurrently) {

@@ -12,6 +12,14 @@
 //       retries).
 //   eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]
 //       Run the consistency/quality harness and print the report.
+//   serve-engine --in FILE [--eps E] [--seed S] [--shape uniform|zipf|hotspot]
+//            [--queries Q] [--zipf-s S] [--hot-frac F] [--hot-items K]
+//            [--workers W] [--queue-cap N] [--batch-max B] [--linger-us L]
+//            [--cache-cap N] [--cache-shards S] [--paranoia-every N]
+//            [--deadline-us D]
+//       Replay a synthetic workload through the concurrent serving engine
+//       (bounded queue -> micro-batcher -> worker pool -> sharded answer
+//       cache) and print the throughput/outcome/cache report.
 //
 // Global flag: --metrics=prom|json dumps the metrics registry (Prometheus
 // text exposition or JSON lines) to stdout when the command finishes — see
@@ -19,7 +27,9 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
+#include <chrono>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -40,6 +50,7 @@
 #include "oracle/access.h"
 #include "oracle/flaky.h"
 #include "oracle/instrumented.h"
+#include "serve/engine.h"
 #include "util/table.h"
 
 namespace {
@@ -258,6 +269,107 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+core::WorkloadConfig::Shape parse_shape(const std::string& name) {
+  if (name == "uniform") return core::WorkloadConfig::Shape::kUniform;
+  if (name == "zipf") return core::WorkloadConfig::Shape::kZipf;
+  if (name == "hotspot") return core::WorkloadConfig::Shape::kHotspot;
+  throw std::invalid_argument("unknown --shape: " + name +
+                              " (try: uniform, zipf, hotspot)");
+}
+
+int cmd_serve_engine(const Args& args) {
+  const auto inst = load_instance(args.require("in"));
+  core::LcaKpConfig lca_config;
+  lca_config.eps = args.get_double("eps", 0.1);
+  lca_config.seed = args.get_u64("seed", 0xC0DE);
+
+  core::WorkloadConfig workload;
+  workload.shape = parse_shape(args.get("shape").value_or("hotspot"));
+  workload.queries = static_cast<std::size_t>(args.get_u64("queries", 100'000));
+  workload.zipf_s = args.get_double("zipf-s", 1.1);
+  workload.hotspot_fraction = args.get_double("hot-frac", 0.9);
+  workload.hotspot_items = static_cast<std::size_t>(args.get_u64("hot-items", 16));
+  workload.seed = args.get_u64("workload-seed", 1);
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = static_cast<std::size_t>(args.get_u64("workers", 4));
+  engine_config.queue_capacity =
+      static_cast<std::size_t>(args.get_u64("queue-cap", 8'192));
+  engine_config.batcher.max_batch_size =
+      static_cast<std::size_t>(args.get_u64("batch-max", 64));
+  engine_config.batcher.max_linger =
+      std::chrono::microseconds(args.get_u64("linger-us", 200));
+  engine_config.cache.capacity =
+      static_cast<std::size_t>(args.get_u64("cache-cap", 1 << 16));
+  engine_config.cache.shards =
+      static_cast<std::size_t>(args.get_u64("cache-shards", 8));
+  engine_config.cache.paranoia_every = args.get_u64("paranoia-every", 64);
+  engine_config.default_deadline =
+      std::chrono::microseconds(args.get_u64("deadline-us", 0));
+  engine_config.warmup_tape_seed = args.get_u64("tape", 7);
+
+  const oracle::MaterializedAccess storage(inst);
+  const oracle::InstrumentedAccess access(storage, metrics::global_registry());
+  const core::LcaKp lca(access, lca_config);
+  const auto trace = core::generate_workload(inst.size(), workload);
+
+  serve::ServeEngine engine(lca, engine_config);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(trace.size());
+  for (const auto item : trace) futures.push_back(engine.submit(item));
+  std::size_t yes = 0;
+  std::size_t from_cache = 0;
+  for (auto& future : futures) {
+    const auto response = future.get();
+    yes += response.outcome == serve::Outcome::kOk && response.answer ? 1 : 0;
+    from_cache += response.cache_hit ? 1 : 0;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  engine.drain();
+
+  const auto stats = engine.stats();
+  util::Table table({"metric", "value"});
+  table.row().cell("requests").cell(stats.submitted);
+  table.row().cell("ok / overloaded / deadline / error")
+      .cell(std::to_string(stats.ok) + " / " + std::to_string(stats.overloaded) +
+            " / " + std::to_string(stats.deadline_exceeded) + " / " +
+            std::to_string(stats.errors));
+  table.row().cell("yes answers").cell(yes);
+  table.row().cell("throughput (requests/s)").cell(
+      elapsed_s > 0 ? static_cast<double>(stats.submitted) / elapsed_s : 0.0, 0);
+  // Two views of the cache: per lookup (one lookup serves a whole batch)
+  // and per request (the traffic fraction the cache actually absorbed).
+  const auto lookups = stats.cache_hits + stats.cache_misses;
+  table.row().cell("cache hit rate (per lookup)").cell(
+      lookups > 0 ? static_cast<double>(stats.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0);
+  table.row().cell("requests served from cache").cell(
+      stats.submitted > 0 ? static_cast<double>(from_cache) /
+                                static_cast<double>(stats.submitted)
+                          : 0.0);
+  table.row().cell("cache evictions").cell(stats.cache_evictions);
+  table.row().cell("mean batch size").cell(
+      stats.batches > 0 ? static_cast<double>(stats.batched_requests) /
+                              static_cast<double>(stats.batches)
+                        : 0.0);
+  table.row().cell("paranoia checks / violations")
+      .cell(std::to_string(stats.paranoia_checks) + " / " +
+            std::to_string(stats.paranoia_violations));
+  table.row().cell("warm-up samples").cell(engine.run().samples_used);
+  table.print(std::cout, "serve-engine (" + args.get("shape").value_or("hotspot") +
+                             ", " + std::to_string(engine_config.workers) +
+                             " workers)");
+  if (stats.paranoia_violations > 0) {
+    std::cerr << "CONSISTENCY VIOLATION: cached answers disagreed with "
+                 "re-evaluation\n";
+    return 2;
+  }
+  return 0;
+}
+
 void usage() {
   std::cerr <<
       "usage: lcaknap_cli <command> [flags] [--metrics=prom|json]\n"
@@ -266,6 +378,11 @@ void usage() {
       "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
       "           [--flaky RATE] [--retries N]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
+      "  serve-engine --in FILE [--eps E] [--seed S]\n"
+      "           [--shape uniform|zipf|hotspot] [--queries Q] [--zipf-s S]\n"
+      "           [--hot-frac F] [--hot-items K] [--workers W] [--queue-cap N]\n"
+      "           [--batch-max B] [--linger-us L] [--cache-cap N]\n"
+      "           [--cache-shards S] [--paranoia-every N] [--deadline-us D]\n"
       "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
       "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }
@@ -295,6 +412,8 @@ int main(int argc, char** argv) {
       rc = cmd_serve(args);
     } else if (command == "eval") {
       rc = cmd_eval(args);
+    } else if (command == "serve-engine") {
+      rc = cmd_serve_engine(args);
     } else {
       usage();
       return 1;
