@@ -1,10 +1,13 @@
 // Resilient serving: the full failure-injection stack.  The instance oracle
-// is a flaky remote service with realistic latency; a retry layer restores
-// reliability; LCA-KP serves on top unchanged.  The run reports how many
-// injected failures occurred, how many retries absorbed them, the simulated
-// time bill, and that the served solution is unaffected.  At the end it
-// prints what a Prometheus scrape of this process would return — the same
-// failure/retry accounting, read off the metrics registry.
+// is a flaky remote service with realistic latency; the client stack —
+// answer verification, retries with decorrelated-jitter backoff and a retry
+// budget — restores reliability, and LCA-KP serves on top unchanged.  The
+// run reports how many injected failures occurred, how many retries
+// absorbed them at what simulated backoff cost, and that the served
+// solution is bit-identical to the reliable reference.  A second section
+// turns on answer *corruption* and shows the verifier catching every lie.
+// At the end it prints what a Prometheus scrape of this process would
+// return — the same accounting, read off the metrics registry.
 //
 //   ./resilient_serving [failure_rate]
 
@@ -13,6 +16,9 @@
 
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
+#include "fault/chaos.h"
+#include "fault/plan.h"
+#include "fault/verifying.h"
 #include "knapsack/generators.h"
 #include "metrics/exporters.h"
 #include "metrics/metrics.h"
@@ -21,6 +27,7 @@
 #include "oracle/instrumented.h"
 #include "oracle/latency_model.h"
 #include "util/table.h"
+#include "util/virtual_clock.h"
 
 int main(int argc, char** argv) {
   using namespace lcaknap;
@@ -31,15 +38,30 @@ int main(int argc, char** argv) {
   const auto instance = knapsack::make_family(knapsack::Family::kNeedle, kN, 23);
 
   // The stack, innermost first: storage -> metrics instrumentation ->
-  // simulated RPC latency -> injected failures -> client-side retries.
+  // simulated RPC latency -> scripted fail-stops -> answer verification ->
+  // client-side retries with backoff.  Fail-stops fire *before* the
+  // sampling tape is consumed, which is what makes retries transparent.
   const oracle::MaterializedAccess storage(instance);
   const oracle::InstrumentedAccess counted(storage);
   const oracle::LatencyAccess remote(counted, {/*fixed_us=*/80.0, /*exp_mean_us=*/30.0}, 31);
-  const oracle::FlakyAccess flaky(remote, failure_rate, 37);
-  const oracle::RetryingAccess client(flaky, /*max_attempts=*/64);
+  fault::FaultPhase outage;
+  outage.label = "flaky";
+  outage.fail_rate = failure_rate;
+  const fault::ChaosAccess flaky(remote, fault::FaultPlan({outage}, /*seed=*/37));
+  const fault::VerifyingAccess verified(flaky);
+
+  // Backoff sleeps go through the injected clock, so the example runs in
+  // microseconds of real time and the backoff bill is exact simulated time.
+  util::VirtualClock clock;
+  oracle::RetryConfig retry_config;
+  retry_config.max_attempts = 64;
+  retry_config.base_backoff_us = 50;
+  retry_config.max_backoff_us = 5'000;
+  retry_config.retry_budget_ratio = 1.0;  // generous: this demo wants no escapes
+  const oracle::RetryingAccess client(verified, retry_config, clock);
 
   std::cout << "oracle stack: storage -> latency -> " << failure_rate * 100
-            << "% failures -> retries\n\n";
+            << "% fail-stops -> verify -> retries(backoff+jitter)\n\n";
 
   core::LcaKpConfig config;
   config.eps = 0.1;
@@ -73,14 +95,35 @@ int main(int argc, char** argv) {
   table.print(std::cout, "served solution, flaky vs reliable oracle");
 
   std::cout << "\nfailure accounting:\n"
-            << "  injected failures : " << flaky.failures_injected() << "\n"
-            << "  retries performed : " << client.retries_performed() << "\n"
-            << "  simulated RPC time: "
+            << "  injected fail-stops: " << flaky.failstops_injected() << "\n"
+            << "  retries performed  : " << client.retries_performed() << "\n"
+            << "  backoff slept      : "
+            << util::format_double(static_cast<double>(client.backoff_slept_us()) / 1e6, 2)
+            << " s (simulated)\n"
+            << "  simulated RPC time : "
             << util::format_double(remote.simulated_us() / 1e6, 2) << " s\n"
             << "\nFailures fire before the sampling tape is consumed, so retries\n"
             << "are fully transparent: with the same seed and tape the flaky\n"
             << "stack reproduces the reliable run bit-for-bit (columns match\n"
-            << "exactly) — it just pays more RPC time.\n";
+            << "exactly) — it just pays more RPC and backoff time.\n";
+
+  // A lying oracle: 30% of answers come back wrong but well-formed.  Every
+  // corruption violates a metadata invariant the verifier checks for free,
+  // so each lie becomes a retryable failure and the true item always lands.
+  fault::FaultPhase lying;
+  lying.label = "corrupting";
+  lying.corrupt_rate = 0.3;
+  const fault::ChaosAccess corrupting(storage, fault::FaultPlan({lying}, /*seed=*/53));
+  const fault::VerifyingAccess guard(corrupting);
+  const oracle::RetryingAccess healed(guard, /*max_attempts=*/32);
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < 1'000; ++i) {
+    wrong += healed.query(i) == instance.item(i) ? 0 : 1;
+  }
+  std::cout << "\ncorruption drill (30% corrupted answers, 1000 queries):\n"
+            << "  corruptions injected: " << corrupting.corruptions_injected() << "\n"
+            << "  corruptions detected: " << guard.corruptions_detected() << "\n"
+            << "  wrong answers served: " << wrong << "\n";
 
   std::cout << "\n--- what a Prometheus scrape of this process returns ---\n";
   metrics::write_registry(metrics::global_registry(),

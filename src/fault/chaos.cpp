@@ -1,0 +1,120 @@
+#include "fault/chaos.h"
+
+namespace lcaknap::fault {
+
+namespace {
+
+// Prf streams: every decision class reads a disjoint part of the plan tape.
+constexpr std::uint64_t kFailStream = 1;
+constexpr std::uint64_t kLatencyStream = 2;
+constexpr std::uint64_t kCorruptStream = 3;
+constexpr std::uint64_t kCorruptKindStream = 4;
+
+}  // namespace
+
+ChaosAccess::ChaosAccess(const oracle::InstanceAccess& inner, FaultPlan plan,
+                         util::Clock& clock, bool armed, metrics::Registry& registry)
+    : inner_(&inner),
+      plan_(std::move(plan)),
+      prf_(util::mix64(plan_.seed())),
+      clock_(&clock),
+      armed_(armed),
+      armed_at_us_(clock.now_us()),
+      failstops_total_(&registry.counter("fault_injected_total",
+                                         "Faults injected by the chaos layer",
+                                         {{"kind", "failstop"}})),
+      latencies_total_(&registry.counter("fault_injected_total",
+                                         "Faults injected by the chaos layer",
+                                         {{"kind", "latency"}})),
+      corruptions_total_(&registry.counter("fault_injected_total",
+                                           "Faults injected by the chaos layer",
+                                           {{"kind", "corruption"}})),
+      phase_gauge_(&registry.gauge(
+          "fault_plan_phase", "Index of the fault plan phase currently active")) {}
+
+void ChaosAccess::arm() noexcept {
+  armed_at_us_.store(clock_->now_us(), std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+std::size_t ChaosAccess::phase_index() const noexcept {
+  if (!armed()) return kInactive;
+  const auto elapsed =
+      clock_->now_us() - armed_at_us_.load(std::memory_order_relaxed);
+  return plan_.phase_index_at(elapsed);
+}
+
+const FaultPhase& ChaosAccess::pre_call(std::uint64_t n) const {
+  const auto elapsed =
+      clock_->now_us() - armed_at_us_.load(std::memory_order_relaxed);
+  const auto index = plan_.phase_index_at(elapsed);
+  const FaultPhase& phase = plan_.phases()[index];
+  phase_gauge_->set(static_cast<double>(index));
+  if (phase.latency_max_us > 0) {
+    const auto span = phase.latency_max_us - phase.latency_min_us + 1;
+    const auto latency =
+        phase.latency_min_us +
+        static_cast<std::uint64_t>(prf_.uniform(kLatencyStream, n) *
+                                   static_cast<double>(span));
+    latencies_.fetch_add(1, std::memory_order_relaxed);
+    latencies_total_->inc();
+    clock_->sleep_us(latency);
+  }
+  if (prf_.uniform(kFailStream, n) < phase.fail_rate) {
+    failstops_.fetch_add(1, std::memory_order_relaxed);
+    failstops_total_->inc();
+    throw oracle::OracleUnavailable();
+  }
+  return phase;
+}
+
+bool ChaosAccess::corrupt_due(const FaultPhase& phase, std::uint64_t n) const {
+  if (prf_.uniform(kCorruptStream, n) >= phase.corrupt_rate) return false;
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  corruptions_total_->inc();
+  return true;
+}
+
+knapsack::Item ChaosAccess::corrupt_item(knapsack::Item item, std::uint64_t n) const {
+  // Wrong but well-formed: a plausible Item whose fields break one metadata
+  // invariant, so VerifyingAccess can prove it corrupt without re-reading.
+  const auto word = prf_.word(kCorruptKindStream, n);
+  const auto jitter = static_cast<std::int64_t>(word >> 32 & 0x3FF);
+  switch (word % 3) {
+    case 0: item.profit = total_profit() + 1 + jitter; break;
+    case 1: item.weight = -1 - jitter; break;
+    default: item.weight = total_weight() + 1 + jitter; break;
+  }
+  return item;
+}
+
+knapsack::Item ChaosAccess::do_query(std::size_t i) const {
+  if (!armed()) return inner_->query(i);
+  const auto n = calls_.fetch_add(1, std::memory_order_relaxed);
+  const FaultPhase& phase = pre_call(n);
+  auto item = inner_->query(i);
+  if (corrupt_due(phase, n)) item = corrupt_item(item, n);
+  return item;
+}
+
+oracle::WeightedDraw ChaosAccess::do_sample(util::Xoshiro256& rng) const {
+  if (!armed()) return inner_->weighted_sample(rng);
+  const auto n = calls_.fetch_add(1, std::memory_order_relaxed);
+  // Faults fire before the caller's tape is consumed, so a retried call
+  // re-draws with fresh randomness and a fail-stop never skips tape words —
+  // the invariant behind "retries are transparent to LCA answers".
+  const FaultPhase& phase = pre_call(n);
+  auto draw = inner_->weighted_sample(rng);
+  if (corrupt_due(phase, n)) {
+    // Samples corrupt in one extra way: an out-of-range index.
+    const auto word = prf_.word(kCorruptKindStream, n);
+    if (word % 4 == 3) {
+      draw.index = size() + static_cast<std::size_t>(word >> 32 & 0xF);
+    } else {
+      draw.item = corrupt_item(draw.item, n);
+    }
+  }
+  return draw;
+}
+
+}  // namespace lcaknap::fault

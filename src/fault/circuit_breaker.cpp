@@ -1,0 +1,182 @@
+#include "fault/circuit_breaker.h"
+
+#include <stdexcept>
+
+namespace lcaknap::fault {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config,
+                               util::Clock& clock, metrics::Registry& registry)
+    : config_(config),
+      clock_(&clock),
+      window_(config.window, false),
+      state_gauge_(&registry.gauge(
+          "breaker_state", "Circuit breaker state (0 closed, 1 open, 2 half-open)")),
+      to_open_total_(&registry.counter("breaker_transitions_total",
+                                       "Circuit breaker state transitions",
+                                       {{"to", "open"}})),
+      to_half_open_total_(&registry.counter("breaker_transitions_total",
+                                            "Circuit breaker state transitions",
+                                            {{"to", "half_open"}})),
+      to_closed_total_(&registry.counter("breaker_transitions_total",
+                                         "Circuit breaker state transitions",
+                                         {{"to", "closed"}})),
+      rejected_total_(&registry.counter(
+          "breaker_rejected_total", "Calls fast-failed by an open circuit breaker")) {
+  if (config.window == 0) {
+    throw std::invalid_argument("CircuitBreaker: window must be positive");
+  }
+  if (!(config.failure_rate_threshold >= 0.0 && config.failure_rate_threshold <= 1.0)) {
+    throw std::invalid_argument(
+        "CircuitBreaker: failure_rate_threshold must be in [0, 1]");
+  }
+  if (config.half_open_probes == 0) {
+    throw std::invalid_argument("CircuitBreaker: half_open_probes must be positive");
+  }
+  state_gauge_->set(0.0);
+}
+
+void CircuitBreaker::reset_window_locked() {
+  window_.assign(config_.window, false);
+  window_next_ = 0;
+  window_filled_ = 0;
+  window_failures_ = 0;
+  consecutive_ = 0;
+}
+
+void CircuitBreaker::transition_locked(BreakerState next) {
+  state_ = next;
+  state_gauge_->set(static_cast<double>(next));
+  switch (next) {
+    case BreakerState::kOpen:
+      ++counters_.to_open;
+      to_open_total_->inc();
+      opened_at_us_ = clock_->now_us();
+      break;
+    case BreakerState::kHalfOpen:
+      ++counters_.to_half_open;
+      to_half_open_total_->inc();
+      probes_granted_ = 0;
+      probes_succeeded_ = 0;
+      break;
+    case BreakerState::kClosed:
+      ++counters_.to_closed;
+      to_closed_total_->inc();
+      reset_window_locked();
+      break;
+  }
+}
+
+bool CircuitBreaker::allow() {
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->now_us() - opened_at_us_ >= config_.open_cooldown_us) {
+        transition_locked(BreakerState::kHalfOpen);
+        ++probes_granted_;
+        return true;
+      }
+      ++counters_.rejected;
+      rejected_total_->inc();
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_granted_ < config_.half_open_probes) {
+        ++probes_granted_;
+        return true;
+      }
+      ++counters_.rejected;
+      rejected_total_->inc();
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed: {
+      consecutive_ = 0;
+      window_failures_ -= window_[window_next_] ? 1 : 0;
+      window_[window_next_] = false;
+      window_next_ = (window_next_ + 1) % config_.window;
+      if (window_filled_ < config_.window) ++window_filled_;
+      break;
+    }
+    case BreakerState::kHalfOpen:
+      if (++probes_succeeded_ >= config_.half_open_probes) {
+        transition_locked(BreakerState::kClosed);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler that was admitted before the trip; nothing to decide.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  const std::lock_guard lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed: {
+      ++consecutive_;
+      window_failures_ += window_[window_next_] ? 0 : 1;
+      window_[window_next_] = true;
+      window_next_ = (window_next_ + 1) % config_.window;
+      if (window_filled_ < config_.window) ++window_filled_;
+      const bool consec_trip = config_.consecutive_failures > 0 &&
+                               consecutive_ >= config_.consecutive_failures;
+      const bool rate_trip =
+          window_filled_ >= config_.window &&
+          static_cast<double>(window_failures_) >=
+              config_.failure_rate_threshold * static_cast<double>(config_.window);
+      if (consec_trip || rate_trip) transition_locked(BreakerState::kOpen);
+      break;
+    }
+    case BreakerState::kHalfOpen:
+      transition_locked(BreakerState::kOpen);  // the probe failed: back off
+      break;
+    case BreakerState::kOpen:
+      break;  // straggler failure while already open
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  const std::lock_guard lock(mutex_);
+  return state_;
+}
+
+BreakerCounters CircuitBreaker::counters() const {
+  const std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+BreakerAccess::BreakerAccess(const oracle::InstanceAccess& inner,
+                             const CircuitBreakerConfig& config, util::Clock& clock,
+                             metrics::Registry& registry)
+    : inner_(&inner), breaker_(config, clock, registry) {}
+
+knapsack::Item BreakerAccess::do_query(std::size_t i) const {
+  if (!breaker_.allow()) throw CircuitOpen();
+  try {
+    auto item = inner_->query(i);
+    breaker_.record_success();
+    return item;
+  } catch (const oracle::OracleUnavailable&) {
+    breaker_.record_failure();
+    throw;
+  }
+}
+
+oracle::WeightedDraw BreakerAccess::do_sample(util::Xoshiro256& rng) const {
+  if (!breaker_.allow()) throw CircuitOpen();
+  try {
+    auto draw = inner_->weighted_sample(rng);
+    breaker_.record_success();
+    return draw;
+  } catch (const oracle::OracleUnavailable&) {
+    breaker_.record_failure();
+    throw;
+  }
+}
+
+}  // namespace lcaknap::fault

@@ -1,0 +1,171 @@
+#ifndef LCAKNAP_FAULT_CIRCUIT_BREAKER_H
+#define LCAKNAP_FAULT_CIRCUIT_BREAKER_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "oracle/access.h"
+#include "util/virtual_clock.h"
+
+/// \file circuit_breaker.h
+/// Circuit breaker for the oracle client stack.
+///
+/// A retry layer makes one call reliable; a breaker protects the *fleet*:
+/// when the oracle is down hard, retrying every request multiplies load on
+/// a service that is already failing and burns client time discovering the
+/// same outage over and over.  The breaker observes call outcomes and trips
+/// to fast-fail mode, converting per-request retry storms into immediate
+/// `CircuitOpen` rejections the serving engine can degrade on.
+///
+/// State machine (classic three-state):
+///
+///   closed ──(failure-rate over window, or N consecutive failures)──> open
+///   open ──(cooldown elapsed on the injected clock)──> half-open
+///   half-open ──(probe quota succeeds)──> closed
+///   half-open ──(any probe fails)──> open   (cooldown restarts)
+///
+/// In `open`, `allow()` rejects without touching the inner oracle.  In
+/// `half-open`, up to `half_open_probes` calls are let through; their
+/// outcomes decide the next state.  All timing reads the injected
+/// `util::Clock`, so tests drive cooldowns deterministically through a
+/// `VirtualClock` with no real sleeps.
+///
+/// `CircuitBreaker` is the state machine (mutex-guarded — transitions are
+/// rare and cheap relative to oracle calls); `BreakerAccess` is the
+/// `InstanceAccess` decorator that consults it around every call.  Placed
+/// *outermost* in the stack (above retries), so an open breaker skips the
+/// whole retry cycle — that is where the wasted-call savings come from.
+///
+/// Metrics: `breaker_state` (0 closed / 1 open / 2 half-open),
+/// `breaker_transitions_total{to}`, `breaker_rejected_total`.
+
+namespace lcaknap::fault {
+
+/// Thrown by `BreakerAccess` when the breaker is open.  Derives from
+/// OracleUnavailable: callers treat it as the oracle being unavailable —
+/// which is exactly what the breaker is asserting — so the engine's
+/// degradation path handles both identically.
+class CircuitOpen : public oracle::OracleUnavailable {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "circuit breaker open";
+  }
+};
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+[[nodiscard]] constexpr const char* breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+struct CircuitBreakerConfig {
+  /// Rolling outcome window; the failure-rate trip needs a full window.
+  std::size_t window = 32;
+  /// Trip when the window is full and its failure fraction reaches this.
+  double failure_rate_threshold = 0.5;
+  /// Trip immediately after this many consecutive failures (0 disables).
+  std::size_t consecutive_failures = 8;
+  /// Time in `open` before probing again (on the injected clock).
+  std::uint64_t open_cooldown_us = 100'000;
+  /// Probes admitted in half-open; all must succeed to close.
+  std::size_t half_open_probes = 3;
+};
+
+/// Counters for conservation checks: every trip is matched by a recovery or
+/// a re-trip, and states only change through these transitions.
+struct BreakerCounters {
+  std::uint64_t to_open = 0;       ///< closed→open and half-open→open trips
+  std::uint64_t to_half_open = 0;  ///< open→half-open cooldown expiries
+  std::uint64_t to_closed = 0;     ///< half-open→closed recoveries
+  std::uint64_t rejected = 0;      ///< calls fast-failed while open
+};
+
+class CircuitBreaker {
+ public:
+  /// Validates the config (throws std::invalid_argument on window == 0,
+  /// rates outside [0, 1] (NaN included), or half_open_probes == 0).
+  /// `clock` must outlive this object.
+  explicit CircuitBreaker(const CircuitBreakerConfig& config,
+                          util::Clock& clock = util::system_clock(),
+                          metrics::Registry& registry = metrics::global_registry());
+
+  /// Gate for one call: true = proceed (and report the outcome back via
+  /// record_success/record_failure), false = rejected, fail fast.  An open
+  /// breaker whose cooldown has elapsed transitions to half-open here.
+  [[nodiscard]] bool allow();
+  void record_success();
+  void record_failure();
+
+  [[nodiscard]] BreakerState state() const;
+  [[nodiscard]] BreakerCounters counters() const;
+  [[nodiscard]] const CircuitBreakerConfig& config() const noexcept { return config_; }
+
+ private:
+  void transition_locked(BreakerState next);  // requires mutex_ held
+  void reset_window_locked();
+
+  CircuitBreakerConfig config_;
+  util::Clock* clock_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<bool> window_;  // ring of recent outcomes, true = failure
+  std::size_t window_next_ = 0;
+  std::size_t window_filled_ = 0;
+  std::size_t window_failures_ = 0;
+  std::size_t consecutive_ = 0;
+  std::uint64_t opened_at_us_ = 0;
+  std::size_t probes_granted_ = 0;
+  std::size_t probes_succeeded_ = 0;
+  BreakerCounters counters_;
+
+  metrics::Gauge* state_gauge_;
+  metrics::Counter* to_open_total_;
+  metrics::Counter* to_half_open_total_;
+  metrics::Counter* to_closed_total_;
+  metrics::Counter* rejected_total_;
+};
+
+/// Decorator gating every oracle call through a `CircuitBreaker` it owns.
+class BreakerAccess final : public oracle::InstanceAccess {
+ public:
+  /// `inner` and `clock` must outlive this object.
+  BreakerAccess(const oracle::InstanceAccess& inner,
+                const CircuitBreakerConfig& config,
+                util::Clock& clock = util::system_clock(),
+                metrics::Registry& registry = metrics::global_registry());
+
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+  [[nodiscard]] CircuitBreaker& breaker() noexcept { return breaker_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept { return breaker_; }
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] oracle::WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  const oracle::InstanceAccess* inner_;
+  mutable CircuitBreaker breaker_;
+};
+
+}  // namespace lcaknap::fault
+
+#endif  // LCAKNAP_FAULT_CIRCUIT_BREAKER_H

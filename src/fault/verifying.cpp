@@ -1,0 +1,37 @@
+#include "fault/verifying.h"
+
+namespace lcaknap::fault {
+
+VerifyingAccess::VerifyingAccess(const oracle::InstanceAccess& inner,
+                                 metrics::Registry& registry)
+    : inner_(&inner),
+      detected_total_(&registry.counter(
+          "oracle_corruptions_detected_total",
+          "Oracle answers rejected by invariant verification")) {}
+
+void VerifyingAccess::reject() const {
+  detected_.fetch_add(1, std::memory_order_relaxed);
+  detected_total_->inc();
+  throw CorruptedAnswer();
+}
+
+void VerifyingAccess::verify_item(const knapsack::Item& item) const {
+  if (item.profit < 0 || item.profit > total_profit()) reject();
+  if (item.weight < 0 || item.weight > total_weight()) reject();
+  if (item.weight > capacity()) reject();
+}
+
+knapsack::Item VerifyingAccess::do_query(std::size_t i) const {
+  const auto item = inner_->query(i);
+  verify_item(item);
+  return item;
+}
+
+oracle::WeightedDraw VerifyingAccess::do_sample(util::Xoshiro256& rng) const {
+  const auto draw = inner_->weighted_sample(rng);
+  if (draw.index >= size()) reject();
+  verify_item(draw.item);
+  return draw;
+}
+
+}  // namespace lcaknap::fault

@@ -1,0 +1,86 @@
+#ifndef LCAKNAP_FAULT_VERIFYING_H
+#define LCAKNAP_FAULT_VERIFYING_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "metrics/metrics.h"
+#include "oracle/access.h"
+
+/// \file verifying.h
+/// `VerifyingAccess`: guards the client against corrupted oracle answers.
+///
+/// Definition 2.3's consistency guarantee assumes every probe returns the
+/// true item; a corrupted answer (chaos.h's third fault class) would flow
+/// silently into the membership rule and could make replicas disagree.
+/// This decorator checks every answer against the instance invariants that
+/// are free to evaluate (metadata is uncounted access):
+///
+///   * sampled index within bounds (`index < size()`);
+///   * profit in [0, total_profit]  — profits are non-negative and no item
+///     exceeds the instance total;
+///   * weight in [0, total_weight]  — likewise for weights;
+///   * weight <= capacity           — Instance construction excludes items
+///     heavier than K (Definition 2.2 convention).
+///
+/// A violating answer is converted into a `CorruptedAnswer` (a subclass of
+/// `OracleUnavailable`, hence *retryable*): the retry layer re-probes and the
+/// wrong answer never reaches the algorithm — Definition 2.3 consistency as
+/// a guarded runtime property rather than a trusted assumption.  Corruption
+/// that satisfies every invariant is undetectable here by construction; the
+/// answer-cache paranoia audit (re-deriving answers end-to-end) is the
+/// backstop for that class.
+///
+/// Detections are counted locally (`corruptions_detected()`) and in the
+/// registry (`oracle_corruptions_detected_total`).  Stateless apart from
+/// atomic counters — safe for concurrent callers.
+
+namespace lcaknap::fault {
+
+/// Thrown when an oracle answer fails invariant verification.  Derives from
+/// OracleUnavailable so every existing retry/degradation path treats it as a
+/// transient, retryable failure.
+class CorruptedAnswer : public oracle::OracleUnavailable {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "oracle answer failed invariant verification";
+  }
+};
+
+class VerifyingAccess final : public oracle::InstanceAccess {
+ public:
+  /// `inner` must outlive this object.
+  explicit VerifyingAccess(const oracle::InstanceAccess& inner,
+                           metrics::Registry& registry = metrics::global_registry());
+
+  [[nodiscard]] std::size_t size() const noexcept override { return inner_->size(); }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+  [[nodiscard]] std::uint64_t corruptions_detected() const noexcept {
+    return detected_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override;
+  [[nodiscard]] oracle::WeightedDraw do_sample(util::Xoshiro256& rng) const override;
+
+ private:
+  void verify_item(const knapsack::Item& item) const;
+  [[noreturn]] void reject() const;
+
+  const oracle::InstanceAccess* inner_;
+  mutable std::atomic<std::uint64_t> detected_{0};
+  metrics::Counter* detected_total_;
+};
+
+}  // namespace lcaknap::fault
+
+#endif  // LCAKNAP_FAULT_VERIFYING_H

@@ -32,6 +32,9 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
       requests_deadline_(&registry.counter(
           "serve_requests_total", "Requests finished by the serving engine",
           {{"outcome", "deadline"}})),
+      requests_degraded_(&registry.counter(
+          "serve_requests_total", "Requests finished by the serving engine",
+          {{"outcome", "degraded"}})),
       requests_error_(&registry.counter(
           "serve_requests_total", "Requests finished by the serving engine",
           {{"outcome", "error"}})),
@@ -69,6 +72,10 @@ void ServeEngine::finish(Request& request, const Response& response) {
     case Outcome::kDeadlineExceeded:
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       requests_deadline_->inc();
+      break;
+    case Outcome::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      requests_degraded_->inc();
       break;
     case Outcome::kError:
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -211,6 +218,18 @@ void ServeEngine::execute_batch(Batch batch) {
       response.answer = lca_->answer_from(run_, batch.item);
       response.outcome = Outcome::kOk;
       cache_.put(batch.item, response.answer);
+    } catch (const oracle::OracleUnavailable&) {
+      // The oracle stayed down through the whole client policy (retries
+      // exhausted, retry budget empty, or circuit breaker open).  With
+      // degradation on, fall back to the warm-state rule; the degraded
+      // answer is deliberately NOT cached — it may be below LCA quality,
+      // and the cache must only ever hold Definition 2.3 answers.
+      if (config_.degrade) {
+        response.outcome = Outcome::kDegraded;
+        response.answer = degraded_answer(batch.item);
+      } else {
+        response.outcome = Outcome::kError;
+      }
     } catch (...) {
       response.outcome = Outcome::kError;
     }
@@ -228,6 +247,14 @@ void ServeEngine::execute_batch(Batch batch) {
   }
 }
 
+bool ServeEngine::degraded_answer(std::size_t item) const noexcept {
+  // Zero-oracle fallback: the warm-up run already materialized the large-item
+  // set L(Ĩ), so membership there is answerable from memory; everything else
+  // gets the trivial-LCA "no" (Definition 2.4's floor).  Deterministic per
+  // (seed, item), so degraded answers are still replica-consistent.
+  return run_.index_large.contains(item);
+}
+
 void ServeEngine::drain() {
   std::call_once(drain_once_, [this] {
     queue_.close();
@@ -243,6 +270,7 @@ EngineStats ServeEngine::stats() const {
   stats.ok = ok_.load(std::memory_order_relaxed);
   stats.overloaded = overloaded_.load(std::memory_order_relaxed);
   stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);

@@ -57,16 +57,27 @@ struct EngineConfig {
   std::chrono::microseconds default_deadline{0};
   /// Fresh-randomness tape for the constructor's warm-up pipeline run.
   std::uint64_t warmup_tape_seed = 7;
+  /// Graceful degradation: when an evaluation fails because the oracle is
+  /// unavailable (retries exhausted, retry budget empty, or circuit breaker
+  /// open), answer from the fallback chain instead of reporting kError.
+  /// The chain is (1) the AnswerCache — already consulted first, and
+  /// authoritative when it hits — then (2) the O(1) warm-state rule:
+  /// membership in the run's large-item set, "no" for the small tail (the
+  /// trivial-LCA floor of Definition 2.4 applied to unknown items).  The
+  /// outcome is labelled kDegraded and the answer is never cached, so a
+  /// recovered oracle immediately restores full-quality answers.
+  bool degrade = false;
 };
 
 /// Point-in-time readout of the engine's own counters plus its cache's.
 /// Conservation law (post-drain): submitted == ok + overloaded +
-/// deadline_exceeded + errors.
+/// deadline_exceeded + degraded + errors.
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t ok = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded = 0;
   std::uint64_t errors = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;  ///< requests that went through batches
@@ -121,6 +132,9 @@ class ServeEngine {
   void dispatch_ready(std::vector<Batch>& ready);
   void execute_batch(Batch batch);
   void finish(Request& request, const Response& response);
+  /// The O(1) degraded-mode membership rule: no oracle access, answers from
+  /// the warm run state alone.
+  [[nodiscard]] bool degraded_answer(std::size_t item) const noexcept;
 
   const core::LcaKp* lca_;
   EngineConfig config_;
@@ -129,6 +143,7 @@ class ServeEngine {
   metrics::Counter* requests_ok_;
   metrics::Counter* requests_overloaded_;
   metrics::Counter* requests_deadline_;
+  metrics::Counter* requests_degraded_;
   metrics::Counter* requests_error_;
   metrics::Histogram* batch_size_;
   metrics::Histogram* latency_us_;
@@ -142,6 +157,7 @@ class ServeEngine {
   std::atomic<std::uint64_t> ok_{0};
   std::atomic<std::uint64_t> overloaded_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};

@@ -27,6 +27,9 @@ enum class Outcome {
   kOk,                ///< answered (from the cache or a fresh evaluation)
   kOverloaded,        ///< rejected at admission: queue full or engine drained
   kDeadlineExceeded,  ///< shed: its deadline passed before evaluation
+  kDegraded,          ///< answered from the degradation chain: the oracle was
+                      ///< unavailable (retries exhausted or breaker open) and
+                      ///< the engine fell back to its O(1) warm-state rule
   kError,             ///< evaluation failed (e.g. the oracle stayed unavailable)
 };
 
@@ -36,6 +39,7 @@ enum class Outcome {
     case Outcome::kOk: return "ok";
     case Outcome::kOverloaded: return "overloaded";
     case Outcome::kDeadlineExceeded: return "deadline";
+    case Outcome::kDegraded: return "degraded";
     case Outcome::kError: return "error";
   }
   return "unknown";
@@ -44,7 +48,9 @@ enum class Outcome {
 /// What the submitter gets back, exactly once per submitted request.
 struct Response {
   Outcome outcome = Outcome::kError;
-  bool answer = false;     ///< membership decision; meaningful iff kOk
+  bool answer = false;     ///< membership decision; meaningful iff kOk or
+                           ///< kDegraded (degraded answers are best-effort:
+                           ///< consistent but possibly below LCA quality)
   bool cache_hit = false;  ///< answered from the sharded cache
 };
 

@@ -1,0 +1,79 @@
+#ifndef LCAKNAP_UTIL_VIRTUAL_CLOCK_H
+#define LCAKNAP_UTIL_VIRTUAL_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+/// \file virtual_clock.h
+/// Time as a dependency.  The resilience layer (src/fault/) schedules fault
+/// phases, backoff sleeps, and circuit-breaker cooldowns against a `Clock`
+/// interface instead of calling std::chrono directly, so the same code runs
+/// in two modes:
+///
+///  * `SystemClock` — real monotonic time and real sleeps (production, the
+///    chaos-soak bench, the CLI);
+///  * `VirtualClock` — an atomic microsecond counter that only advances when
+///    someone sleeps on it.  Tests drive outages, latency ramps, and breaker
+///    cooldowns through it deterministically and instantly: the same fault
+///    plan replayed over a fresh VirtualClock produces the identical event
+///    sequence, with no wall-clock sleeps and no timing flakiness.
+
+namespace lcaknap::util {
+
+/// Monotonic microsecond clock plus a sleep primitive.  `now_us` is relative
+/// to the clock's own epoch (construction), which is all the fault layer
+/// needs — only durations are ever compared.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual std::uint64_t now_us() const = 0;
+  virtual void sleep_us(std::uint64_t us) = 0;
+};
+
+/// Real time: steady_clock reads and this_thread sleeps.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_us() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  void sleep_us(std::uint64_t us) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// Simulated time: an atomic counter.  `sleep_us` advances it instantly, so
+/// a test that "waits out" a 10-second outage finishes in microseconds of
+/// real time.  Concurrent sleepers simply accumulate (each sleep advances
+/// the shared timeline), which keeps the counter monotonic under threads.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_us() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void sleep_us(std::uint64_t us) override { advance_us(us); }
+  /// Moves time forward without a sleeper (e.g. "the outage window passes").
+  void advance_us(std::uint64_t us) {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_{0};
+};
+
+/// Process-wide real clock, the default for every fault-layer constructor.
+inline Clock& system_clock() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_VIRTUAL_CLOCK_H

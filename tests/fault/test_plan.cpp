@@ -1,0 +1,143 @@
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lcaknap::fault {
+namespace {
+
+std::vector<FaultPhase> three_phases() {
+  FaultPhase steady;
+  steady.label = "steady";
+  steady.duration_us = 100'000;
+  FaultPhase outage;
+  outage.label = "outage";
+  outage.duration_us = 50'000;
+  outage.fail_rate = 1.0;
+  FaultPhase hold;
+  hold.label = "recovered";
+  hold.duration_us = 0;  // hold forever
+  return {steady, outage, hold};
+}
+
+TEST(FaultPlan, RejectsEmptyPhaseList) {
+  EXPECT_THROW(FaultPlan({}, 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsRatesOutsideUnitInterval) {
+  FaultPhase phase;
+  phase.duration_us = 1000;
+  phase.fail_rate = 1.5;
+  EXPECT_THROW(FaultPlan({phase}, 1), std::invalid_argument);
+  phase.fail_rate = -0.1;
+  EXPECT_THROW(FaultPlan({phase}, 1), std::invalid_argument);
+  phase.fail_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(FaultPlan({phase}, 1), std::invalid_argument);
+  phase.fail_rate = 0.0;
+  phase.corrupt_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(FaultPlan({phase}, 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsInvertedLatencyRange) {
+  FaultPhase phase;
+  phase.duration_us = 1000;
+  phase.latency_min_us = 500;
+  phase.latency_max_us = 100;
+  EXPECT_THROW(FaultPlan({phase}, 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsZeroDurationBeforeLastPhase) {
+  FaultPhase zero;
+  zero.duration_us = 0;
+  FaultPhase tail;
+  tail.duration_us = 1000;
+  EXPECT_THROW(FaultPlan({zero, tail}, 1), std::invalid_argument);
+  // Zero on the last phase is the hold-forever idiom and must be accepted.
+  EXPECT_NO_THROW(FaultPlan({tail, zero}, 1));
+}
+
+TEST(FaultPlan, RejectsCyclingWithZeroTotalDuration) {
+  FaultPhase hold;
+  hold.duration_us = 0;
+  EXPECT_THROW(FaultPlan({hold}, 1, /*cycle=*/true), std::invalid_argument);
+}
+
+TEST(FaultPlan, PhaseIndexWalksEdges) {
+  const FaultPlan plan(three_phases(), 7);
+  EXPECT_EQ(plan.total_duration_us(), 150'000u);
+  EXPECT_EQ(plan.phase_index_at(0), 0u);
+  EXPECT_EQ(plan.phase_index_at(99'999), 0u);
+  EXPECT_EQ(plan.phase_index_at(100'000), 1u);
+  EXPECT_EQ(plan.phase_index_at(149'999), 1u);
+  EXPECT_EQ(plan.phase_index_at(150'000), 2u);
+}
+
+TEST(FaultPlan, NonCyclingHoldsLastPhaseForever) {
+  const FaultPlan plan(three_phases(), 7);
+  EXPECT_EQ(plan.phase_index_at(150'000), 2u);
+  EXPECT_EQ(plan.phase_index_at(10'000'000'000ull), 2u);
+  EXPECT_EQ(plan.phase_at(10'000'000'000ull).label, "recovered");
+}
+
+TEST(FaultPlan, CyclingWrapsModuloTotalDuration) {
+  auto phases = three_phases();
+  phases[2].duration_us = 50'000;  // cycling plans have no hold phase
+  const FaultPlan plan(std::move(phases), 7, /*cycle=*/true);
+  EXPECT_EQ(plan.total_duration_us(), 200'000u);
+  EXPECT_TRUE(plan.cycles());
+  EXPECT_EQ(plan.phase_index_at(200'000), 0u);  // wraps to the start
+  EXPECT_EQ(plan.phase_index_at(310'000), 1u);  // 310k % 200k = 110k: outage
+  EXPECT_EQ(plan.phase_index_at(960'000), 2u);  // 960k % 200k = 160k: third
+}
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const auto plan = parse_fault_plan(
+      "steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400;"
+      "window:50:corrupt=0.25,lat=10;tail:0",
+      /*seed=*/42);
+  ASSERT_EQ(plan.phases().size(), 5u);
+  EXPECT_EQ(plan.seed(), 42u);
+
+  EXPECT_EQ(plan.phases()[0].label, "steady");
+  EXPECT_EQ(plan.phases()[0].duration_us, 200'000u);  // ms in, us out
+  EXPECT_EQ(plan.phases()[0].fail_rate, 0.0);
+
+  EXPECT_EQ(plan.phases()[1].fail_rate, 1.0);
+
+  EXPECT_EQ(plan.phases()[2].fail_rate, 0.2);
+  EXPECT_EQ(plan.phases()[2].latency_min_us, 100u);
+  EXPECT_EQ(plan.phases()[2].latency_max_us, 400u);
+
+  EXPECT_EQ(plan.phases()[3].corrupt_rate, 0.25);
+  EXPECT_EQ(plan.phases()[3].latency_min_us, 10u);  // single value: min == max
+  EXPECT_EQ(plan.phases()[3].latency_max_us, 10u);
+
+  EXPECT_EQ(plan.phases()[4].duration_us, 0u);  // trailing hold
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_plan("", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("noduration", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan(":100", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:abc", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:100:bogus=1", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:100:fail", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:100:fail=2", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:100:fail=nan", 1), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("steady:100:lat=400..100", 1),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, DescribeMentionsEveryPhase) {
+  const auto plan =
+      parse_fault_plan("steady:200;outage:100:fail=1;tail:0", /*seed=*/3);
+  const auto text = plan.describe();
+  EXPECT_NE(text.find("steady"), std::string::npos);
+  EXPECT_NE(text.find("outage"), std::string::npos);
+  EXPECT_NE(text.find("fail=1"), std::string::npos);
+  EXPECT_NE(text.find("(hold)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcaknap::fault

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "knapsack/generators.h"
 #include "oracle/latency_model.h"
 
@@ -37,6 +39,12 @@ TEST(FlakyAccess, RejectsBadRate) {
   const MaterializedAccess inner(inst);
   EXPECT_THROW(FlakyAccess(inner, 1.0, 1), std::invalid_argument);
   EXPECT_THROW(FlakyAccess(inner, -0.1, 1), std::invalid_argument);
+  // Regression: NaN fails every ordered comparison, so the old
+  // `rate < 0 || rate >= 1` check silently accepted it as "never fail".
+  EXPECT_THROW(FlakyAccess(inner, std::numeric_limits<double>::quiet_NaN(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(FlakyAccess(inner, std::numeric_limits<double>::infinity(), 1),
+               std::invalid_argument);
 }
 
 TEST(RetryingAccess, MasksTransientFailures) {

@@ -16,10 +16,18 @@
 //            [--queries Q] [--zipf-s S] [--hot-frac F] [--hot-items K]
 //            [--workers W] [--queue-cap N] [--batch-max B] [--linger-us L]
 //            [--cache-cap N] [--cache-shards S] [--paranoia-every N]
-//            [--deadline-us D]
+//            [--deadline-us D] [--chaos-plan SPEC] [--chaos-seed S]
+//            [--retry-attempts N] [--backoff-us B] [--backoff-max-us M]
+//            [--retry-budget R] [--breaker] [--degrade]
 //       Replay a synthetic workload through the concurrent serving engine
 //       (bounded queue -> micro-batcher -> worker pool -> sharded answer
-//       cache) and print the throughput/outcome/cache report.
+//       cache) and print the throughput/outcome/cache report.  With
+//       --chaos-plan, the oracle runs through the scripted fault layer
+//       (chaos -> verifying -> retrying, armed after warm-up); --breaker
+//       adds the circuit breaker, --degrade turns oracle outages into
+//       warm-state kDegraded answers instead of kError.  Plan grammar:
+//       "steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400"
+//       (durations ms, latencies us) — see docs/RESILIENCE.md.
 //
 // Global flag: --metrics=prom|json dumps the metrics registry (Prometheus
 // text exposition or JSON lines) to stdout when the command finishes — see
@@ -27,6 +35,7 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <future>
@@ -41,6 +50,10 @@
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
 #include "core/serving_sim.h"
+#include "fault/chaos.h"
+#include "fault/circuit_breaker.h"
+#include "fault/plan.h"
+#include "fault/verifying.h"
 #include "knapsack/generators.h"
 #include "knapsack/solvers/fptas.h"
 #include "knapsack/solvers/greedy.h"
@@ -52,13 +65,15 @@
 #include "oracle/instrumented.h"
 #include "serve/engine.h"
 #include "util/table.h"
+#include "util/virtual_clock.h"
 
 namespace {
 
 using namespace lcaknap;
 
 /// Minimal --flag value parser; flags are unique and take one value, given
-/// either as `--flag value` or `--flag=value`, except the boolean `--all`.
+/// either as `--flag value` or `--flag=value`, except the booleans (`--all`,
+/// `--breaker`, `--degrade`), which take none.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -72,7 +87,7 @@ class Args {
         values_[key.substr(0, eq)] = key.substr(eq + 1);
         continue;
       }
-      if (key == "all") {
+      if (key == "all" || key == "breaker" || key == "degrade") {
         values_[key] = "true";
         continue;
       }
@@ -307,13 +322,45 @@ int cmd_serve_engine(const Args& args) {
   engine_config.default_deadline =
       std::chrono::microseconds(args.get_u64("deadline-us", 0));
   engine_config.warmup_tape_seed = args.get_u64("tape", 7);
+  engine_config.degrade = args.get("degrade").has_value();
 
   const oracle::MaterializedAccess storage(inst);
   const oracle::InstrumentedAccess access(storage, metrics::global_registry());
-  const core::LcaKp lca(access, lca_config);
+
+  // Optional resilience stack: chaos -> verifying -> retrying [-> breaker].
+  // The chaos layer starts disarmed so the engine's one-time warm-up sees a
+  // healthy oracle; it is armed right before the replay begins.
+  const oracle::InstanceAccess* top = &access;
+  std::optional<fault::ChaosAccess> chaos;
+  std::optional<fault::VerifyingAccess> verifying;
+  std::optional<oracle::RetryingAccess> retrying;
+  std::optional<fault::BreakerAccess> breaker;
+  if (const auto plan_spec = args.get("chaos-plan")) {
+    chaos.emplace(*top, fault::parse_fault_plan(
+                            *plan_spec, args.get_u64("chaos-seed", 0xC405)),
+                  util::system_clock(), /*armed=*/false);
+    verifying.emplace(*chaos);
+    oracle::RetryConfig retry_config;
+    retry_config.max_attempts =
+        static_cast<int>(args.get_u64("retry-attempts", 5));
+    retry_config.base_backoff_us = args.get_u64("backoff-us", 200);
+    retry_config.max_backoff_us =
+        args.get_u64("backoff-max-us", std::max<std::uint64_t>(
+                                           20'000, retry_config.base_backoff_us));
+    retry_config.retry_budget_ratio = args.get_double("retry-budget", 0.1);
+    retrying.emplace(*verifying, retry_config, util::system_clock());
+    top = &*retrying;
+  }
+  if (args.get("breaker")) {
+    breaker.emplace(*top, fault::CircuitBreakerConfig{});
+    top = &*breaker;
+  }
+
+  const core::LcaKp lca(*top, lca_config);
   const auto trace = core::generate_workload(inst.size(), workload);
 
   serve::ServeEngine engine(lca, engine_config);
+  if (chaos) chaos->arm();  // warm-up done: start the scripted storm
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<serve::Response>> futures;
   futures.reserve(trace.size());
@@ -322,7 +369,9 @@ int cmd_serve_engine(const Args& args) {
   std::size_t from_cache = 0;
   for (auto& future : futures) {
     const auto response = future.get();
-    yes += response.outcome == serve::Outcome::kOk && response.answer ? 1 : 0;
+    const bool answered = response.outcome == serve::Outcome::kOk ||
+                          response.outcome == serve::Outcome::kDegraded;
+    yes += answered && response.answer ? 1 : 0;
     from_cache += response.cache_hit ? 1 : 0;
   }
   const double elapsed_s =
@@ -332,9 +381,10 @@ int cmd_serve_engine(const Args& args) {
   const auto stats = engine.stats();
   util::Table table({"metric", "value"});
   table.row().cell("requests").cell(stats.submitted);
-  table.row().cell("ok / overloaded / deadline / error")
+  table.row().cell("ok / overloaded / deadline / degraded / error")
       .cell(std::to_string(stats.ok) + " / " + std::to_string(stats.overloaded) +
             " / " + std::to_string(stats.deadline_exceeded) + " / " +
+            std::to_string(stats.degraded) + " / " +
             std::to_string(stats.errors));
   table.row().cell("yes answers").cell(yes);
   table.row().cell("throughput (requests/s)").cell(
@@ -359,6 +409,22 @@ int cmd_serve_engine(const Args& args) {
       .cell(std::to_string(stats.paranoia_checks) + " / " +
             std::to_string(stats.paranoia_violations));
   table.row().cell("warm-up samples").cell(engine.run().samples_used);
+  if (chaos) {
+    table.row().cell("faults injected (failstop/latency/corruption)")
+        .cell(std::to_string(chaos->failstops_injected()) + " / " +
+              std::to_string(chaos->latencies_injected()) + " / " +
+              std::to_string(chaos->corruptions_injected()));
+    table.row().cell("corruptions detected").cell(verifying->corruptions_detected());
+    table.row().cell("retries / budget-exhausted")
+        .cell(std::to_string(retrying->retries_performed()) + " / " +
+              std::to_string(retrying->budget_exhausted()));
+  }
+  if (breaker) {
+    const auto counters = breaker->breaker().counters();
+    table.row().cell("breaker trips / fast-fails")
+        .cell(std::to_string(counters.to_open) + " / " +
+              std::to_string(counters.rejected));
+  }
   table.print(std::cout, "serve-engine (" + args.get("shape").value_or("hotspot") +
                              ", " + std::to_string(engine_config.workers) +
                              " workers)");
@@ -383,6 +449,12 @@ void usage() {
       "           [--hot-frac F] [--hot-items K] [--workers W] [--queue-cap N]\n"
       "           [--batch-max B] [--linger-us L] [--cache-cap N]\n"
       "           [--cache-shards S] [--paranoia-every N] [--deadline-us D]\n"
+      "           [--chaos-plan SPEC] [--chaos-seed S] [--retry-attempts N]\n"
+      "           [--backoff-us B] [--backoff-max-us M] [--retry-budget R]\n"
+      "           [--breaker] [--degrade]\n"
+      "--chaos-plan scripts oracle faults during the replay, e.g.\n"
+      "  \"steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400\"\n"
+      "(durations ms, latencies us; see docs/RESILIENCE.md).\n"
       "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
       "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }
