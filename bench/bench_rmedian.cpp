@@ -7,9 +7,14 @@
 // measured reproducibility (paired fresh-sample runs) vs rho; and the
 // domain-size sweep showing depth/sample growth — the observable stand-in
 // for the paper's log*|X| factor (substitution documented in DESIGN.md).
+//
+// Flags: --smoke shrinks sample budgets for CI; --json PATH writes a
+// one-object JSON summary (default BENCH_rmedian.json when --json is bare).
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/reproducible_large.h"
@@ -63,11 +68,27 @@ double reference_cdf(Shape shape, std::int64_t domain, std::int64_t value,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcaknap;
 
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_rmedian.json";
+    } else {
+      std::cerr << "usage: bench_rmedian [--smoke] [--json [PATH]]\n";
+      return 2;
+    }
+  }
+
   std::cout << "E8: reproducible quantiles — accuracy, reproducibility, and "
-               "domain dependence (Theorem 4.5)\n\n";
+               "domain dependence (Theorem 4.5)"
+            << (smoke ? " [smoke]" : "") << "\n\n";
 
   // Calibration per DESIGN.md: per-level straddle rate ~ 2*delta/(tau/2)
   // with delta = sqrt(ln(2/beta)/2n); branching 64 keeps the search at two
@@ -79,7 +100,10 @@ int main() {
   params.rho = 0.15;
   params.beta = 0.05;
   params.branching = 64;
-  constexpr std::size_t kSamples = 1'000'000;
+  const std::size_t kSamples = smoke ? 100'000 : 1'000'000;
+  double max_abs_error = 0.0;
+  int total_disagreements = 0;
+  int total_pairs = 0;
 
   // --- Accuracy. -----------------------------------------------------------
   {
@@ -93,6 +117,7 @@ int main() {
         for (auto& v : samples) v = draw(shape, params.domain_size, rng);
         const auto value = reproducible::rquantile(samples, p, params, prf, 0);
         const double cdf = reference_cdf(shape, params.domain_size, value, 999);
+        max_abs_error = std::max(max_abs_error, std::abs(cdf - p));
         table.row()
             .cell(shape_name(shape))
             .cell(p, 2)
@@ -110,7 +135,7 @@ int main() {
     util::Table table({"distribution", "pairs", "disagreements", "measured rate",
                        "target rho"});
     Xoshiro256 rng(2);
-    constexpr int kPairs = 40;
+    const int kPairs = smoke ? 10 : 40;
     for (const auto shape :
          {Shape::kUniform, Shape::kSquared, Shape::kZipfish, Shape::kBimodal}) {
       int disagreements = 0;
@@ -126,6 +151,8 @@ int main() {
           ++disagreements;
         }
       }
+      total_disagreements += disagreements;
+      total_pairs += kPairs;
       table.row()
           .cell(shape_name(shape))
           .cell(static_cast<long long>(kPairs))
@@ -174,12 +201,12 @@ int main() {
 
     core::ReproducibleLargeConfig config;
     config.eps = 0.25;
-    config.samples = 400'000;
+    config.samples = smoke ? 100'000 : 400'000;
 
     Xoshiro256 fresh(7);
     int identical = 0;
     int captured_clear = 0;
-    constexpr int kPairs = 25;
+    const int kPairs = smoke ? 8 : 25;
     for (int pair = 0; pair < kPairs; ++pair) {
       const util::Prf prf(static_cast<std::uint64_t>(pair) * 75029 + 3);
       Xoshiro256 rng1(fresh()), rng2(fresh());
@@ -198,6 +225,24 @@ int main() {
     table.print(std::cout,
                 "extension: index-only L(I) discovery (reproducible heavy "
                 "hitters; items planted AT the eps^2 boundary)");
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      os << "{\n"
+         << "  \"bench\": \"rmedian\",\n"
+         << "  \"experiment\": \"E8\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"samples\": " << kSamples << ",\n"
+         << "  \"max_abs_quantile_error\": " << max_abs_error << ",\n"
+         << "  \"tau\": " << params.tau << ",\n"
+         << "  \"disagreements\": " << total_disagreements << ",\n"
+         << "  \"pairs\": " << total_pairs << ",\n"
+         << "  \"target_rho\": " << params.rho << ",\n"
+         << "  \"heavy_hitters_identical_sets\": " << identical << ",\n"
+         << "  \"heavy_hitters_pairs\": " << kPairs << "\n"
+         << "}\n";
+      std::cout << "\nwrote " << json_path << "\n";
+    }
   }
   return 0;
 }

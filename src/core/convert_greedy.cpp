@@ -7,6 +7,13 @@ namespace lcaknap::core {
 
 ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
                                    std::span<const double> thresholds) {
+  ConvertGreedyScratch scratch;
+  return convert_greedy(tilde, thresholds, scratch);
+}
+
+ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
+                                   std::span<const double> thresholds,
+                                   ConvertGreedyScratch& scratch) {
   ConvertGreedyResult result;
   const auto& items = tilde.items;
   if (items.empty()) return result;
@@ -14,7 +21,8 @@ ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
   // Line 1: sort by non-increasing efficiency.  The tie-break must be
   // deterministic so that replicas with identical Ĩ sort identically: large
   // items before representatives, then by source index / band.
-  std::vector<std::size_t> order(items.size());
+  auto& order = scratch.order;
+  order.resize(items.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const auto& ia = items[a];

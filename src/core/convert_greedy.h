@@ -45,10 +45,24 @@ struct ConvertGreedyResult {
   double cutoff_efficiency = -1.0;
 };
 
+/// Reusable buffers for `convert_greedy`.  Callers that run the conversion
+/// repeatedly (the consistency harness, the replica simulators, bench loops)
+/// keep one scratch alive so the per-call sort permutation is not
+/// re-allocated every run; the zero-argument overload below owns a local one.
+struct ConvertGreedyScratch {
+  std::vector<std::size_t> order;
+};
+
 /// `thresholds` is the EPS (normalized efficiency values, non-increasing)
 /// that `tilde` was constructed from.
 [[nodiscard]] ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
                                                  std::span<const double> thresholds);
+
+/// Allocation-lean overload: sorts inside `scratch.order` instead of a fresh
+/// vector.  Output is identical to the owning overload.
+[[nodiscard]] ConvertGreedyResult convert_greedy(const iky::TildeInstance& tilde,
+                                                 std::span<const double> thresholds,
+                                                 ConvertGreedyScratch& scratch);
 
 }  // namespace lcaknap::core
 

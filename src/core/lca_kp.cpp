@@ -2,16 +2,88 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <iostream>
-#include <map>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "iky/partition.h"
 #include "iky/value_approx.h"
 #include "reproducible/rquantile.h"
+#include "util/flat_index_map.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace lcaknap::core {
+
+namespace {
+
+/// Cached normalization constants for the warm-up's sampling loops.  The
+/// access object's `norm_profit`/`efficiency` helpers make a virtual call
+/// per read of the (free) metadata; over millions of draws that dominates
+/// the arithmetic.  This mirror performs *exactly* the same double
+/// operations in the same order, so classifications agree bit-for-bit with
+/// the per-query path (`decide` reads through the access object).
+struct NormContext {
+  double total_profit;
+  double total_weight;
+
+  explicit NormContext(const oracle::InstanceAccess& access)
+      : total_profit(static_cast<double>(access.total_profit())),
+        total_weight(static_cast<double>(access.total_weight())) {}
+
+  [[nodiscard]] double norm_profit(const knapsack::Item& it) const noexcept {
+    return static_cast<double>(it.profit) / total_profit;
+  }
+  [[nodiscard]] double norm_weight(const knapsack::Item& it) const noexcept {
+    return static_cast<double>(it.weight) / total_weight;
+  }
+  [[nodiscard]] double efficiency(const knapsack::Item& it) const noexcept {
+    if (it.weight == 0) return std::numeric_limits<double>::infinity();
+    return norm_profit(it) / norm_weight(it);
+  }
+};
+
+/// Large-item record for one weighted draw, or nothing if the item is small.
+[[nodiscard]] bool record_if_large(const oracle::WeightedDraw& draw,
+                                   const NormContext& norm, double eps2,
+                                   iky::NormLargeItem& rec) noexcept {
+  const double p = norm.norm_profit(draw.item);
+  if (p <= eps2) return false;
+  rec.index = draw.index;
+  rec.profit = p;
+  rec.weight = norm.norm_weight(draw.item);
+  rec.efficiency = norm.efficiency(draw.item);
+  return true;
+}
+
+/// Sorted-extract of a dedup table into the `large` vector, accumulating the
+/// large mass (the order `std::map` used to provide).
+void extract_large(const util::FlatIndexMap<iky::NormLargeItem>& found,
+                   std::vector<iky::NormLargeItem>& large, double& mass) {
+  const auto entries = found.extract_sorted();
+  large.reserve(entries.size());
+  for (const auto& [index, rec] : entries) {
+    large.push_back(rec);
+    mass += rec.profit;
+  }
+}
+
+/// Warm-up PRF streams: one fresh-randomness substream per (phase, shard).
+enum WarmupStream : std::uint64_t {
+  kLargeSweepStream = 0,
+  kQuantileSweepStream = 1,
+};
+
+/// Number of draws shard `s` performs out of `total` (even split, remainder
+/// spread over the leading shards — a pure function of (total, s)).
+[[nodiscard]] std::size_t shard_quota(std::size_t total, std::size_t shard,
+                                      std::size_t shards) noexcept {
+  return total / shards + (shard < total % shards ? 1 : 0);
+}
+
+}  // namespace
 
 LcaKpParams resolve_params(const LcaKpConfig& config) {
   if (!(config.eps > 0.0 && config.eps < 1.0)) {
@@ -80,27 +152,18 @@ LcaKpRun LcaKp::run_pipeline(util::Xoshiro256& sample_rng) const {
   // Count this run's draws locally: the oracle's global counter is shared
   // across concurrently executing replicas, so deltas of it would interleave.
   std::uint64_t samples_used = 0;
+  const NormContext norm(*access_);
 
   // ---- Step 1 (lines 1-3): collect the large items. ----------------------
-  std::map<std::size_t, iky::NormLargeItem> found;
+  util::FlatIndexMap<iky::NormLargeItem> found(64);
+  iky::NormLargeItem rec;
   for (std::size_t s = 0; s < params_.large_samples; ++s) {
     const auto draw = access_->weighted_sample(sample_rng);
     ++samples_used;
-    const double p = access_->norm_profit(draw.item);
-    if (p <= eps2) continue;
-    iky::NormLargeItem rec;
-    rec.index = draw.index;
-    rec.profit = p;
-    rec.weight = access_->norm_weight(draw.item);
-    rec.efficiency = access_->efficiency(draw.item);
-    found.emplace(draw.index, rec);
+    if (record_if_large(draw, norm, eps2, rec)) found.emplace(draw.index, rec);
   }
   std::vector<iky::NormLargeItem> large;
-  large.reserve(found.size());
-  for (const auto& [index, rec] : found) {
-    large.push_back(rec);
-    run.large_mass += rec.profit;
-  }
+  extract_large(found, large, run.large_mass);
 
   // ---- Step 2 (lines 4-17): EPS via reproducible quantiles. --------------
   if (1.0 - run.large_mass >= eps) {
@@ -111,48 +174,156 @@ LcaKpRun LcaKp::run_pipeline(util::Xoshiro256& sample_rng) const {
     for (std::size_t s = 0; s < params_.quantile_samples; ++s) {
       const auto draw = access_->weighted_sample(sample_rng);
       ++samples_used;
-      if (access_->norm_profit(draw.item) > eps2) continue;  // line 7
-      efficiencies.push_back(domain_.to_grid(access_->efficiency(draw.item)));
+      if (norm.norm_profit(draw.item) > eps2) continue;  // line 7
+      efficiencies.push_back(domain_.to_grid(norm.efficiency(draw.item)));
     }
-    if (!efficiencies.empty() && run.t >= 1) {
-      const util::EmpiricalCdfInt ecdf(efficiencies);
-      reproducible::RQuantileParams rq;
-      rq.domain_size = domain_.size();
-      rq.tau = params_.tau;
-      rq.rho = params_.rho;
-      rq.beta = params_.beta;
-      rq.branching = config_.branching;
-      std::int64_t previous = domain_.size() - 1;
-      for (int k = 1; k <= run.t; ++k) {
-        const double p = std::clamp(1.0 - static_cast<double>(k) * run.q,
-                                    1e-6, 1.0 - 1e-6);
-        std::int64_t threshold = 0;
-        if (config_.reproducible_quantiles) {
-          threshold = reproducible::rquantile(ecdf, p, rq, prf_,
-                                              static_cast<std::uint64_t>(k));
-        } else {
-          // Ablation: the [IKY12] estimator — accurate but irreproducible.
-          threshold = ecdf.quantile(p);
-        }
-        threshold = std::min(threshold, previous);  // keep non-increasing
-        previous = threshold;
-        run.thresholds_grid.push_back(threshold);
-      }
-      // Lines 11-14: drop the last threshold when it falls below eps^2.
-      const std::int64_t eps2_grid = domain_.to_grid(eps2);
-      if (!run.thresholds_grid.empty() && run.thresholds_grid.back() < eps2_grid) {
-        run.thresholds_grid.pop_back();
-      }
-      run.thresholds.reserve(run.thresholds_grid.size());
-      for (const auto g : run.thresholds_grid) {
-        run.thresholds.push_back(domain_.from_grid(g));
-      }
-    }
+    compute_thresholds(run, efficiencies);
   }
 
+  finalize_run(run, large);
+  run.samples_used = samples_used;
+  return run;
+}
+
+LcaKpRun LcaKp::run_warmup(std::uint64_t tape_seed, std::size_t threads,
+                           util::ThreadPool* pool) const {
+  const double eps = config_.eps;
+  const double eps2 = eps * eps;
+  if (threads == 0) threads = config_.warmup_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  constexpr std::size_t shards = kWarmupShards;
+  // The fresh-randomness tape, made random-access: shard s of phase f draws
+  // from the substream seeded by PRF(tape_seed)(f, s).  The layout depends
+  // only on `tape_seed`, never on `threads` — that is the whole consistency
+  // argument (Lemma 4.9 needs (L(Ĩ), EPS) to be a pure function of the
+  // instance, the shared seed, and the warm-up's sample outcome; pinning the
+  // sample outcome to the tape makes the thread count irrelevant).
+  const util::Prf tape(util::mix64(tape_seed));
+  const NormContext norm(*access_);
+
+  // Runs shard bodies [0, shards) on the requested parallelism; results
+  // land in per-shard slots, so shard functions never share mutable state.
+  const auto for_each_shard = [&](const std::function<void(std::size_t)>& body) {
+    if (threads <= 1) {
+      for (std::size_t s = 0; s < shards; ++s) body(s);
+    } else if (pool != nullptr) {
+      pool->parallel_for(shards, body);
+    } else {
+      util::ThreadPool owned(threads);
+      owned.parallel_for(shards, body);
+    }
+  };
+
+  LcaKpRun run;
+
+  // ---- Step 1 (lines 1-3): sharded large-item sweep. ---------------------
+  std::vector<util::FlatIndexMap<iky::NormLargeItem>> shard_found(
+      shards, util::FlatIndexMap<iky::NormLargeItem>(16));
+  for_each_shard([&](std::size_t s) {
+    util::Xoshiro256 rng(tape.word(kLargeSweepStream, s));
+    const std::size_t quota = shard_quota(params_.large_samples, s, shards);
+    iky::NormLargeItem rec;
+    for (std::size_t i = 0; i < quota; ++i) {
+      const auto draw = access_->weighted_sample(rng);
+      if (record_if_large(draw, norm, eps2, rec)) {
+        shard_found[s].emplace(draw.index, rec);
+      }
+    }
+  });
+  // Merge in shard order.  Duplicate keys across shards carry identical
+  // records (the same item read through the same metadata), so first-wins
+  // merging is order-insensitive in value — but the fixed order makes the
+  // determinism argument syntactic rather than semantic.
+  util::FlatIndexMap<iky::NormLargeItem> found(64);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const auto& [index, rec] : shard_found[s].extract_sorted()) {
+      found.emplace(index, rec);
+    }
+  }
+  std::vector<iky::NormLargeItem> large;
+  extract_large(found, large, run.large_mass);
+  std::uint64_t samples_used = params_.large_samples;
+
+  // ---- Step 2 (lines 4-17): sharded quantile draw, then EPS. -------------
+  if (1.0 - run.large_mass >= eps) {
+    run.q = (eps + eps2 / 2.0) / (1.0 - run.large_mass);
+    run.t = static_cast<int>(std::floor(1.0 / run.q));
+    std::vector<std::vector<std::int64_t>> shard_effs(shards);
+    for_each_shard([&](std::size_t s) {
+      util::Xoshiro256 rng(tape.word(kQuantileSweepStream, s));
+      const std::size_t quota = shard_quota(params_.quantile_samples, s, shards);
+      auto& effs = shard_effs[s];
+      effs.reserve(quota);
+      for (std::size_t i = 0; i < quota; ++i) {
+        const auto draw = access_->weighted_sample(rng);
+        if (norm.norm_profit(draw.item) > eps2) continue;  // line 7
+        effs.push_back(domain_.to_grid(norm.efficiency(draw.item)));
+      }
+    });
+    std::size_t kept = 0;
+    for (const auto& effs : shard_effs) kept += effs.size();
+    std::vector<std::int64_t> efficiencies;
+    efficiencies.reserve(kept);
+    for (const auto& effs : shard_effs) {  // concatenate in shard order
+      efficiencies.insert(efficiencies.end(), effs.begin(), effs.end());
+    }
+    compute_thresholds(run, efficiencies);
+    samples_used += params_.quantile_samples;
+  }
+
+  finalize_run(run, large);
+  run.samples_used = samples_used;
+  return run;
+}
+
+void LcaKp::compute_thresholds(LcaKpRun& run,
+                               std::span<const std::int64_t> efficiencies) const {
+  if (efficiencies.empty() || run.t < 1) return;
+  // Grid values are already cells of the finite domain, so the empirical CDF
+  // builds by counting sort: O(n + |X|) against the former O(n log n) full
+  // sort of the multiset.
+  const util::EmpiricalCdfInt ecdf(efficiencies, domain_.size());
+  reproducible::RQuantileParams rq;
+  rq.domain_size = domain_.size();
+  rq.tau = params_.tau;
+  rq.rho = params_.rho;
+  rq.beta = params_.beta;
+  rq.branching = config_.branching;
+  std::int64_t previous = domain_.size() - 1;
+  for (int k = 1; k <= run.t; ++k) {
+    const double p = std::clamp(1.0 - static_cast<double>(k) * run.q,
+                                1e-6, 1.0 - 1e-6);
+    std::int64_t threshold = 0;
+    if (config_.reproducible_quantiles) {
+      threshold = reproducible::rquantile(ecdf, p, rq, prf_,
+                                          static_cast<std::uint64_t>(k));
+    } else {
+      // Ablation: the [IKY12] estimator — accurate but irreproducible.
+      threshold = ecdf.quantile(p);
+    }
+    threshold = std::min(threshold, previous);  // keep non-increasing
+    previous = threshold;
+    run.thresholds_grid.push_back(threshold);
+  }
+  // Lines 11-14: drop the last threshold when it falls below eps^2.
+  const std::int64_t eps2_grid = domain_.to_grid(config_.eps * config_.eps);
+  if (!run.thresholds_grid.empty() && run.thresholds_grid.back() < eps2_grid) {
+    run.thresholds_grid.pop_back();
+  }
+  run.thresholds.reserve(run.thresholds_grid.size());
+  for (const auto g : run.thresholds_grid) {
+    run.thresholds.push_back(domain_.from_grid(g));
+  }
+}
+
+void LcaKp::finalize_run(LcaKpRun& run,
+                         std::span<const iky::NormLargeItem> large) const {
   // ---- Steps 3-4 (lines 18-19): construct Ĩ and convert its greedy. ------
   const iky::TildeInstance tilde =
-      iky::construct_tilde(large, run.thresholds, eps, access_->norm_capacity());
+      iky::construct_tilde(large, run.thresholds, config_.eps,
+                           access_->norm_capacity());
   run.tilde_size = tilde.items.size();
   const ConvertGreedyResult cg = convert_greedy(tilde, run.thresholds);
   run.index_large.insert(cg.index_large.begin(), cg.index_large.end());
@@ -161,8 +332,20 @@ LcaKpRun LcaKp::run_pipeline(util::Xoshiro256& sample_rng) const {
   if (cg.e_small_idx >= 0) {
     run.e_small_grid = run.thresholds_grid.at(static_cast<std::size_t>(cg.e_small_idx));
   }
-  run.samples_used = samples_used;
-  return run;
+}
+
+std::uint64_t run_digest(const LcaKpRun& run) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;  // pi, nothing up the sleeve
+  const auto absorb = [&h](std::uint64_t word) { h = util::mix64(h ^ word); };
+  std::vector<std::size_t> sorted(run.index_large.begin(), run.index_large.end());
+  std::sort(sorted.begin(), sorted.end());
+  absorb(sorted.size());
+  for (const auto i : sorted) absorb(static_cast<std::uint64_t>(i));
+  absorb(static_cast<std::uint64_t>(run.e_small_grid));
+  absorb((run.singleton ? 2u : 0u) | (run.degenerate ? 1u : 0u));
+  absorb(run.thresholds_grid.size());
+  for (const auto g : run.thresholds_grid) absorb(static_cast<std::uint64_t>(g));
+  return h;
 }
 
 bool LcaKp::decide(const LcaKpRun& run, std::size_t index, double norm_profit,

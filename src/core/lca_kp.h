@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +12,10 @@
 #include "iky/efficiency_domain.h"
 #include "oracle/access.h"
 #include "util/rng.h"
+
+namespace lcaknap::util {
+class ThreadPool;
+}
 
 /// \file lca_kp.h
 /// Algorithm 2 (LCA-KP), the paper's main positive result (Theorem 4.1): an
@@ -72,6 +77,12 @@ struct LcaKpConfig {
   /// quantiles (the [IKY12] estimator).  Demonstrates the inconsistency the
   /// paper identifies as the "major issue" in Section 1.1.
   bool reproducible_quantiles = true;
+
+  /// Default thread count for the sharded warm-up (`run_warmup`); 0 means
+  /// hardware concurrency.  Any value produces bit-identical (L(Ĩ), EPS):
+  /// the sample draws are pinned to fixed PRF substreams per shard, not to
+  /// threads (see run_warmup).
+  std::size_t warmup_threads = 1;
 };
 
 /// Fully resolved numeric parameters of a run (for reporting).
@@ -115,6 +126,30 @@ class LcaKp final : public Lca {
   /// Executes the pipeline once (one replica / one run), without answering.
   [[nodiscard]] LcaKpRun run_pipeline(util::Xoshiro256& sample_rng) const;
 
+  /// Fixed shard count of the parallel warm-up.  A constant (never derived
+  /// from the thread count) so that every thread count replays the same
+  /// shard → substream layout.
+  static constexpr std::size_t kWarmupShards = 64;
+
+  /// Deterministic sharded warm-up: the Theorem 4.1 one-time pipeline run,
+  /// parallelized without giving up Lemma 4.9's consistency.  The Lemma 4.2
+  /// large-item sweep and the quantile-sample draw are split over
+  /// `kWarmupShards` shards; shard s draws from its own fresh-randomness
+  /// substream `PRF(tape_seed)(phase, s)` and shard results are merged in
+  /// shard order, so the produced (L(Ĩ), EPS) — and therefore every served
+  /// answer — is a pure function of `tape_seed` and the shared seed,
+  /// independent of `threads`.  `threads` = 0 uses `config().warmup_threads`
+  /// (itself 0 = hardware concurrency); shards run on `pool` when provided,
+  /// else on a pool owned for the duration of the call.
+  ///
+  /// Note this draws a *different* (but equally fresh) sample sequence than
+  /// `run_pipeline` on a single tape; both satisfy Theorem 4.1, and replicas
+  /// that must serve identical answers share `tape_seed` as they previously
+  /// shared the tape.
+  [[nodiscard]] LcaKpRun run_warmup(std::uint64_t tape_seed,
+                                    std::size_t threads = 0,
+                                    util::ThreadPool* pool = nullptr) const;
+
   /// Answers "is item i in C?" from a finished run.  Costs exactly one query
   /// to the instance (lines 20-24 read item i).
   [[nodiscard]] bool answer_from(const LcaKpRun& run, std::size_t i) const;
@@ -130,6 +165,14 @@ class LcaKp final : public Lca {
   [[nodiscard]] const oracle::InstanceAccess& access() const noexcept { return *access_; }
 
  private:
+  /// Step 2's tail: reproducible EPS thresholds from the grid-mapped small
+  /// efficiencies (expects run.q / run.t already set).
+  void compute_thresholds(LcaKpRun& run,
+                          std::span<const std::int64_t> efficiencies) const;
+  /// Steps 3-4: construct Ĩ and convert its greedy into the membership rule.
+  void finalize_run(LcaKpRun& run,
+                    std::span<const iky::NormLargeItem> large) const;
+
   const oracle::InstanceAccess* access_;
   LcaKpConfig config_;
   LcaKpParams params_;
@@ -139,6 +182,14 @@ class LcaKp final : public Lca {
 
 /// Resolves the auto fields of a config (exposed for tests and benches).
 [[nodiscard]] LcaKpParams resolve_params(const LcaKpConfig& config);
+
+/// Canonical 64-bit digest of a run's served state (L(Ĩ), EPS): the sorted
+/// large-item indices, the small-item rule (e_small_grid, singleton,
+/// degenerate), and the grid thresholds — exactly the state Lemma 4.9 says
+/// the answers are a pure function of.  Two runs with equal digests serve
+/// identical answers; the determinism suite pins digest equality across
+/// `warmup_threads` and the warm-up bench reports it.
+[[nodiscard]] std::uint64_t run_digest(const LcaKpRun& run);
 
 /// Serializes a run's membership rule (and EPS diagnostics) as plain text.
 /// Deployment shape: one warm-up process executes the pipeline, persists the

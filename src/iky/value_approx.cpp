@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <vector>
 
 #include "iky/construct.h"
 #include "iky/eps.h"
 #include "iky/partition.h"
+#include "util/flat_index_map.h"
 
 namespace lcaknap::iky {
 
@@ -31,7 +31,7 @@ std::vector<NormLargeItem> collect_large(const oracle::InstanceAccess& access,
                                          std::size_t count, double eps,
                                          util::Xoshiro256& rng) {
   const double eps2 = eps * eps;
-  std::map<std::size_t, NormLargeItem> found;
+  util::FlatIndexMap<NormLargeItem> found(64);
   for (std::size_t s = 0; s < count; ++s) {
     const auto draw = access.weighted_sample(rng);
     const double p = access.norm_profit(draw.item);
@@ -44,9 +44,32 @@ std::vector<NormLargeItem> collect_large(const oracle::InstanceAccess& access,
     found.emplace(draw.index, rec);
   }
   std::vector<NormLargeItem> large;
-  large.reserve(found.size());
-  for (const auto& [index, rec] : found) large.push_back(rec);
+  const auto entries = found.extract_sorted();
+  large.reserve(entries.size());
+  for (const auto& [index, rec] : entries) large.push_back(rec);
   return large;
+}
+
+/// The quantile values `values[rank]` (as if sorted ascending) for each rank
+/// in `ranks`, without fully sorting: ranks are visited in increasing order
+/// and selected with nth_element over the not-yet-partitioned suffix, so the
+/// returned values are exactly the sorted-array reads of the previous
+/// implementation at O(n) average instead of O(n log n).  `ranks` must be
+/// sorted ascending; `out[i]` corresponds to `ranks[i]`.
+void select_ranks(std::vector<double>& values, const std::vector<std::size_t>& ranks,
+                  std::vector<double>& out) {
+  out.clear();
+  out.reserve(ranks.size());
+  std::size_t partitioned = 0;  // values[0, partitioned) are in final position
+  for (const std::size_t rank : ranks) {
+    if (rank >= partitioned) {
+      std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(partitioned),
+                       values.begin() + static_cast<std::ptrdiff_t>(rank),
+                       values.end());
+      partitioned = rank + 1;
+    }
+    out.push_back(values[rank]);
+  }
 }
 
 }  // namespace
@@ -87,14 +110,24 @@ ValueApproxResult approximate_opt_value(const oracle::InstanceAccess& access,
       efficiencies.push_back(access.efficiency(draw.item));
     }
     if (!efficiencies.empty() && t >= 1) {
-      std::sort(efficiencies.begin(), efficiencies.end());
+      // Only t quantiles of the sample are ever consumed, so select them
+      // instead of sorting all of it.  The ranks decrease with k; visit them
+      // ascending and read out in k order.
       const auto n = static_cast<double>(efficiencies.size());
+      std::vector<std::size_t> ranks;
+      ranks.reserve(static_cast<std::size_t>(t));
       for (int k = 1; k <= t; ++k) {
         const double p = std::max(0.0, 1.0 - static_cast<double>(k) * q);
         auto idx = static_cast<std::size_t>(std::ceil(p * n));
         if (idx > 0) --idx;
         idx = std::min(idx, efficiencies.size() - 1);
-        thresholds.push_back(efficiencies[idx]);
+        ranks.push_back(idx);
+      }
+      std::vector<std::size_t> ascending(ranks.rbegin(), ranks.rend());
+      std::vector<double> selected;
+      select_ranks(efficiencies, ascending, selected);
+      for (int k = 1; k <= t; ++k) {
+        thresholds.push_back(selected[static_cast<std::size_t>(t - k)]);
       }
       // Enforce non-increasing order (ties can perturb it at the tail).
       for (std::size_t k = 1; k < thresholds.size(); ++k) {

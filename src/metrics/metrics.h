@@ -4,10 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -203,7 +203,11 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Family>> families_;  // registration order
-  std::map<std::string, Family*> by_name_;
+  /// Name lookup only — O(1) hash instead of the former ordered map's tree
+  /// walk per registration/lookup.  Export order is defined by `families_`
+  /// (registration order), never by this table's iteration order, so the
+  /// switch cannot reorder exporter output (pinned by the exporter tests).
+  std::unordered_map<std::string, Family*> by_name_;
 };
 
 /// The process-wide default registry; the serving stack's instruments all

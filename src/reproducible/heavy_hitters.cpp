@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -36,8 +36,11 @@ std::vector<std::int64_t> reproducible_heavy_hitters(
   if (samples.empty()) {
     throw std::invalid_argument("heavy_hitters: no samples");
   }
-  std::map<std::int64_t, std::size_t> counts;
-  for (const auto s : samples) ++counts[s];
+  // Frequencies via sort + single run-length pass: one contiguous buffer
+  // instead of a node-based `std::map` rebuilt on every call.  Sorting also
+  // yields the increasing output order the map used to provide for free.
+  std::vector<std::int64_t> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
 
   const double u = prf.uniform(
       static_cast<std::uint64_t>(util::RandomStream::kHeavyHitters), query_id);
@@ -45,10 +48,13 @@ std::vector<std::int64_t> reproducible_heavy_hitters(
 
   std::vector<std::int64_t> hitters;
   const auto n = static_cast<double>(samples.size());
-  for (const auto& [value, count] : counts) {
-    if (static_cast<double>(count) / n >= theta) hitters.push_back(value);
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    if (static_cast<double>(j - i) / n >= theta) hitters.push_back(sorted[i]);
+    i = j;
   }
-  return hitters;  // std::map iteration is already in increasing order
+  return hitters;  // sorted pass emits values in increasing order
 }
 
 }  // namespace lcaknap::reproducible

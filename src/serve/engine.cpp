@@ -51,9 +51,28 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
       cache_(config.cache, registry),
       pool_(std::max<std::size_t>(1, config.workers)) {
   // The one-time Theorem 4.1 warm-up; afterwards `run_` is read-only and
-  // shared by every worker (Definition 2.3's shared-seed replica).
-  util::Xoshiro256 tape(util::mix64(config.warmup_tape_seed));
-  run_ = lca_->run_pipeline(tape);
+  // shared by every worker (Definition 2.3's shared-seed replica).  The
+  // sharded warm-up draws from PRF substreams of `warmup_tape_seed`, so the
+  // thread count never changes `run_` (Lemma 4.9 consistency is preserved).
+  std::size_t warmup_threads = config.warmup_threads;
+  if (warmup_threads == 0) warmup_threads = lca.config().warmup_threads;
+  if (warmup_threads == 0) {
+    warmup_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const auto warmup_start = Clock::now();
+  run_ = lca_->run_warmup(config.warmup_tape_seed, warmup_threads);
+  const auto warmup_us = std::chrono::duration<double, std::micro>(
+                             Clock::now() - warmup_start)
+                             .count();
+  registry
+      .histogram("warmup_duration_us",
+                 "Wall time of the one-time warm-up pipeline run in microseconds",
+                 metrics::Histogram::exponential_buckets(100.0, 2.0, 20))
+      .observe(warmup_us);
+  registry
+      .gauge("warmup_threads",
+             "Threads used by the engine's sharded warm-up")
+      .set(static_cast<double>(warmup_threads));
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 

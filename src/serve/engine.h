@@ -40,8 +40,9 @@
 /// request is never lost.
 ///
 /// Metrics (see docs/OBSERVABILITY.md): `serve_requests_total{outcome}`,
-/// `serve_batch_size`, `serve_request_latency_us`, `serve_queue_depth`, and
-/// the `serve_cache_*` families owned by `AnswerCache`.
+/// `serve_batch_size`, `serve_request_latency_us`, `serve_queue_depth`,
+/// `warmup_duration_us`, `warmup_threads`, and the `serve_cache_*` families
+/// owned by `AnswerCache`.
 
 namespace lcaknap::serve {
 
@@ -57,6 +58,12 @@ struct EngineConfig {
   std::chrono::microseconds default_deadline{0};
   /// Fresh-randomness tape for the constructor's warm-up pipeline run.
   std::uint64_t warmup_tape_seed = 7;
+  /// Threads for the constructor's sharded warm-up (`LcaKp::run_warmup`).
+  /// 0 = inherit `LcaKpConfig::warmup_threads` (whose 0 in turn means
+  /// hardware concurrency).  Any value yields the same `run()` — the warm-up
+  /// draws from per-shard PRF substreams keyed by `warmup_tape_seed`, so
+  /// thread count never changes served answers.
+  std::size_t warmup_threads = 0;
   /// Graceful degradation: when an evaluation fails because the oracle is
   /// unavailable (retries exhausted, retry budget empty, or circuit breaker
   /// open), answer from the fallback chain instead of reporting kError.

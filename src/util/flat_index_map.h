@@ -1,0 +1,109 @@
+#ifndef LCAKNAP_UTIL_FLAT_INDEX_MAP_H
+#define LCAKNAP_UTIL_FLAT_INDEX_MAP_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file flat_index_map.h
+/// Open-addressing hash map from item indices to small values, tuned for the
+/// warm-up's large-item dedup (Lemma 4.2): the sweep draws millions of
+/// weighted samples but keeps only the O(1/eps^2) distinct large items, so
+/// the dedup structure is hit once per sample and must not allocate per
+/// insert or chase pointers.  `std::map` (the previous implementation) does
+/// both; this table is a single flat array probed linearly from a mixed hash,
+/// insert-only, and growth doubles the array.  Iteration order of a hash
+/// table is not deterministic across capacities, so consumers that need the
+/// old `std::map` ordering call `extract_sorted()`, which yields entries in
+/// increasing key order — making the structure a drop-in replacement on the
+/// determinism-critical paths (the warm-up digest covers this).
+
+namespace lcaknap::util {
+
+/// Insert-only open-addressing map keyed by `std::size_t`.  First insert for
+/// a key wins (matching `std::map::emplace`); values must be movable.
+template <typename Value>
+class FlatIndexMap {
+ public:
+  /// `expected` sizes the initial table (rounded up to a power of two at
+  /// twice the expected occupancy, keeping the load factor below 1/2).
+  explicit FlatIndexMap(std::size_t expected = 16) {
+    std::size_t capacity = 16;
+    while (capacity < expected * 2) capacity *= 2;
+    slots_.resize(capacity);
+  }
+
+  /// Inserts (key, value) if the key is absent; returns true on insert.
+  bool emplace(std::size_t key, const Value& value) {
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    const std::size_t slot = probe(key);
+    if (slots_[slot].occupied) return false;
+    slots_[slot].occupied = true;
+    slots_[slot].key = key;
+    slots_[slot].value = value;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t key) const {
+    return slots_[probe(key)].occupied;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// All entries in increasing key order (the order `std::map` iteration
+  /// used to provide).  The table is left intact.
+  [[nodiscard]] std::vector<std::pair<std::size_t, Value>> extract_sorted() const {
+    std::vector<std::pair<std::size_t, Value>> entries;
+    entries.reserve(size_);
+    for (const auto& slot : slots_) {
+      if (slot.occupied) entries.emplace_back(slot.key, slot.value);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return entries;
+  }
+
+ private:
+  struct Slot {
+    std::size_t key = 0;
+    Value value{};
+    bool occupied = false;
+  };
+
+  /// First slot that is empty or holds `key` (linear probing; the table
+  /// always has empty slots because the load factor stays below 1/2).
+  [[nodiscard]] std::size_t probe(std::size_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = mix64(static_cast<std::uint64_t>(key)) & mask;
+    while (slots_[slot].occupied && slots_[slot].key != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(old.size() * 2);
+    for (auto& slot : old) {
+      if (!slot.occupied) continue;
+      const std::size_t target = probe(slot.key);
+      slots_[target].occupied = true;
+      slots_[target].key = slot.key;
+      slots_[target].value = std::move(slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lcaknap::util
+
+#endif  // LCAKNAP_UTIL_FLAT_INDEX_MAP_H

@@ -14,8 +14,19 @@
 /// Reproducibility of the quantile computation hinges on all replicas agreeing
 /// exactly on the order of these values, so we never compare efficiencies
 /// through floating point: `Rational` keeps (numerator, denominator) in 64
-/// bits and compares via 128-bit cross products, which is exact for all
-/// operands below 2^63.
+/// bits and compares via cross products, which is exact for all operands
+/// below 2^63.
+///
+/// Comparison cost matters: the greedy sorts and the warm-up's efficiency
+/// handling call these comparators O(n log n) times.  Both `operator<=>` and
+/// `cmp_products` therefore take an overflow-checked `int64` fast path
+/// (`__builtin_mul_overflow`, a single mul + flags test on x86-64) and fall
+/// back to full 128-bit products only when either cross product could
+/// overflow — which for realistic instance profits/weights (< 2^31) never
+/// happens.  The two paths agree exactly by construction; bench_warmup's
+/// rational microbench (E17) measures what the fast path buys, and
+/// `cmp_products_wide` keeps the always-128-bit reference alive for that
+/// comparison and for the property tests.
 
 namespace lcaknap::util {
 
@@ -32,13 +43,22 @@ class Rational {
   [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
   [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
 
-  /// Exact three-way comparison via 128-bit cross multiplication.
+  /// Exact three-way comparison: overflow-checked int64 cross products, with
+  /// a 128-bit fallback when either product might not fit.
   [[nodiscard]] friend constexpr std::strong_ordering operator<=>(
       const Rational& a, const Rational& b) noexcept {
-    const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
-    const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
-    if (lhs < rhs) return std::strong_ordering::less;
-    if (lhs > rhs) return std::strong_ordering::greater;
+    std::int64_t lhs = 0;
+    std::int64_t rhs = 0;
+    if (!__builtin_mul_overflow(a.num_, b.den_, &lhs) &&
+        !__builtin_mul_overflow(b.num_, a.den_, &rhs)) {
+      if (lhs < rhs) return std::strong_ordering::less;
+      if (lhs > rhs) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    const __int128 wide_lhs = static_cast<__int128>(a.num_) * b.den_;
+    const __int128 wide_rhs = static_cast<__int128>(b.num_) * a.den_;
+    if (wide_lhs < wide_rhs) return std::strong_ordering::less;
+    if (wide_lhs > wide_rhs) return std::strong_ordering::greater;
     return std::strong_ordering::equal;
   }
   [[nodiscard]] friend constexpr bool operator==(const Rational& a,
@@ -70,17 +90,36 @@ class Rational {
   std::int64_t den_;
 };
 
-/// Exact comparison of the products a1*a2 and b1*b2 where every factor fits
-/// in 64 bits and each product fits in 128 bits.  Used for "triple product"
-/// threshold tests of the form  p * C1  <=>  w * C2  that arise when
-/// comparing normalized efficiencies to rational thresholds.
-[[nodiscard]] constexpr std::strong_ordering cmp_products(
+/// Always-128-bit comparison of the products a1*a2 and b1*b2 where every
+/// factor fits in 64 bits and each product fits in 128 bits.  This is the
+/// reference implementation `cmp_products` must agree with; it also anchors
+/// the fast-vs-wide microbench in bench_warmup (E17).
+[[nodiscard]] constexpr std::strong_ordering cmp_products_wide(
     std::int64_t a1, std::int64_t a2, std::int64_t b1, std::int64_t b2) noexcept {
   const __int128 lhs = static_cast<__int128>(a1) * a2;
   const __int128 rhs = static_cast<__int128>(b1) * b2;
   if (lhs < rhs) return std::strong_ordering::less;
   if (lhs > rhs) return std::strong_ordering::greater;
   return std::strong_ordering::equal;
+}
+
+/// Exact comparison of the products a1*a2 and b1*b2 where every factor fits
+/// in 64 bits and each product fits in 128 bits.  Used for "triple product"
+/// threshold tests of the form  p * C1  <=>  w * C2  that arise when
+/// comparing normalized efficiencies to rational thresholds.  Overflow-checked
+/// int64 fast path; falls back to `cmp_products_wide` only when a product
+/// could exceed 64 bits.
+[[nodiscard]] constexpr std::strong_ordering cmp_products(
+    std::int64_t a1, std::int64_t a2, std::int64_t b1, std::int64_t b2) noexcept {
+  std::int64_t lhs = 0;
+  std::int64_t rhs = 0;
+  if (!__builtin_mul_overflow(a1, a2, &lhs) &&
+      !__builtin_mul_overflow(b1, b2, &rhs)) {
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  return cmp_products_wide(a1, a2, b1, b2);
 }
 
 }  // namespace lcaknap::util

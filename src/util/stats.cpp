@@ -51,6 +51,24 @@ EmpiricalCdfInt::EmpiricalCdfInt(std::span<const std::int64_t> data)
   std::sort(sorted_.begin(), sorted_.end());
 }
 
+EmpiricalCdfInt::EmpiricalCdfInt(std::span<const std::int64_t> data,
+                                 std::int64_t domain_size) {
+  if (domain_size <= 0) {
+    throw std::invalid_argument("EmpiricalCdfInt: domain_size must be positive");
+  }
+  std::vector<std::size_t> counts(static_cast<std::size_t>(domain_size), 0);
+  for (const auto v : data) {
+    if (v < 0 || v >= domain_size) {
+      throw std::invalid_argument("EmpiricalCdfInt: value outside [0, domain_size)");
+    }
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  sorted_.reserve(data.size());
+  for (std::size_t value = 0; value < counts.size(); ++value) {
+    sorted_.insert(sorted_.end(), counts[value], static_cast<std::int64_t>(value));
+  }
+}
+
 double EmpiricalCdfInt::at(std::int64_t x) const noexcept {
   if (sorted_.empty()) return 0.0;
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);

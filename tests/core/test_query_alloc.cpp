@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+
+/// Counting-allocator pin for the allocation-lean hot path: once the warm-up
+/// has produced the membership rule, answering a query (`answer_from` =
+/// one oracle read + `decide`) must perform ZERO heap allocations — the
+/// steady-state request path of the serving engine touches only the shared
+/// read-only run state.  The global operator new below counts every
+/// allocation in this binary, which is why this file is its own test
+/// executable (see tests/CMakeLists.txt) and stays away from the other
+/// suites.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace lcaknap::core {
+namespace {
+
+TEST(QueryAllocation, SteadyStateAnswerFromAllocatesNothing) {
+  const auto inst = knapsack::make_family(knapsack::Family::kNeedle, 10'000, 41);
+  const oracle::MaterializedAccess access(inst);
+  LcaKpConfig config;
+  config.eps = 0.25;
+  config.seed = 0xABCD;
+  config.quantile_samples = 60'000;
+  const LcaKp lca(access, config);
+  const auto run = lca.run_warmup(7, 1);
+
+  // Touch the path once first so lazy one-time work (none expected) cannot
+  // masquerade as per-query allocation.
+  volatile bool sink = lca.answer_from(run, 0);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < 10'000; ++i) {
+    sink = sink ^ lca.answer_from(run, i % inst.size());
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "answer_from allocated on the hot path";
+}
+
+TEST(QueryAllocation, DecideAllocatesNothing) {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 5'000, 3);
+  const oracle::MaterializedAccess access(inst);
+  LcaKpConfig config;
+  config.eps = 0.2;
+  config.quantile_samples = 40'000;
+  const LcaKp lca(access, config);
+  const auto run = lca.run_warmup(11, 1);
+
+  volatile bool sink = lca.decide(run, 0, 0.5, 1.0);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < 10'000; ++i) {
+    sink = sink ^ lca.decide(run, i, 1e-4, 0.75);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "decide allocated on the hot path";
+}
+
+TEST(QueryAllocation, CounterSeesAllocations) {
+  // Sanity: the override is actually installed in this binary.
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  auto* p = new std::uint64_t(42);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  delete p;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace lcaknap::core

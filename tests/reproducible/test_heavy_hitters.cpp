@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "util/rng.h"
@@ -85,6 +87,49 @@ TEST(HeavyHitters, ReproducibleAcrossFreshSamples) {
     }
   }
   EXPECT_LE(disagreements, static_cast<int>(kPairs * params.rho * 2.0 + 3));
+}
+
+/// The previous (pre-optimization) implementation: per-call `std::map`
+/// frequency counts.  Kept verbatim as a reference so the sorted-vector
+/// rewrite is pinned to produce byte-identical output.
+std::vector<std::int64_t> map_reference(std::span<const std::int64_t> samples,
+                                        const HeavyHittersParams& params,
+                                        const util::Prf& prf,
+                                        std::uint64_t query_id) {
+  std::map<std::int64_t, std::size_t> counts;
+  for (const auto s : samples) ++counts[s];
+  const double u = prf.uniform(
+      static_cast<std::uint64_t>(util::RandomStream::kHeavyHitters), query_id);
+  const double theta = params.v - params.slack + 2.0 * params.slack * u;
+  std::vector<std::int64_t> hitters;
+  const auto n = static_cast<double>(samples.size());
+  for (const auto& [value, count] : counts) {
+    if (static_cast<double>(count) / n >= theta) hitters.push_back(value);
+  }
+  return hitters;
+}
+
+TEST(HeavyHitters, MatchesMapReferenceImplementation) {
+  const auto params = default_params();
+  util::Xoshiro256 rng(99);
+  for (std::uint64_t query_id = 0; query_id < 20; ++query_id) {
+    std::vector<std::int64_t> samples(20'000);
+    for (auto& v : samples) {
+      const double u = rng.next_double();
+      if (u < 0.25) {
+        v = -5;  // negative values must survive the rewrite too
+      } else if (u < 0.40) {
+        v = 0;
+      } else if (u < 0.52) {
+        v = 12;
+      } else {
+        v = static_cast<std::int64_t>(rng.next_below(2'000));
+      }
+    }
+    const util::Prf prf(query_id * 31 + 7);
+    EXPECT_EQ(reproducible_heavy_hitters(samples, params, prf, query_id),
+              map_reference(samples, params, prf, query_id));
+  }
 }
 
 TEST(HeavyHitters, ValidatesParameters) {

@@ -198,6 +198,29 @@ TEST(Exporters, PrometheusExpositionIsWellFormed) {
   }
 }
 
+TEST(Exporters, PrometheusExportFollowsRegistrationOrder) {
+  // Export order is defined by registration order (`families_`), not by the
+  // name-lookup table — this pins it so the `by_name_` container can change
+  // (ordered map -> hash map) without reordering operator-facing output.
+  Registry registry;
+  const std::vector<std::string> names{"zulu_total", "alpha_total",
+                                       "mike_total", "bravo_total"};
+  for (const auto& name : names) registry.counter(name, "help " + name).inc();
+  // Re-registering must not move a family to the back.
+  registry.counter("zulu_total", "help zulu_total").inc();
+
+  std::ostringstream os;
+  write_registry(registry, ExportFormat::kPrometheus, os);
+  const std::string out = os.str();
+  std::size_t previous = 0;
+  for (const auto& name : names) {
+    const auto pos = out.find("# HELP " + name);
+    ASSERT_NE(pos, std::string::npos) << name;
+    EXPECT_GE(pos, previous) << name << " exported out of registration order";
+    previous = pos;
+  }
+}
+
 TEST(Exporters, JsonLinesAreOneObjectPerInstrument) {
   Registry registry;
   registry.counter("requests_total", "total").inc(3);

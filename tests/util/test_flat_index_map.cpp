@@ -1,0 +1,84 @@
+#include "util/flat_index_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/rng.h"
+
+namespace lcaknap::util {
+namespace {
+
+TEST(FlatIndexMap, EmplaceFirstWins) {
+  FlatIndexMap<int> map;
+  EXPECT_TRUE(map.emplace(7, 1));
+  EXPECT_FALSE(map.emplace(7, 2));  // matches std::map::emplace semantics
+  EXPECT_EQ(map.size(), 1u);
+  const auto entries = map.extract_sorted();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second, 1);
+}
+
+TEST(FlatIndexMap, ContainsAndEmpty) {
+  FlatIndexMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(3));
+  map.emplace(3, 9);
+  EXPECT_TRUE(map.contains(3));
+  EXPECT_FALSE(map.contains(4));
+  EXPECT_FALSE(map.empty());
+}
+
+TEST(FlatIndexMap, ExtractSortedMatchesStdMapOrder) {
+  // Adversarial-ish keys: clustered, huge, and zero, inserted in random
+  // order; extract_sorted must reproduce std::map's iteration exactly.
+  FlatIndexMap<std::string> flat(4);  // force several growths
+  std::map<std::size_t, std::string> reference;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t key = (rng() % 5 == 0) ? rng() : rng() % 64;
+    const std::string value = std::to_string(key) + "v";
+    flat.emplace(key, value);
+    reference.emplace(key, value);
+  }
+  flat.emplace(0, "0v");
+  reference.emplace(0, "0v");
+
+  const auto entries = flat.extract_sorted();
+  ASSERT_EQ(entries.size(), reference.size());
+  std::size_t i = 0;
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(entries[i].first, key);
+    EXPECT_EQ(entries[i].second, value);
+    ++i;
+  }
+}
+
+TEST(FlatIndexMap, GrowthPreservesEntries) {
+  FlatIndexMap<std::size_t> map(1);
+  for (std::size_t k = 0; k < 2'000; ++k) map.emplace(k * 3, k);
+  EXPECT_EQ(map.size(), 2'000u);
+  const auto entries = map.extract_sorted();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].first, i * 3);
+    EXPECT_EQ(entries[i].second, i);
+  }
+}
+
+TEST(FlatIndexMap, CollidingKeysProbeCorrectly) {
+  // Keys chosen dense enough that linear probing must chain; every key must
+  // remain individually addressable.
+  FlatIndexMap<std::size_t> map(8);
+  for (std::size_t k = 100; k < 120; ++k) map.emplace(k, k * k);
+  for (std::size_t k = 100; k < 120; ++k) {
+    EXPECT_TRUE(map.contains(k));
+    EXPECT_FALSE(map.emplace(k, 0));
+  }
+  EXPECT_FALSE(map.contains(99));
+  EXPECT_FALSE(map.contains(120));
+}
+
+}  // namespace
+}  // namespace lcaknap::util

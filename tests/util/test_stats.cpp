@@ -112,6 +112,40 @@ TEST(WilsonInterval, DegenerateCases) {
   EXPECT_DOUBLE_EQ(none.hi, 1.0);
 }
 
+TEST(EmpiricalCdfInt, CountingSortConstructorEquivalent) {
+  // The counting-sort constructor must produce the exact sorted
+  // representation of the generic one — every readout identical.
+  Xoshiro256 rng(17);
+  const std::int64_t domain = 1 << 12;
+  std::vector<std::int64_t> data(50'000);
+  for (auto& v : data) v = static_cast<std::int64_t>(rng.next_below(domain));
+  const EmpiricalCdfInt generic(data);
+  const EmpiricalCdfInt counting(data, domain);
+  ASSERT_EQ(counting.size(), generic.size());
+  for (std::int64_t x : {0L, 1L, 7L, domain / 2, domain - 1, domain + 5}) {
+    EXPECT_DOUBLE_EQ(counting.at(x), generic.at(x)) << "x=" << x;
+  }
+  for (const double p : {1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-6}) {
+    EXPECT_EQ(counting.quantile(p), generic.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(EmpiricalCdfInt, CountingSortConstructorValidates) {
+  const std::vector<std::int64_t> negative{-1, 2};
+  EXPECT_THROW(EmpiricalCdfInt(negative, 8), std::invalid_argument);
+  const std::vector<std::int64_t> too_big{0, 8};
+  EXPECT_THROW(EmpiricalCdfInt(too_big, 8), std::invalid_argument);
+  const std::vector<std::int64_t> fine{0, 7};
+  EXPECT_THROW(EmpiricalCdfInt(fine, 0), std::invalid_argument);
+  EXPECT_NO_THROW(EmpiricalCdfInt(fine, 8));
+}
+
+TEST(EmpiricalCdfInt, CountingSortConstructorEmptyData) {
+  const EmpiricalCdfInt cdf(std::vector<std::int64_t>{}, 16);
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_EQ(cdf.quantile(0.5, 99), 99);
+}
+
 TEST(ChiSquare, UniformDataScoresLow) {
   Xoshiro256 rng(3);
   std::vector<std::size_t> counts(10, 0);

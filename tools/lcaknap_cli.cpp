@@ -6,10 +6,11 @@
 //   solve    --in FILE [--method exact|greedy|fptas] [--eps E]
 //       Solve an instance offline and print the solution summary.
 //   serve    --in FILE [--eps E] [--seed S] (--items "i,j,k" | --all)
-//            [--flaky RATE] [--retries N]
+//            [--flaky RATE] [--retries N] [--warmup-threads K]
 //       Run LCA-KP and answer membership queries over the instrumented
 //       oracle stack (storage -> metrics -> optional failure injection ->
-//       retries).
+//       retries).  --warmup-threads parallelizes the one-time warm-up
+//       without changing any answer (deterministic sharded sampling).
 //   eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]
 //       Run the consistency/quality harness and print the report.
 //   serve-engine --in FILE [--eps E] [--seed S] [--shape uniform|zipf|hotspot]
@@ -18,7 +19,7 @@
 //            [--cache-cap N] [--cache-shards S] [--paranoia-every N]
 //            [--deadline-us D] [--chaos-plan SPEC] [--chaos-seed S]
 //            [--retry-attempts N] [--backoff-us B] [--backoff-max-us M]
-//            [--retry-budget R] [--breaker] [--degrade]
+//            [--retry-budget R] [--breaker] [--degrade] [--warmup-threads K]
 //       Replay a synthetic workload through the concurrent serving engine
 //       (bounded queue -> micro-batcher -> worker pool -> sharded answer
 //       cache) and print the throughput/outcome/cache report.  With
@@ -199,6 +200,8 @@ int cmd_serve(const Args& args) {
   core::LcaKpConfig config;
   config.eps = args.get_double("eps", 0.1);
   config.seed = args.get_u64("seed", 0xC0DE);
+  config.warmup_threads =
+      static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
 
   // The serving oracle stack, innermost first: storage -> instrumentation
   // (the registry's canonical counters) -> optional injected failures ->
@@ -218,8 +221,10 @@ int cmd_serve(const Args& args) {
       upstream, static_cast<int>(args.get_u64("retries", 16)), registry);
   const core::LcaKp lca(access, config);
 
-  util::Xoshiro256 tape(args.get_u64("tape", 7));
-  const auto run = lca.run_pipeline(tape);
+  // Sharded deterministic warm-up: `--warmup-threads K` changes wall time,
+  // never the answers (the draws come from per-shard PRF substreams of the
+  // tape seed, not from a sequential tape).
+  const auto run = lca.run_warmup(args.get_u64("tape", 7));
 
   std::vector<std::size_t> items;
   if (args.get("all")) {
@@ -322,6 +327,8 @@ int cmd_serve_engine(const Args& args) {
   engine_config.default_deadline =
       std::chrono::microseconds(args.get_u64("deadline-us", 0));
   engine_config.warmup_tape_seed = args.get_u64("tape", 7);
+  engine_config.warmup_threads =
+      static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
   engine_config.degrade = args.get("degrade").has_value();
 
   const oracle::MaterializedAccess storage(inst);
@@ -442,7 +449,7 @@ void usage() {
       "  generate --family NAME --n N [--seed S] [--out FILE]\n"
       "  solve    --in FILE [--method exact|greedy|fptas] [--eps E]\n"
       "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
-      "           [--flaky RATE] [--retries N]\n"
+      "           [--flaky RATE] [--retries N] [--warmup-threads K]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
       "  serve-engine --in FILE [--eps E] [--seed S]\n"
       "           [--shape uniform|zipf|hotspot] [--queries Q] [--zipf-s S]\n"
@@ -451,7 +458,9 @@ void usage() {
       "           [--cache-shards S] [--paranoia-every N] [--deadline-us D]\n"
       "           [--chaos-plan SPEC] [--chaos-seed S] [--retry-attempts N]\n"
       "           [--backoff-us B] [--backoff-max-us M] [--retry-budget R]\n"
-      "           [--breaker] [--degrade]\n"
+      "           [--breaker] [--degrade] [--warmup-threads K]\n"
+      "--warmup-threads parallelizes the one-time warm-up run without\n"
+      "changing any served answer (deterministic sharded sampling).\n"
       "--chaos-plan scripts oracle faults during the replay, e.g.\n"
       "  \"steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400\"\n"
       "(durations ms, latencies us; see docs/RESILIENCE.md).\n"
