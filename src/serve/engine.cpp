@@ -54,13 +54,21 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
   // shared by every worker (Definition 2.3's shared-seed replica).  The
   // sharded warm-up draws from PRF substreams of `warmup_tape_seed`, so the
   // thread count never changes `run_` (Lemma 4.9 consistency is preserved).
+  // With `warm_state` set, the warm-up was already paid (by a previous
+  // process, persisted as a snapshot) and the engine adopts it — served
+  // answers are identical because they are a pure function of this state.
   std::size_t warmup_threads = config.warmup_threads;
   if (warmup_threads == 0) warmup_threads = lca.config().warmup_threads;
   if (warmup_threads == 0) {
     warmup_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   const auto warmup_start = Clock::now();
-  run_ = lca_->run_warmup(config.warmup_tape_seed, warmup_threads);
+  if (config_.warm_state != nullptr) {
+    run_ = *config_.warm_state;
+    warmup_threads = 0;  // no warm-up ran; the gauge reflects that
+  } else {
+    run_ = lca_->run_warmup(config.warmup_tape_seed, warmup_threads);
+  }
   const auto warmup_us = std::chrono::duration<double, std::micro>(
                              Clock::now() - warmup_start)
                              .count();
@@ -73,6 +81,11 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
       .gauge("warmup_threads",
              "Threads used by the engine's sharded warm-up")
       .set(static_cast<double>(warmup_threads));
+  registry
+      .gauge("warmup_from_snapshot",
+             "1 when the engine adopted a restored warm state instead of "
+             "running the warm-up pipeline")
+      .set(config_.warm_state != nullptr ? 1.0 : 0.0);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 

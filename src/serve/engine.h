@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -74,6 +75,16 @@ struct EngineConfig {
   /// outcome is labelled kDegraded and the answer is never cached, so a
   /// recovered oracle immediately restores full-quality answers.
   bool degrade = false;
+  /// Warm-from-snapshot path: when set, the engine adopts this already-warm
+  /// state instead of executing the constructor's warm-up pipeline — the
+  /// restart path of docs/PERSISTENCE.md (typically a `store::StateStore`
+  /// hydration or `store::read_snapshot`).  The state must come from the
+  /// same (instance, shared seed, `warmup_tape_seed`) this engine serves;
+  /// snapshot fingerprints enforce that at load time and `core::run_digest`
+  /// equality pins served answers byte-identical to a live warm-up (the
+  /// round-trip tests and bench_snapshot check both).  The gauge
+  /// `warmup_from_snapshot` records which path constructed the engine.
+  std::shared_ptr<const core::LcaKpRun> warm_state;
 };
 
 /// Point-in-time readout of the engine's own counters plus its cache's.

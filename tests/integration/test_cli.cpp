@@ -85,4 +85,101 @@ TEST(Cli, ServeAllSummarizes) {
   EXPECT_NE(serve.output.find("answered 800 queries"), std::string::npos);
 }
 
+TEST(Cli, HelpListsEveryCommandAndFlag) {
+  // Help audit: every command and flag the CLI has grown (serving engine,
+  // chaos/resilience, metrics, snapshots) must appear in the usage text, so
+  // an operator can discover it without reading the source.  Update this
+  // pinned list whenever a flag is added — that is the point of the test.
+  const auto help = run("");  // no command prints usage (exit 1)
+  ASSERT_EQ(help.exit_code, 1);
+  const char* const expected[] = {
+      "generate", "solve", "serve", "eval", "serve-engine",
+      "snapshot <save|load|verify>",
+      // generate / solve / serve / eval
+      "--family", "--n", "--seed", "--out", "--in", "--method", "--eps",
+      "--items", "--all", "--flaky", "--retries", "--replicas", "--queries",
+      // serve-engine workload + engine
+      "--shape", "--zipf-s", "--hot-frac", "--hot-items", "--workers",
+      "--queue-cap", "--batch-max", "--linger-us", "--cache-cap",
+      "--cache-shards", "--paranoia-every", "--deadline-us",
+      // resilience stack
+      "--chaos-plan", "--chaos-seed", "--retry-attempts", "--backoff-us",
+      "--backoff-max-us", "--retry-budget", "--breaker", "--degrade",
+      // warm-up + persistence
+      "--warmup-threads", "--tape", "--snap", "--snapshot-dir",
+      "--instance-id",
+      // global
+      "--metrics",
+  };
+  for (const char* const needle : expected) {
+    EXPECT_NE(help.output.find(needle), std::string::npos)
+        << "usage text is missing: " << needle;
+  }
+}
+
+TEST(Cli, SnapshotSaveLoadVerifyRoundTrip) {
+  const std::string path = temp_instance();
+  const std::string snap = ::testing::TempDir() + "cli_state.snap";
+  std::remove(snap.c_str());
+  ASSERT_EQ(run("generate --family uncorrelated --n 2000 --seed 4 --out " +
+                path).exit_code, 0);
+
+  const auto save = run("snapshot save --in " + path +
+                        " --eps 0.2 --seed 9 --snap " + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.output;
+  EXPECT_NE(save.output.find("digest"), std::string::npos);
+
+  const auto load = run("snapshot load --in " + path +
+                        " --eps 0.2 --seed 9 --snap " + snap);
+  ASSERT_EQ(load.exit_code, 0) << load.output;
+  EXPECT_NE(load.output.find("verified"), std::string::npos);
+
+  const auto verify = run("snapshot verify --in " + path +
+                          " --eps 0.2 --seed 9 --snap " + snap);
+  ASSERT_EQ(verify.exit_code, 0) << verify.output;
+  EXPECT_NE(verify.output.find("MATCH"), std::string::npos);
+
+  // A different warm-up tape is a different serving context: the fingerprint
+  // check refuses the snapshot and the command fails loudly.
+  const auto mismatch = run("snapshot verify --in " + path +
+                            " --eps 0.2 --seed 9 --tape 99 --snap " + snap);
+  EXPECT_EQ(mismatch.exit_code, 2) << mismatch.output;
+  EXPECT_NE(mismatch.output.find("mismatch"), std::string::npos);
+
+  // Missing action / unknown action are usage errors.
+  EXPECT_EQ(run("snapshot --in " + path).exit_code, 1);
+  EXPECT_EQ(run("snapshot frobnicate --in " + path + " --snap " + snap)
+                .exit_code, 1);
+}
+
+TEST(Cli, ServeEngineRestoresFromSnapshotDir) {
+  const std::string path = temp_instance();
+  const std::string dir = ::testing::TempDir() + "cli_snapdir";
+  const std::string common = " --in " + path +
+                             " --eps 0.2 --seed 6 --queries 500 "
+                             "--workers 2 --snapshot-dir " + dir +
+                             " --instance-id tenant1";
+  std::remove((dir + "/tenant1.snap").c_str());
+  ASSERT_EQ(run("generate --family uncorrelated --n 2000 --seed 6 --out " +
+                path).exit_code, 0);
+
+  const auto cold = run("serve-engine" + common);
+  ASSERT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("live warm-up (persisted)"), std::string::npos);
+
+  const auto restart = run("serve-engine" + common);
+  ASSERT_EQ(restart.exit_code, 0) << restart.output;
+  EXPECT_NE(restart.output.find("restored from snapshot"), std::string::npos);
+
+  // Both processes must report the same warm-state digest: the restored
+  // state is byte-identical to the one the first process warmed live.
+  const auto digest_of = [](const std::string& output) {
+    const auto label = output.find("warm state digest");
+    const auto start = output.find_first_of("0123456789", label);
+    return output.substr(start,
+                         output.find_first_not_of("0123456789", start) - start);
+  };
+  EXPECT_EQ(digest_of(cold.output), digest_of(restart.output));
+}
+
 }  // namespace

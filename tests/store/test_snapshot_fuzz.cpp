@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+#include "store/snapshot.h"
+
+/// Corruption fuzz (ISSUE 5 satellite): *every* single-bit flip and *every*
+/// truncation of a valid snapshot must be rejected with a clean typed error
+/// — `SnapshotCorrupt` or `SnapshotTruncated` — never decode into a run,
+/// never crash, never throw anything else.  This is exhaustive, not sampled:
+/// the snapshot is kept small enough to try all positions.
+
+namespace lcaknap::store {
+namespace {
+
+std::string small_snapshot() {
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 600, 4);
+  const oracle::MaterializedAccess access(inst);
+  core::LcaKpConfig config;
+  config.eps = 0.3;
+  config.seed = 0xFEED;
+  config.large_samples = 500;
+  config.quantile_samples = 1'024;
+  const core::LcaKp lca(access, config);
+  return encode_snapshot(fingerprint_of(lca, 2), lca.run_warmup(2));
+}
+
+TEST(SnapshotFuzz, EveryBitFlipIsRejected) {
+  const std::string good = small_snapshot();
+  // The baseline must decode, or the fuzz proves nothing.
+  ASSERT_NO_THROW((void)decode_snapshot(good));
+
+  std::size_t corrupt = 0;
+  std::size_t truncated = 0;
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      try {
+        (void)decode_snapshot(bad);
+        FAIL() << "bit flip at byte " << byte << " bit " << bit
+               << " decoded successfully";
+      } catch (const SnapshotCorrupt&) {
+        ++corrupt;  // the usual outcome: the CRC catches the flip
+      } catch (const SnapshotTruncated&) {
+        ++truncated;  // flips inside the size field legitimately read as
+                      // "file shorter than declared"
+      } catch (const std::exception& e) {
+        FAIL() << "bit flip at byte " << byte << " bit " << bit
+               << " threw an unexpected type: " << e.what();
+      }
+    }
+  }
+  EXPECT_EQ(corrupt + truncated, good.size() * 8);
+  // Almost everything must be the CRC; only size-field flips may divert.
+  EXPECT_LE(truncated, 64u);
+}
+
+TEST(SnapshotFuzz, EveryTruncationIsRejected) {
+  const std::string good = small_snapshot();
+  for (std::size_t length = 0; length < good.size(); ++length) {
+    try {
+      (void)decode_snapshot(std::string_view(good).substr(0, length));
+      FAIL() << "prefix of length " << length << " decoded successfully";
+    } catch (const SnapshotTruncated&) {
+      // expected: too short for a header, or shorter than the declared size
+    } catch (const std::exception& e) {
+      FAIL() << "prefix of length " << length
+             << " threw an unexpected type: " << e.what();
+    }
+  }
+}
+
+TEST(SnapshotFuzz, AppendedBytesAreRejected) {
+  const std::string good = small_snapshot();
+  for (std::size_t extra : {1u, 7u, 64u}) {
+    std::string bad = good + std::string(extra, '\0');
+    EXPECT_THROW((void)decode_snapshot(bad), SnapshotCorrupt)
+        << extra << " appended bytes";
+  }
+}
+
+}  // namespace
+}  // namespace lcaknap::store

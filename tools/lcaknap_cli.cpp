@@ -13,6 +13,13 @@
 //       without changing any answer (deterministic sharded sampling).
 //   eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]
 //       Run the consistency/quality harness and print the report.
+//   snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]
+//            [--tape T] [--warmup-threads K]
+//       Warm-state persistence (docs/PERSISTENCE.md): `save` runs the
+//       one-time warm-up and writes a versioned, CRC64-sealed snapshot of
+//       (L(I~), EPS); `load` rehydrates it (fingerprint-verified against
+//       the instance and flags); `verify` additionally re-runs the live
+//       warm-up and proves digest equality (exit 2 on any mismatch).
 //   serve-engine --in FILE [--eps E] [--seed S] [--shape uniform|zipf|hotspot]
 //            [--queries Q] [--zipf-s S] [--hot-frac F] [--hot-items K]
 //            [--workers W] [--queue-cap N] [--batch-max B] [--linger-us L]
@@ -20,6 +27,7 @@
 //            [--deadline-us D] [--chaos-plan SPEC] [--chaos-seed S]
 //            [--retry-attempts N] [--backoff-us B] [--backoff-max-us M]
 //            [--retry-budget R] [--breaker] [--degrade] [--warmup-threads K]
+//            [--snapshot-dir DIR] [--instance-id ID]
 //       Replay a synthetic workload through the concurrent serving engine
 //       (bounded queue -> micro-batcher -> worker pool -> sharded answer
 //       cache) and print the throughput/outcome/cache report.  With
@@ -28,7 +36,10 @@
 //       adds the circuit breaker, --degrade turns oracle outages into
 //       warm-state kDegraded answers instead of kError.  Plan grammar:
 //       "steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400"
-//       (durations ms, latencies us) — see docs/RESILIENCE.md.
+//       (durations ms, latencies us) — see docs/RESILIENCE.md.  With
+//       --snapshot-dir, the warm state is hydrated through the StateStore:
+//       a verified snapshot skips the warm-up entirely; a live warm-up is
+//       persisted for the next process (docs/PERSISTENCE.md).
 //
 // Global flag: --metrics=prom|json dumps the metrics registry (Prometheus
 // text exposition or JSON lines) to stdout when the command finishes — see
@@ -38,10 +49,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -65,6 +78,8 @@
 #include "oracle/flaky.h"
 #include "oracle/instrumented.h"
 #include "serve/engine.h"
+#include "store/snapshot.h"
+#include "store/state_store.h"
 #include "util/table.h"
 #include "util/virtual_clock.h"
 
@@ -289,6 +304,76 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+int cmd_snapshot(const std::string& action, const Args& args) {
+  if (action != "save" && action != "load" && action != "verify") {
+    throw std::invalid_argument("unknown snapshot action: " + action +
+                                " (try: save, load, verify)");
+  }
+  const auto inst = load_instance(args.require("in"));
+  const std::string snap_path = args.require("snap");
+  core::LcaKpConfig config;
+  config.eps = args.get_double("eps", 0.1);
+  config.seed = args.get_u64("seed", 0xC0DE);
+  config.warmup_threads =
+      static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
+  const std::uint64_t tape_seed = args.get_u64("tape", 7);
+
+  const oracle::MaterializedAccess storage(inst);
+  const oracle::InstrumentedAccess access(storage, metrics::global_registry());
+  const core::LcaKp lca(access, config);
+  const auto fingerprint = store::fingerprint_of(lca, tape_seed);
+
+  util::Table table({"metric", "value"});
+  if (action == "save") {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run = lca.run_warmup(tape_seed);
+    const double warmup_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    store::write_snapshot(snap_path, fingerprint, run);
+    table.row().cell("digest").cell(std::to_string(core::run_digest(run)));
+    table.row().cell("large items |L(I~)|").cell(run.index_large.size());
+    table.row().cell("EPS thresholds").cell(run.thresholds_grid.size());
+    table.row().cell("warm-up samples").cell(run.samples_used);
+    table.row().cell("warm-up ms").cell(warmup_ms, 1);
+    table.row().cell("snapshot bytes").cell(
+        static_cast<std::uint64_t>(std::filesystem::file_size(snap_path)));
+    table.row().cell("path").cell(snap_path);
+    table.print(std::cout, "snapshot save");
+    return 0;
+  }
+
+  // load / verify: rehydrate with full CRC + fingerprint verification; a
+  // failure of either is a runtime error (exit 2) — a bad snapshot must
+  // never look like success.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = store::read_snapshot(snap_path, &fingerprint);
+  const double restore_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  const auto digest = core::run_digest(run);
+  table.row().cell("digest").cell(std::to_string(digest));
+  table.row().cell("large items |L(I~)|").cell(run.index_large.size());
+  table.row().cell("EPS thresholds").cell(run.thresholds_grid.size());
+  table.row().cell("restore ms").cell(restore_ms, 2);
+  if (action == "load") {
+    table.row().cell("fingerprint").cell("verified");
+    table.print(std::cout, "snapshot load");
+    return 0;
+  }
+  const auto live = lca.run_warmup(tape_seed);
+  const auto live_digest = core::run_digest(live);
+  table.row().cell("live warm-up digest").cell(std::to_string(live_digest));
+  table.row().cell("digests").cell(digest == live_digest ? "MATCH" : "MISMATCH");
+  table.print(std::cout, "snapshot verify");
+  if (digest != live_digest) {
+    std::cerr << "VERIFY FAILED: snapshot digest " << digest
+              << " != live warm-up digest " << live_digest << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 core::WorkloadConfig::Shape parse_shape(const std::string& name) {
   if (name == "uniform") return core::WorkloadConfig::Shape::kUniform;
   if (name == "zipf") return core::WorkloadConfig::Shape::kZipf;
@@ -366,6 +451,26 @@ int cmd_serve_engine(const Args& args) {
   const core::LcaKp lca(*top, lca_config);
   const auto trace = core::generate_workload(inst.size(), workload);
 
+  // Warm-state hydration through the StateStore when a snapshot directory is
+  // given: a verified snapshot skips the warm-up; a live warm-up is
+  // persisted so the *next* process restores instead of re-warming.  This
+  // runs before the chaos layer is armed, like the engine's own warm-up.
+  std::string warm_source = "live warm-up";
+  if (const auto dir = args.get("snapshot-dir")) {
+    std::filesystem::create_directories(*dir);
+    store::StateStoreConfig store_config;
+    store_config.snapshot_dir = *dir;
+    store_config.capacity = 4;
+    store_config.warmup_threads = engine_config.warmup_threads;
+    store::StateStore state_store(store_config);
+    const std::string id = args.get("instance-id").value_or("default");
+    engine_config.warm_state =
+        state_store.get(id, lca, engine_config.warmup_tape_seed);
+    warm_source = state_store.stats().snapshot_hydrations > 0
+                      ? "restored from snapshot"
+                      : "live warm-up (persisted)";
+  }
+
   serve::ServeEngine engine(lca, engine_config);
   if (chaos) chaos->arm();  // warm-up done: start the scripted storm
   const auto t0 = std::chrono::steady_clock::now();
@@ -416,6 +521,11 @@ int cmd_serve_engine(const Args& args) {
       .cell(std::to_string(stats.paranoia_checks) + " / " +
             std::to_string(stats.paranoia_violations));
   table.row().cell("warm-up samples").cell(engine.run().samples_used);
+  if (args.get("snapshot-dir")) {
+    table.row().cell("warm state").cell(warm_source);
+    table.row().cell("warm state digest").cell(
+        std::to_string(core::run_digest(engine.run())));
+  }
   if (chaos) {
     table.row().cell("faults injected (failstop/latency/corruption)")
         .cell(std::to_string(chaos->failstops_injected()) + " / " +
@@ -451,6 +561,8 @@ void usage() {
       "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
       "           [--flaky RATE] [--retries N] [--warmup-threads K]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
+      "  snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]\n"
+      "           [--tape T] [--warmup-threads K]\n"
       "  serve-engine --in FILE [--eps E] [--seed S]\n"
       "           [--shape uniform|zipf|hotspot] [--queries Q] [--zipf-s S]\n"
       "           [--hot-frac F] [--hot-items K] [--workers W] [--queue-cap N]\n"
@@ -459,8 +571,16 @@ void usage() {
       "           [--chaos-plan SPEC] [--chaos-seed S] [--retry-attempts N]\n"
       "           [--backoff-us B] [--backoff-max-us M] [--retry-budget R]\n"
       "           [--breaker] [--degrade] [--warmup-threads K]\n"
+      "           [--snapshot-dir DIR] [--instance-id ID]\n"
       "--warmup-threads parallelizes the one-time warm-up run without\n"
       "changing any served answer (deterministic sharded sampling).\n"
+      "snapshot save writes a versioned, CRC64-sealed warm-state snapshot;\n"
+      "load rehydrates it (fingerprint-verified); verify re-runs the live\n"
+      "warm-up (--tape selects its randomness tape) and proves digest\n"
+      "equality, exit 2 on mismatch (see docs/PERSISTENCE.md).\n"
+      "--snapshot-dir hydrates serve-engine's warm state through the\n"
+      "StateStore: a verified snapshot named by --instance-id skips the\n"
+      "warm-up; a live warm-up is persisted for the next process.\n"
       "--chaos-plan scripts oracle faults during the replay, e.g.\n"
       "  \"steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400\"\n"
       "(durations ms, latencies us; see docs/RESILIENCE.md).\n"
@@ -477,7 +597,15 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    const Args args(argc, argv);
+    // `snapshot <action> --flags...` carries a positional action word at
+    // argv[2]; shift the window so the flag parser starts after it.
+    const bool positional_action = (command == "snapshot");
+    if (positional_action &&
+        (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)) {
+      throw std::invalid_argument("snapshot needs an action: save|load|verify");
+    }
+    const Args args = positional_action ? Args(argc - 1, argv + 1)
+                                        : Args(argc, argv);
     // Resolve the exporter up front so a bad --metrics value is a usage
     // error before any work happens.
     std::optional<metrics::ExportFormat> metrics_format;
@@ -495,6 +623,8 @@ int main(int argc, char** argv) {
       rc = cmd_eval(args);
     } else if (command == "serve-engine") {
       rc = cmd_serve_engine(args);
+    } else if (command == "snapshot") {
+      rc = cmd_snapshot(argv[2], args);
     } else {
       usage();
       return 1;
