@@ -1,0 +1,204 @@
+#include "cert/cert_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace lcaknap::cert {
+
+namespace {
+
+std::string segment_name(std::uint64_t index, const char* suffix) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "cert-%06llu.%s",
+                static_cast<unsigned long long>(index), suffix);
+  return name;
+}
+
+}  // namespace
+
+CertLog::CertLog(const CertLogConfig& config,
+                 const store::SnapshotFingerprint& fingerprint,
+                 metrics::Registry& registry)
+    : config_(config),
+      fingerprint_(fingerprint),
+      records_total_(&registry.counter(
+          "cert_records_written_total",
+          "Certificate records appended to the certificate log")),
+      skipped_total_(&registry.counter(
+          "cert_records_skipped_total",
+          "Answers served without a certificate while certification was on "
+          "(e.g. cache entries predating certification)")),
+      bytes_total_(&registry.counter(
+          "cert_log_bytes_total",
+          "Bytes written to certificate log segments (headers + records)")),
+      sealed_total_(&registry.counter(
+          "cert_segments_sealed_total",
+          "Certificate log segments atomically sealed (.open -> .seg)")),
+      failures_total_(&registry.counter(
+          "cert_append_failures_total",
+          "Certificate log writes that failed (the writer goes inert; "
+          "serving is never taken down by certification)")) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(config_.directory, ec)) {
+    throw CertIoError("certificate: log directory unusable: " +
+                      config_.directory);
+  }
+  const std::lock_guard lock(mutex_);
+  open_segment_locked();
+  if (broken_) {
+    throw CertIoError("certificate: cannot open first segment in " +
+                      config_.directory);
+  }
+}
+
+CertLog::~CertLog() { seal(); }
+
+void CertLog::open_segment_locked() noexcept {
+  open_path_ = config_.directory + "/" + segment_name(segment_index_, "open");
+  out_.open(open_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    broken_ = true;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return;
+  }
+  std::string header;
+  encode_header(header, fingerprint_);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!out_.good()) {
+    broken_ = true;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return;
+  }
+  segment_records_ = 0;
+  bytes_.fetch_add(header.size(), std::memory_order_relaxed);
+  bytes_total_->inc(header.size());
+}
+
+std::uint64_t CertLog::append(const CertRecord& record) noexcept {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  if (!broken_ && !out_.is_open()) open_segment_locked();
+  if (broken_) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return seq;
+  }
+  CertRecord sealed = record;
+  sealed.seq = seq;
+  char encoded[kCertRecordBytes];  // stack encode: no allocation, no string
+  encode_record_to(encoded, sealed);
+  out_.write(encoded, static_cast<std::streamsize>(kCertRecordBytes));
+  if (!out_.good()) {
+    broken_ = true;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return seq;
+  }
+  ++segment_records_;
+  // All mutations happen under `mutex_`, so plain stores (not RMW) keep the
+  // lock-free getters coherent without paying an atomic add per record.
+  records_.store(records_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  bytes_.store(bytes_.load(std::memory_order_relaxed) + kCertRecordBytes,
+               std::memory_order_relaxed);
+  // Registry counters are flushed in batches (and at every seal): a scrape
+  // may lag by up to kMetricsFlushEvery records, never past a sealed segment.
+  pending_records_ += 1;
+  pending_bytes_ += kCertRecordBytes;
+  if (pending_records_ >= kMetricsFlushEvery) flush_metrics_locked();
+  if (config_.max_records_per_segment > 0 &&
+      segment_records_ >= config_.max_records_per_segment) {
+    seal_locked();
+  }
+  return seq;
+}
+
+void CertLog::flush_metrics_locked() noexcept {
+  if (pending_records_ > 0) {
+    records_total_->inc(pending_records_);
+    pending_records_ = 0;
+  }
+  if (pending_bytes_ > 0) {
+    bytes_total_->inc(pending_bytes_);
+    pending_bytes_ = 0;
+  }
+}
+
+void CertLog::skip() noexcept {
+  skipped_.fetch_add(1, std::memory_order_relaxed);
+  skipped_total_->inc();
+}
+
+void CertLog::seal_locked() {
+  flush_metrics_locked();
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool flushed = out_.good();
+  out_.close();
+  if (!flushed) {
+    broken_ = true;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return;
+  }
+  const std::string sealed_path =
+      config_.directory + "/" + segment_name(segment_index_, "seg");
+  std::error_code ec;
+  std::filesystem::rename(open_path_, sealed_path, ec);
+  if (ec) {
+    broken_ = true;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_total_->inc();
+    return;
+  }
+  ++segment_index_;
+  sealed_.fetch_add(1, std::memory_order_relaxed);
+  sealed_total_->inc();
+}
+
+void CertLog::seal() {
+  const std::lock_guard lock(mutex_);
+  seal_locked();
+}
+
+std::uint64_t CertLog::records_written() const noexcept {
+  return records_.load(std::memory_order_relaxed);
+}
+std::uint64_t CertLog::records_skipped() const noexcept {
+  return skipped_.load(std::memory_order_relaxed);
+}
+std::uint64_t CertLog::bytes_written() const noexcept {
+  return bytes_.load(std::memory_order_relaxed);
+}
+std::uint64_t CertLog::segments_sealed() const noexcept {
+  return sealed_.load(std::memory_order_relaxed);
+}
+std::uint64_t CertLog::append_failures() const noexcept {
+  return failures_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> CertLog::list_segments(const std::string& directory) {
+  std::vector<std::string> segments;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("cert-", 0) != 0) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".seg" && ext != ".open") continue;
+    segments.push_back(entry.path().string());
+  }
+  if (ec) {
+    throw CertIoError("certificate: cannot list " + directory + ": " +
+                      ec.message());
+  }
+  // Zero-padded indices make the lexicographic order the replay order (a
+  // trailing `.open` segment has the highest index by construction).
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace lcaknap::cert

@@ -1,0 +1,136 @@
+#ifndef LCAKNAP_CERT_CERT_LOG_H
+#define LCAKNAP_CERT_CERT_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "metrics/metrics.h"
+
+/// \file cert_log.h
+/// `CertLog`: append-only, atomically-rotated certificate log writer.
+///
+/// The serving engine appends one `CertRecord` per evaluated answer
+/// (`EngineConfig::certify`); this class owns the file protocol:
+///
+///  * the active segment is `cert-NNNNNN.open`; sealed segments are
+///    `cert-NNNNNN.seg` — sealing is a flush + atomic rename, so a reader
+///    never observes a half-written `.seg` (the `.open` suffix is the
+///    explicit "may still grow" marker, mirroring snapshot temp-then-rename);
+///  * rotation after `max_records_per_segment` records: seal the current
+///    segment, open the next with a fresh header (each segment is
+///    independently verifiable — header, fingerprint, and records);
+///  * `seq` is assigned under the writer mutex and is strictly increasing
+///    across the whole log, segments included, so the verifier can prove no
+///    record was dropped or reordered;
+///  * appends are buffered (ofstream); a failed stream is counted
+///    (`cert_append_failures_total`) and the writer goes inert rather than
+///    throwing into the serving hot path — certification must never take
+///    down serving.
+///
+/// Metrics: `cert_records_written_total`, `cert_log_bytes_total`,
+/// `cert_segments_sealed_total`, `cert_records_skipped_total`,
+/// `cert_append_failures_total` (docs/OBSERVABILITY.md).
+///
+/// Thread safety: `append`/`skip` may be called from any number of engine
+/// workers concurrently; `seal` may race with appends (the TSan hammer in
+/// tests/cert covers both).
+
+namespace lcaknap::cert {
+
+struct CertLogConfig {
+  /// Directory that receives the segment files (created by the caller).
+  std::string directory;
+  /// Records per segment before an atomic rotation; 0 means never rotate.
+  std::uint64_t max_records_per_segment = 1u << 20;
+};
+
+class CertLog {
+ public:
+  /// Opens the first segment immediately (header written up front, so even
+  /// an empty log is a verifiable statement of its serving context).
+  /// Throws CertIoError when the directory is unusable.
+  CertLog(const CertLogConfig& config,
+          const store::SnapshotFingerprint& fingerprint,
+          metrics::Registry& registry = metrics::global_registry());
+
+  /// Seals the active segment.
+  ~CertLog();
+
+  CertLog(const CertLog&) = delete;
+  CertLog& operator=(const CertLog&) = delete;
+
+  /// Appends one record; `record.seq` is ignored and assigned internally.
+  /// Returns the assigned sequence number.  Never throws: a broken stream is
+  /// counted and further appends become no-ops (see file comment).
+  std::uint64_t append(const CertRecord& record) noexcept;
+
+  /// Counts an answer that could not be certified (e.g. a cache entry
+  /// predating certification, which carries no witness).  The counter makes
+  /// incomplete logs observable instead of silent.
+  void skip() noexcept;
+
+  /// Flushes and atomically renames the active `.open` segment to `.seg`.
+  /// Idempotent; called by the destructor and by engine drain.  Subsequent
+  /// appends open a fresh segment.
+  void seal();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept;
+  [[nodiscard]] std::uint64_t records_skipped() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept;
+  [[nodiscard]] std::uint64_t segments_sealed() const noexcept;
+  [[nodiscard]] std::uint64_t append_failures() const noexcept;
+  [[nodiscard]] const CertLogConfig& config() const noexcept { return config_; }
+
+  /// Sorted segment paths (`.seg` first by index, then any `.open`) under
+  /// `directory` — the verifier's replay order.
+  [[nodiscard]] static std::vector<std::string> list_segments(
+      const std::string& directory);
+
+ private:
+  /// Opens segment `segment_index_` and writes its header.  Caller holds
+  /// `mutex_`.  On failure, counts and leaves the writer inert.
+  void open_segment_locked() noexcept;
+  void seal_locked();
+  /// Pushes batched record/byte counts into the registry counters.  Caller
+  /// holds `mutex_`.
+  void flush_metrics_locked() noexcept;
+
+  /// Registry counters lag the append path by at most this many records
+  /// (exactly caught up at every seal); keeps the per-append cost to plain
+  /// stores instead of two shared atomic RMWs.
+  static constexpr std::uint64_t kMetricsFlushEvery = 256;
+
+  CertLogConfig config_;
+  store::SnapshotFingerprint fingerprint_;
+
+  std::mutex mutex_;
+  std::ofstream out_;
+  std::string open_path_;            ///< path of the active `.open` file
+  std::uint64_t segment_index_ = 0;  ///< next segment number to open
+  std::uint64_t segment_records_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool broken_ = false;  ///< stream failed: appends are no-ops from here on
+  std::uint64_t pending_records_ = 0;  ///< counted but not yet in the registry
+  std::uint64_t pending_bytes_ = 0;
+
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> sealed_{0};
+  std::atomic<std::uint64_t> failures_{0};
+
+  metrics::Counter* records_total_;
+  metrics::Counter* skipped_total_;
+  metrics::Counter* bytes_total_;
+  metrics::Counter* sealed_total_;
+  metrics::Counter* failures_total_;
+};
+
+}  // namespace lcaknap::cert
+
+#endif  // LCAKNAP_CERT_CERT_LOG_H

@@ -1,0 +1,143 @@
+#ifndef LCAKNAP_CERT_CERTIFICATE_H
+#define LCAKNAP_CERT_CERTIFICATE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/lca_kp.h"
+#include "store/snapshot.h"
+
+/// \file certificate.h
+/// The per-answer certificate record and the certificate log's binary format.
+///
+/// Every LCA-KP answer is a pure function of the warm state `(L(Ĩ), EPS)`
+/// and the queried item (Lemma 4.9); the full justification of one answer is
+/// therefore tiny: the item contents as witnessed at evaluation time, which
+/// branch of the membership rule (Algorithm 2, lines 20-24) fired, and which
+/// EPS threshold was active.  A `CertRecord` serializes exactly that claim,
+/// sealed per record with the same CRC-64/XZ the snapshot format uses, so an
+/// independent auditor holding only the log and the warm-state snapshot can
+/// re-derive every answer *without any oracle access* (src/cert/verifier.h)
+/// — Definition 2.3 consistency as an offline-checkable proof obligation
+/// instead of a trusted property.  See docs/CERTIFICATES.md.
+///
+/// Segment layout (all integers little-endian, no padding):
+///
+///   header:  magic "LCAKCERT" | u32 version | u32 record_bytes
+///            | fingerprint block (store::kFingerprintBytes, the snapshot
+///              encoding verbatim — includes the tape-seed echo)
+///            | u64 CRC-64/XZ over every preceding header byte
+///   records: fixed-size `kCertRecordBytes` records, each CRC-sealed
+///
+/// Fixed-size records make sampled auditing (`--sample=K`) an O(1) seek per
+/// probe and let a verifier resynchronize past a corrupt record.
+
+namespace lcaknap::cert {
+
+// --- error taxonomy ----------------------------------------------------------
+
+/// Base of every certificate-format failure.
+class CertError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// Fewer bytes than the structure (header or record) requires.
+class CertTruncated final : public CertError {
+  using CertError::CertError;
+};
+/// Bad magic, unsupported version, failed CRC, unknown case tag, or
+/// non-canonical field contents.
+class CertCorrupt final : public CertError {
+  using CertError::CertError;
+};
+/// The log could not be read or written at all (missing file, permissions).
+class CertIoError final : public CertError {
+  using CertError::CertError;
+};
+
+// --- case tags ---------------------------------------------------------------
+
+/// Which branch of the membership rule produced the answer (Algorithm 2,
+/// lines 20-24).  Large = norm_profit > eps^2 (greedy-prefix / singleton
+/// territory); small = the efficiency-threshold rule.
+enum class CaseTag : std::uint8_t {
+  kLargeHit = 0,     ///< large item, in L(Ĩ) -> yes
+  kLargeMiss = 1,    ///< large item, not in L(Ĩ) -> no
+  kSmallAccept = 2,  ///< small item, grid efficiency >= e_small -> yes
+  kSmallReject = 3,  ///< small item, below threshold or no small rule -> no
+};
+inline constexpr int kCaseTagCount = 4;
+
+[[nodiscard]] const char* case_tag_name(CaseTag tag) noexcept;
+
+/// Derives the case tag from an evaluation witness.
+[[nodiscard]] constexpr CaseTag case_of(
+    const core::LcaKp::AnswerWitness& witness) noexcept {
+  if (witness.large) {
+    return witness.answer ? CaseTag::kLargeHit : CaseTag::kLargeMiss;
+  }
+  return witness.answer ? CaseTag::kSmallAccept : CaseTag::kSmallReject;
+}
+
+/// Index into the run's sorted EPS threshold payload (`thresholds_grid`) of
+/// the active small-item threshold `e_small_grid`, or -1 when the run has no
+/// small-item rule (or the active threshold is not one of the EPS values —
+/// canonically impossible, and the verifier rejects records claiming it).
+[[nodiscard]] std::int32_t active_threshold_index(
+    const core::LcaKpRun& run) noexcept;
+
+// --- record ------------------------------------------------------------------
+
+/// One certified answer.  `seq` is assigned by the writer and is strictly
+/// increasing across the whole log (across segment rotations), so replay
+/// order and completeness are checkable.
+struct CertRecord {
+  std::uint64_t seq = 0;          ///< query id (log-wide, strictly increasing)
+  std::uint64_t item = 0;         ///< queried item index
+  std::int64_t profit = 0;        ///< item profit as witnessed at evaluation
+  std::int64_t weight = 0;        ///< item weight as witnessed at evaluation
+  CaseTag case_tag = CaseTag::kSmallReject;
+  bool answer = false;
+  /// Index of the active small-item threshold in the snapshot's sorted EPS
+  /// payload; -1 for large-branch records.
+  std::int32_t threshold_idx = -1;
+
+  friend bool operator==(const CertRecord&, const CertRecord&) = default;
+};
+
+inline constexpr char kCertMagic[8] = {'L', 'C', 'A', 'K', 'C', 'E', 'R', 'T'};
+inline constexpr std::uint32_t kCertVersion = 1;
+
+/// seq + item + profit + weight + (case, answer, 2 reserved) + threshold_idx
+/// + record CRC.
+inline constexpr std::size_t kCertRecordBytes = 8 + 8 + 8 + 8 + 4 + 4 + 8;
+/// magic + version + record_bytes + fingerprint block + header CRC.
+inline constexpr std::size_t kCertHeaderBytes =
+    8 + 4 + 4 + store::kFingerprintBytes + 8;
+
+/// Writes the canonical encoding of `record` into `out`, which must have
+/// room for exactly `kCertRecordBytes` bytes.  Allocation-free — this is the
+/// serving hot path (`CertLog::append` holds its mutex across the encode).
+void encode_record_to(char* out, const CertRecord& record) noexcept;
+
+/// Appends the canonical encoding of `record` (exactly `kCertRecordBytes`
+/// bytes, CRC-sealed) to `out`.  Canonical: equal records encode to equal
+/// bytes (fixed widths, reserved bytes zero), so records can be compared or
+/// content-addressed as raw bytes.
+void encode_record(std::string& out, const CertRecord& record);
+
+/// Decodes and validates one record (CRC first, then structure).  Throws
+/// CertTruncated / CertCorrupt; never returns a partially-filled record.
+[[nodiscard]] CertRecord decode_record(std::string_view bytes);
+
+/// Appends the canonical segment header for `fingerprint` to `out`.
+void encode_header(std::string& out, const store::SnapshotFingerprint& fingerprint);
+
+/// Decodes and validates a segment header (size, CRC, magic, version,
+/// record size, fingerprint structure).  Throws CertTruncated / CertCorrupt.
+[[nodiscard]] store::SnapshotFingerprint decode_header(std::string_view bytes);
+
+}  // namespace lcaknap::cert
+
+#endif  // LCAKNAP_CERT_CERTIFICATE_H

@@ -1,0 +1,221 @@
+#include "cert/verifier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "cert/cert_log.h"
+
+namespace lcaknap::cert {
+
+const char* reject_reason_name(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kTruncated:
+      return "truncated";
+    case RejectReason::kCorrupt:
+      return "corrupt";
+    case RejectReason::kFingerprintMismatch:
+      return "fingerprint-mismatch";
+    case RejectReason::kWitnessInvariant:
+      return "witness-invariant";
+    case RejectReason::kCaseMismatch:
+      return "case-mismatch";
+    case RejectReason::kThresholdMismatch:
+      return "threshold-mismatch";
+    case RejectReason::kAnswerMismatch:
+      return "answer-mismatch";
+    case RejectReason::kSequence:
+      return "sequence";
+  }
+  return "unknown";
+}
+
+LogVerifier::LogVerifier(const store::SnapshotFingerprint& fingerprint,
+                         const core::LcaKpRun& run,
+                         const VerifierConfig& config,
+                         metrics::Registry& registry)
+    : fingerprint_(fingerprint),
+      run_(run),
+      config_(config),
+      // The same grid LcaKp builds from its config: the fingerprint pins
+      // domain_bits, and the range exponents are format constants.
+      domain_(static_cast<int>(fingerprint.domain_bits)),
+      eps2_(fingerprint.eps * fingerprint.eps),
+      threshold_idx_(active_threshold_index(run)),
+      verified_total_(&registry.counter(
+          "cert_records_verified_total",
+          "Certificate records that passed every verification check")),
+      verify_latency_us_(&registry.histogram(
+          "cert_verify_latency_us",
+          "Wall time of one certificate-log verification pass in microseconds",
+          metrics::Histogram::exponential_buckets(1.0, 2.0, 24))) {
+  for (int r = 0; r < kRejectReasonCount; ++r) {
+    rejected_total_[static_cast<std::size_t>(r)] = &registry.counter(
+        "cert_records_rejected_total",
+        "Certificate records (or whole segments) rejected by the verifier",
+        {{"reason", reject_reason_name(static_cast<RejectReason>(r))}});
+  }
+}
+
+void LogVerifier::reject(VerifyReport& report, RejectReason reason,
+                         const std::string& detail) const {
+  ++report.rejected;
+  ++report.by_reason[static_cast<std::size_t>(reason)];
+  rejected_total_[static_cast<std::size_t>(reason)]->inc();
+  if (report.examples.size() < config_.max_examples) {
+    report.examples.push_back(std::string(reject_reason_name(reason)) + ": " +
+                              detail);
+  }
+}
+
+std::optional<RejectReason> LogVerifier::check_record(
+    const CertRecord& record) const {
+  // 1. Witness invariants — the offline mirror of fault::VerifyingAccess.
+  //    ChaosAccess corruption is wrong-but-well-formed and always violates
+  //    one of these, so everything the online guard flags dies here too.
+  if (record.item >= fingerprint_.n) return RejectReason::kWitnessInvariant;
+  if (record.profit < 0 || record.profit > fingerprint_.total_profit) {
+    return RejectReason::kWitnessInvariant;
+  }
+  if (record.weight < 0 || record.weight > fingerprint_.total_weight) {
+    return RejectReason::kWitnessInvariant;
+  }
+  if (record.weight > fingerprint_.capacity) {
+    return RejectReason::kWitnessInvariant;
+  }
+  // 2. Case: the recorded branch must match norm_profit vs eps^2, and the
+  //    tag's implied answer must match the recorded answer bit.
+  const double norm_profit = static_cast<double>(record.profit) /
+                             static_cast<double>(fingerprint_.total_profit);
+  const bool large = norm_profit > eps2_;
+  const bool recorded_large = record.case_tag == CaseTag::kLargeHit ||
+                              record.case_tag == CaseTag::kLargeMiss;
+  if (large != recorded_large) return RejectReason::kCaseMismatch;
+  const bool tag_answer = record.case_tag == CaseTag::kLargeHit ||
+                          record.case_tag == CaseTag::kSmallAccept;
+  if (tag_answer != record.answer) return RejectReason::kCaseMismatch;
+  // 3. Threshold echo: small-branch records must point at the snapshot's
+  //    active EPS threshold; large-branch records carry -1.
+  const std::int32_t expected_idx = large ? -1 : threshold_idx_;
+  if (record.threshold_idx != expected_idx) {
+    return RejectReason::kThresholdMismatch;
+  }
+  // 4. The answer itself, re-derived with LcaKp::decide's exact arithmetic
+  //    (lines 20-24 of Algorithm 2) — zero oracle access.
+  bool answer = false;
+  if (large) {
+    answer = run_.index_large.contains(static_cast<std::size_t>(record.item));
+  } else {
+    const double efficiency =
+        record.weight == 0
+            ? std::numeric_limits<double>::infinity()
+            : norm_profit / (static_cast<double>(record.weight) /
+                             static_cast<double>(fingerprint_.total_weight));
+    answer = run_.e_small_grid >= 0 &&
+             domain_.to_grid(efficiency) >= run_.e_small_grid;
+  }
+  if (answer != record.answer) return RejectReason::kAnswerMismatch;
+  return std::nullopt;
+}
+
+void LogVerifier::verify_segment(std::string_view bytes, VerifyReport& report,
+                                 std::int64_t& last_seq) const {
+  ++report.segments;
+  try {
+    const auto header = bytes.substr(0, std::min(bytes.size(), kCertHeaderBytes));
+    const store::SnapshotFingerprint fp = decode_header(header);
+    if (!fp.equals(fingerprint_)) {
+      reject(report, RejectReason::kFingerprintMismatch,
+             "segment header pins a different serving context than the "
+             "snapshot");
+      return;
+    }
+  } catch (const CertTruncated& e) {
+    reject(report, RejectReason::kTruncated, e.what());
+    return;
+  } catch (const CertCorrupt& e) {
+    reject(report, RejectReason::kCorrupt, e.what());
+    return;
+  }
+
+  const std::uint64_t sample_every = std::max<std::uint64_t>(
+      1, config_.sample_every);
+  for (std::size_t pos = kCertHeaderBytes; pos < bytes.size();
+       pos += kCertRecordBytes) {
+    if (bytes.size() - pos < kCertRecordBytes) {
+      reject(report, RejectReason::kTruncated,
+             "trailing partial record (" +
+                 std::to_string(bytes.size() - pos) + " bytes)");
+      return;
+    }
+    CertRecord record;
+    try {
+      record = decode_record(bytes.substr(pos, kCertRecordBytes));
+    } catch (const CertError& e) {
+      // Fixed-size records: resynchronize at the next record boundary.
+      reject(report, RejectReason::kCorrupt, e.what());
+      continue;
+    }
+    ++report.records;
+    if (static_cast<std::int64_t>(record.seq) <= last_seq) {
+      reject(report, RejectReason::kSequence,
+             "seq " + std::to_string(record.seq) + " after " +
+                 std::to_string(last_seq));
+      continue;
+    }
+    last_seq = static_cast<std::int64_t>(record.seq);
+    if ((report.records - 1) % sample_every == 0) {
+      ++report.records_checked;
+      if (const auto reason = check_record(record)) {
+        reject(report, *reason,
+               "seq " + std::to_string(record.seq) + " item " +
+                   std::to_string(record.item) + " (" +
+                   case_tag_name(record.case_tag) + ")");
+        continue;
+      }
+    }
+    ++report.accepted;
+    verified_total_->inc();
+  }
+}
+
+void LogVerifier::verify_file(const std::string& path, VerifyReport& report,
+                              std::int64_t& last_seq) const {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CertIoError("certificate: cannot open " + path);
+  std::string bytes;
+  is.seekg(0, std::ios::end);
+  const auto size = is.tellg();
+  if (size < 0) throw CertIoError("certificate: cannot stat " + path);
+  bytes.resize(static_cast<std::size_t>(size));
+  is.seekg(0, std::ios::beg);
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!is.good() && !is.eof()) {
+    throw CertIoError("certificate: read error on " + path);
+  }
+  verify_segment(bytes, report, last_seq);
+}
+
+VerifyReport LogVerifier::verify_path(const std::string& path) const {
+  VerifyReport report;
+  std::int64_t last_seq = -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& segment : CertLog::list_segments(path)) {
+      verify_file(segment, report, last_seq);
+    }
+  } else {
+    verify_file(path, report, last_seq);
+  }
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  report.seconds = us / 1e6;
+  verify_latency_us_->observe(us);
+  return report;
+}
+
+}  // namespace lcaknap::cert

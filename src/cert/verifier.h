@@ -1,0 +1,135 @@
+#ifndef LCAKNAP_CERT_VERIFIER_H
+#define LCAKNAP_CERT_VERIFIER_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "core/lca_kp.h"
+#include "iky/efficiency_domain.h"
+#include "metrics/metrics.h"
+#include "store/snapshot.h"
+
+/// \file verifier.h
+/// Offline certificate-log auditor: replays a log against a warm-state
+/// snapshot and re-derives every answer with ZERO oracle access.
+///
+/// The verifier holds only (a) the snapshot's fingerprint — which pins the
+/// instance metadata (n, totals, capacity), eps, the shared seed, the grid
+/// resolution, and the tape-seed echo — and (b) the snapshot's `LcaKpRun`
+/// payload `(L(Ĩ), EPS)`.  From those it reconstructs the exact membership
+/// arithmetic of `LcaKp::decide` (same doubles, same grid map) and checks,
+/// per record:
+///
+///   1. structure: record CRC, case tag, reserved bytes (decode_record);
+///   2. witness invariants — the same free-metadata checks
+///      `fault::VerifyingAccess` applies online: index < n, profit in
+///      [0, total_profit], weight in [0, total_weight], weight <= capacity.
+///      `fault::ChaosAccess` corruption is wrong-but-well-formed and always
+///      violates one of these, so any corrupted witness that the online
+///      guard would flag is also rejected offline (the chaos drill in
+///      tests/cert pins this at 100%);
+///   3. case consistency: the recorded branch matches norm_profit vs eps^2;
+///   4. threshold echo: the recorded EPS-payload index matches the active
+///      small-item threshold of the snapshot's run;
+///   5. the answer itself: re-derived from (L(Ĩ), EPS) and the witness;
+///   6. sequence: strictly increasing across records and segments.
+///
+/// Sampling (`sample_every = K`) applies to the semantic checks (2-5);
+/// structural CRC checks always run — they are what makes sampled auditing
+/// sound against bit rot.  See docs/CERTIFICATES.md for the runbook.
+
+namespace lcaknap::cert {
+
+/// Typed per-record / per-segment rejection taxonomy.
+enum class RejectReason : std::uint8_t {
+  kTruncated = 0,           ///< segment/record shorter than declared shape
+  kCorrupt = 1,             ///< CRC, magic, version, or structure failure
+  kFingerprintMismatch = 2, ///< segment header disagrees with the snapshot
+  kWitnessInvariant = 3,    ///< witness violates the free-metadata invariants
+  kCaseMismatch = 4,        ///< recorded branch disagrees with the witness
+  kThresholdMismatch = 5,   ///< recorded EPS index disagrees with the run
+  kAnswerMismatch = 6,      ///< re-derived answer disagrees with the record
+  kSequence = 7,            ///< sequence numbers not strictly increasing
+};
+inline constexpr int kRejectReasonCount = 8;
+
+[[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
+
+struct VerifierConfig {
+  /// Semantic-check sampling rate: re-derive every Kth record's answer
+  /// (1 = every record; 0 behaves as 1).  Structure is always checked.
+  std::uint64_t sample_every = 1;
+  /// Keep at most this many human-readable rejection examples.
+  std::size_t max_examples = 8;
+};
+
+struct VerifyReport {
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;          ///< records present (structurally)
+  std::uint64_t records_checked = 0;  ///< records semantically re-derived
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;  ///< rejected records + rejected segments
+  std::array<std::uint64_t, kRejectReasonCount> by_reason{};
+  std::vector<std::string> examples;
+  double seconds = 0.0;
+
+  /// True iff every segment parsed and every checked record verified.
+  [[nodiscard]] bool clean() const noexcept { return rejected == 0; }
+};
+
+class LogVerifier {
+ public:
+  /// `fingerprint`/`run` are the snapshot's contents (`store::read_snapshot`
+  /// with a non-null `actual`); copied, so the verifier is self-contained.
+  LogVerifier(const store::SnapshotFingerprint& fingerprint,
+              const core::LcaKpRun& run, const VerifierConfig& config = {},
+              metrics::Registry& registry = metrics::global_registry());
+
+  /// Semantic checks (2-5 above) on one structurally-valid record.
+  /// nullopt = the record verifies.
+  [[nodiscard]] std::optional<RejectReason> check_record(
+      const CertRecord& record) const;
+
+  /// Verifies one segment buffer (header + records), accumulating into
+  /// `report`.  Never throws on bad input — every failure is typed into the
+  /// report.  `last_seq` carries the strictly-increasing sequence check
+  /// across segments (pass -1 to start).
+  void verify_segment(std::string_view bytes, VerifyReport& report,
+                      std::int64_t& last_seq) const;
+
+  /// Verifies one segment file.  Throws CertIoError only when the file
+  /// cannot be read at all.
+  void verify_file(const std::string& path, VerifyReport& report,
+                   std::int64_t& last_seq) const;
+
+  /// Verifies a whole log: `path` is either one segment file or a directory
+  /// of segments (replayed in `CertLog::list_segments` order).  Timing and
+  /// the `cert_*` verification metrics are recorded here.
+  [[nodiscard]] VerifyReport verify_path(const std::string& path) const;
+
+  [[nodiscard]] const VerifierConfig& config() const noexcept { return config_; }
+
+ private:
+  void reject(VerifyReport& report, RejectReason reason,
+              const std::string& detail) const;
+
+  store::SnapshotFingerprint fingerprint_;
+  core::LcaKpRun run_;
+  VerifierConfig config_;
+  iky::EfficiencyDomain domain_;
+  double eps2_ = 0.0;
+  std::int32_t threshold_idx_ = -1;
+
+  metrics::Counter* verified_total_;
+  std::array<metrics::Counter*, kRejectReasonCount> rejected_total_{};
+  metrics::Histogram* verify_latency_us_;
+};
+
+}  // namespace lcaknap::cert
+
+#endif  // LCAKNAP_CERT_VERIFIER_H

@@ -362,6 +362,17 @@ bool LcaKp::answer_from(const LcaKpRun& run, std::size_t i) const {
   return decide(run, i, access_->norm_profit(item), access_->efficiency(item));
 }
 
+bool LcaKp::answer_with_witness(const LcaKpRun& run, std::size_t i,
+                                AnswerWitness& witness) const {
+  const knapsack::Item item = access_->query(i);
+  witness.profit = item.profit;
+  witness.weight = item.weight;
+  witness.large = access_->norm_profit(item) > config_.eps * config_.eps;
+  witness.answer =
+      decide(run, i, access_->norm_profit(item), access_->efficiency(item));
+  return witness.answer;
+}
+
 bool LcaKp::answer(std::size_t i, util::Xoshiro256& sample_rng) const {
   const LcaKpRun run = run_pipeline(sample_rng);
   return answer_from(run, i);

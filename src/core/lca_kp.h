@@ -154,6 +154,24 @@ class LcaKp final : public Lca {
   /// to the instance (lines 20-24 read item i).
   [[nodiscard]] bool answer_from(const LcaKpRun& run, std::size_t i) const;
 
+  /// Everything an independent auditor needs to replay one answer offline:
+  /// the item contents as witnessed at evaluation time plus which branch of
+  /// the membership rule (lines 20-24) fired.  An answer, its witness, and
+  /// the warm state `(L(Ĩ), EPS)` together are a checkable claim — the
+  /// certificate layer (src/cert) serializes exactly this.
+  struct AnswerWitness {
+    std::int64_t profit = 0;  ///< raw item profit as read from the oracle
+    std::int64_t weight = 0;  ///< raw item weight as read from the oracle
+    bool large = false;       ///< took the large branch: norm_profit > eps^2
+    bool answer = false;
+  };
+
+  /// `answer_from` that also captures the witness; same single oracle query,
+  /// bit-identical answer (the witness is a byproduct of the evaluation the
+  /// plain path already performs, not a second evaluation).
+  [[nodiscard]] bool answer_with_witness(const LcaKpRun& run, std::size_t i,
+                                         AnswerWitness& witness) const;
+
   /// The membership decision given an item's contents (no oracle access;
   /// used by MAPPING-GREEDY and the offline evaluators).
   [[nodiscard]] bool decide(const LcaKpRun& run, std::size_t index,

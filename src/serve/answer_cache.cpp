@@ -60,7 +60,7 @@ std::optional<AnswerCache::Hit> AnswerCache::get(std::size_t item) {
     return std::nullopt;
   }
   Shard& shard = shard_for(item);
-  bool answer = false;
+  Entry entry;
   {
     const std::lock_guard lock(shard.mutex);
     const auto it = shard.index.find(item);
@@ -70,18 +70,22 @@ std::optional<AnswerCache::Hit> AnswerCache::get(std::size_t item) {
       return std::nullopt;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    answer = it->second->second;
+    entry = it->second->second;
   }
   const auto hit_no = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   hits_total_->inc();
   Hit hit;
-  hit.answer = answer;
+  hit.answer = entry.answer;
   hit.paranoia_due =
       config_.paranoia_every > 0 && hit_no % config_.paranoia_every == 0;
+  hit.has_witness = entry.has_witness;
+  hit.large = entry.large;
+  hit.profit = entry.profit;
+  hit.weight = entry.weight;
   return hit;
 }
 
-void AnswerCache::put(std::size_t item, bool answer) {
+void AnswerCache::put(std::size_t item, const Entry& entry) {
   if (config_.capacity == 0) return;
   Shard& shard = shard_for(item);
   bool evicted = false;
@@ -89,7 +93,7 @@ void AnswerCache::put(std::size_t item, bool answer) {
     const std::lock_guard lock(shard.mutex);
     const auto it = shard.index.find(item);
     if (it != shard.index.end()) {
-      it->second->second = answer;
+      it->second->second = entry;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
@@ -99,7 +103,7 @@ void AnswerCache::put(std::size_t item, bool answer) {
       shard.lru.pop_back();
       evicted = true;
     }
-    shard.lru.emplace_front(item, answer);
+    shard.lru.emplace_front(item, entry);
     shard.index.emplace(item, shard.lru.begin());
   }
   if (evicted) {

@@ -52,18 +52,38 @@ class AnswerCache {
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
 
+  /// Cached value: the answer bit plus (optionally) the evaluation witness —
+  /// the raw item contents and branch flag of `core::LcaKp::AnswerWitness`.
+  /// Certifying engines store the witness so a cache hit can emit a full
+  /// certificate record without touching the oracle (the hit path performs
+  /// zero oracle reads, and certification must not change that).
+  struct Entry {
+    bool answer = false;
+    bool has_witness = false;
+    bool large = false;          ///< witness: norm_profit > eps^2 branch
+    std::int64_t profit = 0;     ///< witness: raw item profit
+    std::int64_t weight = 0;     ///< witness: raw item weight
+  };
+
   struct Hit {
     bool answer = false;
     /// This hit was sampled for a paranoia re-evaluation: the caller should
     /// recompute the answer and call `record_paranoia`.
     bool paranoia_due = false;
+    /// Witness fields (valid when `has_witness`; see Entry).
+    bool has_witness = false;
+    bool large = false;
+    std::int64_t profit = 0;
+    std::int64_t weight = 0;
   };
 
   /// Looks `item` up, refreshing its LRU position on a hit.
   [[nodiscard]] std::optional<Hit> get(std::size_t item);
 
   /// Inserts or refreshes `item`, evicting the shard's LRU tail when full.
-  void put(std::size_t item, bool answer);
+  void put(std::size_t item, const Entry& entry);
+  /// Witness-free insert (non-certifying callers).
+  void put(std::size_t item, bool answer) { put(item, Entry{.answer = answer}); }
 
   /// Reports the result of a paranoia re-evaluation (`consistent` = the
   /// recomputed answer matched the cached one).
@@ -85,10 +105,10 @@ class AnswerCache {
   struct Shard {
     std::mutex mutex;
     std::size_t capacity = 0;
-    /// Front = most recently used; entries are (item, answer).
-    std::list<std::pair<std::size_t, bool>> lru;
+    /// Front = most recently used; entries are (item, cached value).
+    std::list<std::pair<std::size_t, Entry>> lru;
     std::unordered_map<std::size_t,
-                       std::list<std::pair<std::size_t, bool>>::iterator>
+                       std::list<std::pair<std::size_t, Entry>>::iterator>
         index;
   };
 

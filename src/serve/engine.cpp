@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "store/snapshot.h"
 #include "util/rng.h"
 
 namespace lcaknap::serve {
@@ -86,6 +87,20 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
              "1 when the engine adopted a restored warm state instead of "
              "running the warm-up pipeline")
       .set(config_.warm_state != nullptr ? 1.0 : 0.0);
+  if (config_.certify) {
+    // The log header embeds the snapshot fingerprint of THIS serving
+    // context (instance + shared seed + resolved params + tape-seed echo),
+    // so the log can only ever be audited against the matching snapshot.
+    cert::CertLogConfig cert_config;
+    cert_config.directory = config_.cert_dir;
+    if (config_.cert_segment_records > 0) {
+      cert_config.max_records_per_segment = config_.cert_segment_records;
+    }
+    cert_log_ = std::make_unique<cert::CertLog>(
+        cert_config, store::fingerprint_of(lca, config_.warmup_tape_seed),
+        registry);
+    cert_threshold_idx_ = cert::active_threshold_index(run_);
+  }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -230,26 +245,55 @@ void ServeEngine::execute_batch(Batch batch) {
     response.outcome = Outcome::kOk;
     response.answer = cached->answer;
     response.cache_hit = true;
+    // Witness for the certificate record: from the cache entry (zero oracle
+    // reads), refreshed by a paranoia re-evaluation when one runs.
+    bool has_witness = cached->has_witness;
+    bool witness_large = cached->large;
+    std::int64_t witness_profit = cached->profit;
+    std::int64_t witness_weight = cached->weight;
     if (cached->paranoia_due) {
       // Live consistency SLO: recompute and compare.  A mismatch is a
       // reproducibility bug, not staleness; repair the cache and count it.
       try {
-        const bool fresh = lca_->answer_from(run_, batch.item);
-        cache_.record_paranoia(fresh == cached->answer);
-        if (fresh != cached->answer) {
-          cache_.put(batch.item, fresh);
-          response.answer = fresh;
-        }
+        core::LcaKp::AnswerWitness fresh;
+        const bool fresh_answer =
+            lca_->answer_with_witness(run_, batch.item, fresh);
+        cache_.record_paranoia(fresh_answer == cached->answer);
+        // Re-store with the fresh witness: repairs a violation and upgrades
+        // witness-free entries that predate certification.
+        cache_.put(batch.item,
+                   AnswerCache::Entry{fresh.answer, true, fresh.large,
+                                      fresh.profit, fresh.weight});
+        response.answer = fresh_answer;
+        has_witness = true;
+        witness_large = fresh.large;
+        witness_profit = fresh.profit;
+        witness_weight = fresh.weight;
       } catch (...) {
         // The recheck is best-effort; an oracle failure here must not take
         // down an answer we already hold.
       }
     }
+    if (cert_log_ != nullptr) {
+      if (has_witness) {
+        certify_answer(batch.item, witness_large, witness_profit,
+                       witness_weight, response.answer);
+      } else {
+        cert_log_->skip();
+      }
+    }
   } else {
     try {
-      response.answer = lca_->answer_from(run_, batch.item);
+      core::LcaKp::AnswerWitness witness;
+      response.answer = lca_->answer_with_witness(run_, batch.item, witness);
       response.outcome = Outcome::kOk;
-      cache_.put(batch.item, response.answer);
+      cache_.put(batch.item,
+                 AnswerCache::Entry{witness.answer, true, witness.large,
+                                    witness.profit, witness.weight});
+      if (cert_log_ != nullptr) {
+        certify_answer(batch.item, witness.large, witness.profit,
+                       witness.weight, witness.answer);
+      }
     } catch (const oracle::OracleUnavailable&) {
       // The oracle stayed down through the whole client policy (retries
       // exhausted, retry budget empty, or circuit breaker open).  With
@@ -279,6 +323,20 @@ void ServeEngine::execute_batch(Batch batch) {
   }
 }
 
+void ServeEngine::certify_answer(std::size_t item, bool large,
+                                 std::int64_t profit, std::int64_t weight,
+                                 bool answer) noexcept {
+  cert::CertRecord record;
+  record.item = item;
+  record.profit = profit;
+  record.weight = weight;
+  record.case_tag = cert::case_of(
+      core::LcaKp::AnswerWitness{profit, weight, large, answer});
+  record.answer = answer;
+  record.threshold_idx = large ? -1 : cert_threshold_idx_;
+  (void)cert_log_->append(record);  // never throws; failures are counted
+}
+
 bool ServeEngine::degraded_answer(std::size_t item) const noexcept {
   // Zero-oracle fallback: the warm-up run already materialized the large-item
   // set L(Ĩ), so membership there is answerable from memory; everything else
@@ -292,6 +350,9 @@ void ServeEngine::drain() {
     queue_.close();
     if (dispatcher_.joinable()) dispatcher_.join();
     pool_.wait_idle();
+    // All workers are idle: seal the active certificate segment atomically
+    // so an auditor sees a complete, renamed `.seg` for everything served.
+    if (cert_log_ != nullptr) cert_log_->seal();
     queue_depth_gauge_->set(0.0);
   });
 }
@@ -311,6 +372,12 @@ EngineStats ServeEngine::stats() const {
   stats.cache_evictions = cache_.evictions();
   stats.paranoia_checks = cache_.paranoia_checks();
   stats.paranoia_violations = cache_.paranoia_violations();
+  if (cert_log_ != nullptr) {
+    stats.cert_records = cert_log_->records_written();
+    stats.cert_skipped = cert_log_->records_skipped();
+    stats.cert_bytes = cert_log_->bytes_written();
+    stats.cert_segments = cert_log_->segments_sealed();
+  }
   return stats;
 }
 

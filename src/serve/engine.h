@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "cert/cert_log.h"
 #include "core/lca_kp.h"
 #include "metrics/metrics.h"
 #include "serve/answer_cache.h"
@@ -42,8 +43,9 @@
 ///
 /// Metrics (see docs/OBSERVABILITY.md): `serve_requests_total{outcome}`,
 /// `serve_batch_size`, `serve_request_latency_us`, `serve_queue_depth`,
-/// `warmup_duration_us`, `warmup_threads`, and the `serve_cache_*` families
-/// owned by `AnswerCache`.
+/// `warmup_duration_us`, `warmup_threads`, the `serve_cache_*` families
+/// owned by `AnswerCache`, and — with `certify` on — the `cert_*` writer
+/// families owned by `cert::CertLog`.
 
 namespace lcaknap::serve {
 
@@ -85,6 +87,22 @@ struct EngineConfig {
   /// round-trip tests and bench_snapshot check both).  The gauge
   /// `warmup_from_snapshot` records which path constructed the engine.
   std::shared_ptr<const core::LcaKpRun> warm_state;
+  /// Certified answers (docs/CERTIFICATES.md): when true, every kOk answer
+  /// the engine evaluates emits one CRC-sealed `cert::CertRecord` — the item
+  /// contents as witnessed, which membership branch fired, the active EPS
+  /// threshold index, and the answer — into an append-only, atomically
+  /// rotated log under `cert_dir`.  Cache hits certify from the witness
+  /// stored in the `AnswerCache` entry, so certification adds zero oracle
+  /// reads.  Degraded answers are never certified (they may be below LCA
+  /// quality and carry no witness).  `lcaknap verify-log` replays the log
+  /// against a warm-state snapshot offline.
+  bool certify = false;
+  /// Directory for certificate log segments; must exist when `certify` is
+  /// set (the constructor throws `cert::CertIoError` otherwise).
+  std::string cert_dir;
+  /// Records per certificate segment before atomic rotation; 0 = library
+  /// default (`cert::CertLogConfig`).
+  std::uint64_t cert_segment_records = 0;
 };
 
 /// Point-in-time readout of the engine's own counters plus its cache's.
@@ -104,6 +122,10 @@ struct EngineStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t paranoia_checks = 0;
   std::uint64_t paranoia_violations = 0;
+  std::uint64_t cert_records = 0;   ///< certificate records written
+  std::uint64_t cert_skipped = 0;   ///< kOk answers served uncertified
+  std::uint64_t cert_bytes = 0;     ///< certificate log bytes written
+  std::uint64_t cert_segments = 0;  ///< certificate segments sealed
 };
 
 class ServeEngine {
@@ -138,6 +160,10 @@ class ServeEngine {
   [[nodiscard]] const core::LcaKpRun& run() const noexcept { return run_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const AnswerCache& cache() const noexcept { return cache_; }
+  /// The certificate log writer, or nullptr when `certify` is off.
+  [[nodiscard]] const cert::CertLog* cert_log() const noexcept {
+    return cert_log_.get();
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
 
  private:
@@ -153,10 +179,19 @@ class ServeEngine {
   /// The O(1) degraded-mode membership rule: no oracle access, answers from
   /// the warm run state alone.
   [[nodiscard]] bool degraded_answer(std::size_t item) const noexcept;
+  /// Appends one certificate record for an evaluated kOk answer (no-op
+  /// unless `certify`); the witness comes from the evaluation or the cache
+  /// entry, never from an extra oracle read.
+  void certify_answer(std::size_t item, bool large, std::int64_t profit,
+                      std::int64_t weight, bool answer) noexcept;
 
   const core::LcaKp* lca_;
   EngineConfig config_;
   core::LcaKpRun run_;
+  std::unique_ptr<cert::CertLog> cert_log_;
+  /// Index of the active small-item threshold in the run's EPS payload,
+  /// computed once at construction (a property of the warm state).
+  std::int32_t cert_threshold_idx_ = -1;
 
   metrics::Counter* requests_ok_;
   metrics::Counter* requests_overloaded_;

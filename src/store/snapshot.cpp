@@ -190,6 +190,28 @@ SnapshotFingerprint fingerprint_of(const core::LcaKp& lca,
   return fp;
 }
 
+void encode_fingerprint(std::string& out, const SnapshotFingerprint& fp) {
+  const std::size_t before = out.size();
+  put_fingerprint(out, fp);
+  // The block size is part of the on-disk contract (the certificate log
+  // header slices exactly kFingerprintBytes); drift here is a format bug.
+  if (out.size() - before != kFingerprintBytes) {
+    throw SnapshotCorrupt("snapshot: fingerprint encoding size drifted");
+  }
+}
+
+SnapshotFingerprint decode_fingerprint(std::string_view bytes) {
+  if (bytes.size() < kFingerprintBytes) {
+    throw SnapshotTruncated("snapshot: fingerprint block too short");
+  }
+  ByteReader in(bytes);
+  const SnapshotFingerprint fp = get_fingerprint(in);
+  if (in.remaining() != 0) {
+    throw SnapshotCorrupt("snapshot: trailing bytes after fingerprint block");
+  }
+  return fp;
+}
+
 std::uint64_t crc64(std::string_view bytes) noexcept {
   std::uint64_t crc = ~0ULL;
   for (const char c : bytes) {

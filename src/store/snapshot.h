@@ -25,7 +25,7 @@
 ///   fingerprint block (instance identity + resolved config + tape layout)
 ///   payload: sorted L(Ĩ) indices, small-item rule, EPS (grid + doubles),
 ///            diagnostics (large_mass, q, t, samples_used, tilde_size)
-///   u64 CRC-64/ECMA over every preceding byte
+///   u64 CRC-64/XZ over every preceding byte
 ///
 /// Safety invariants, enforced at load:
 ///  * any bit flip is rejected (`SnapshotCorrupt`) — the CRC covers the
@@ -113,10 +113,27 @@ inline constexpr char kSnapshotMagic[8] = {'L', 'C', 'A', 'K',
                                            'S', 'N', 'A', 'P'};
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
-/// CRC-64/ECMA-182 (polynomial 0x42F0E1EBA9EA3693, reflected), the trailer
-/// checksum.  Exposed so tests can craft deliberately-corrupt-but-checksummed
-/// buffers (e.g. to exercise the version check behind a valid CRC).
+/// CRC-64/XZ (the reflected form of the ECMA-182 polynomial,
+/// 0x42F0E1EBA9EA3693), the trailer checksum.  Exposed so tests can craft
+/// deliberately-corrupt-but-checksummed buffers (e.g. to exercise the
+/// version check behind a valid CRC), and reused by the certificate log
+/// (src/cert) so one checksum implementation seals both formats.
 [[nodiscard]] std::uint64_t crc64(std::string_view bytes) noexcept;
+
+/// Canonical byte size of an encoded `SnapshotFingerprint` block.  The
+/// fingerprint encoding is shared with the certificate log header
+/// (docs/CERTIFICATES.md), which embeds the block verbatim so a certificate
+/// log and the snapshot it audits against are pinned by the same identity.
+inline constexpr std::size_t kFingerprintBytes = 112;
+
+/// Appends the canonical fixed-width little-endian encoding of `fp`
+/// (exactly `kFingerprintBytes` bytes) to `out`.
+void encode_fingerprint(std::string& out, const SnapshotFingerprint& fp);
+
+/// Decodes a fingerprint block produced by `encode_fingerprint`.  Throws
+/// SnapshotTruncated when `bytes` is shorter than `kFingerprintBytes` and
+/// SnapshotCorrupt on unknown flag bits or trailing bytes.
+[[nodiscard]] SnapshotFingerprint decode_fingerprint(std::string_view bytes);
 
 /// Serializes `(fingerprint, run)` into the canonical byte string: two
 /// encodes of the same state are bit-identical (large indices are sorted,

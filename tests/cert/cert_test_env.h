@@ -1,0 +1,100 @@
+#ifndef LCAKNAP_TESTS_CERT_CERT_TEST_ENV_H
+#define LCAKNAP_TESTS_CERT_CERT_TEST_ENV_H
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.h"
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+#include "store/snapshot.h"
+
+/// Shared substrate for the certificate tests: one small instance + warm
+/// LCA state per suite (the warm-up is the expensive part), plus a per-test
+/// scratch directory for log segments.
+
+namespace lcaknap::cert {
+
+/// The serving context every cert test certifies against.  Mirrors the
+/// snapshot-fuzz sizing: small enough for exhaustive bit-flip loops, big
+/// enough that both membership branches and cache reuse occur.
+class CertTestEnv : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kTapeSeed = 2;
+
+  static void SetUpTestSuite() {
+    instance_ = new knapsack::Instance(
+        knapsack::make_family(knapsack::Family::kUncorrelated, 600, 4));
+    access_ = new oracle::MaterializedAccess(*instance_);
+    core::LcaKpConfig config;
+    config.eps = 0.3;
+    config.seed = 0xFEED;
+    config.large_samples = 500;
+    config.quantile_samples = 1'024;
+    lca_ = new core::LcaKp(*access_, config);
+    run_ = new core::LcaKpRun(lca_->run_warmup(kTapeSeed));
+    fingerprint_ = new store::SnapshotFingerprint(
+        store::fingerprint_of(*lca_, kTapeSeed));
+  }
+  static void TearDownTestSuite() {
+    delete fingerprint_;
+    delete run_;
+    delete lca_;
+    delete access_;
+    delete instance_;
+    fingerprint_ = nullptr;
+    run_ = nullptr;
+    lca_ = nullptr;
+    access_ = nullptr;
+    instance_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lcaknap_cert_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// A fully-valid record for item `i` (seq left 0 — the writer assigns it),
+  /// built the same way the engine's certify path builds one.
+  static CertRecord record_for(std::size_t i) {
+    core::LcaKp::AnswerWitness witness;
+    (void)lca_->answer_with_witness(*run_, i, witness);
+    CertRecord record;
+    record.item = i;
+    record.profit = witness.profit;
+    record.weight = witness.weight;
+    record.case_tag = case_of(witness);
+    record.answer = witness.answer;
+    record.threshold_idx = witness.large ? -1 : active_threshold_index(*run_);
+    return record;
+  }
+
+  static const core::LcaKp& lca() { return *lca_; }
+  static const core::LcaKpRun& run() { return *run_; }
+  static const store::SnapshotFingerprint& fingerprint() { return *fingerprint_; }
+  static const oracle::MaterializedAccess& access() { return *access_; }
+  [[nodiscard]] std::string dir() const { return dir_.string(); }
+
+ private:
+  inline static const knapsack::Instance* instance_ = nullptr;
+  inline static const oracle::MaterializedAccess* access_ = nullptr;
+  inline static const core::LcaKp* lca_ = nullptr;
+  inline static const core::LcaKpRun* run_ = nullptr;
+  inline static const store::SnapshotFingerprint* fingerprint_ = nullptr;
+  std::filesystem::path dir_;
+};
+
+}  // namespace lcaknap::cert
+
+#endif  // LCAKNAP_TESTS_CERT_CERT_TEST_ENV_H

@@ -1,0 +1,256 @@
+#include "cert/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "cert/cert_log.h"
+#include "cert/certificate.h"
+#include "metrics/metrics.h"
+#include "serve/engine.h"
+#include "cert_test_env.h"
+
+/// LogVerifier semantics: clean round trips (writer -> log -> verifier, and
+/// the full ServeEngine certify path), every semantic tamper mapped to its
+/// typed reason, sequence auditing, fingerprint pinning, and the sampled
+/// audit's structural/semantic split.
+
+namespace lcaknap::cert {
+namespace {
+
+class CertVerify : public CertTestEnv {};
+
+/// Writes header + the given (already seq-stamped) records as one segment
+/// buffer, bypassing CertLog — for tampering with writer-side invariants.
+std::string raw_segment(const store::SnapshotFingerprint& fp,
+                        const std::vector<CertRecord>& records) {
+  std::string bytes;
+  encode_header(bytes, fp);
+  for (const auto& record : records) encode_record(bytes, record);
+  return bytes;
+}
+
+TEST_F(CertVerify, AcceptsEveryAnswerTheWarmStateProduces) {
+  {
+    CertLog log({.directory = dir()}, fingerprint());
+    for (std::size_t i = 0; i < 600; ++i) (void)log.append(record_for(i));
+  }
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  const auto report = verifier.verify_path(dir());
+  EXPECT_TRUE(report.clean()) << (report.examples.empty()
+                                      ? "no examples"
+                                      : report.examples.front());
+  EXPECT_EQ(report.records, 600u);
+  EXPECT_EQ(report.records_checked, 600u);
+  EXPECT_EQ(report.accepted, 600u);
+  EXPECT_EQ(registry.counter_value("cert_records_verified_total"), 600u);
+}
+
+TEST_F(CertVerify, ServeEngineCertifyPathRoundTripsCleanly) {
+  metrics::Registry registry;
+  serve::EngineConfig config;
+  config.workers = 3;
+  config.queue_capacity = 4'096;
+  config.batcher.max_batch_size = 16;
+  config.cache.capacity = 256;
+  config.cache.shards = 2;
+  config.warmup_tape_seed = kTapeSeed;
+  config.certify = true;
+  config.cert_dir = dir();
+  serve::ServeEngine engine(lca(), config, registry);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (std::size_t q = 0; q < 2'000; ++q) {
+    futures.push_back(engine.submit(q % 300));  // repeats: cache-hit certifies
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.get().outcome, serve::Outcome::kOk);
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  // Certification is per evaluated *batch*, so fewer records than requests —
+  // but never zero skips allowed: every kOk answer was witness-backed here.
+  EXPECT_GT(stats.cert_records, 0u);
+  EXPECT_EQ(stats.cert_skipped, 0u);
+
+  const LogVerifier verifier(fingerprint(), engine.run(), {}, registry);
+  const auto report = verifier.verify_path(dir());
+  EXPECT_TRUE(report.clean()) << (report.examples.empty()
+                                      ? "no examples"
+                                      : report.examples.front());
+  EXPECT_EQ(report.records, stats.cert_records);
+}
+
+TEST_F(CertVerify, FlippedAnswerBitIsAnAnswerMismatch) {
+  CertRecord record = record_for(11);
+  record.seq = 0;
+  // Flip the answer *and* the tag coherently, so only re-derivation from the
+  // warm state can catch it.
+  record.answer = !record.answer;
+  const bool large = record.case_tag == CaseTag::kLargeHit ||
+                     record.case_tag == CaseTag::kLargeMiss;
+  record.case_tag = large ? (record.answer ? CaseTag::kLargeHit
+                                           : CaseTag::kLargeMiss)
+                          : (record.answer ? CaseTag::kSmallAccept
+                                           : CaseTag::kSmallReject);
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kAnswerMismatch);
+}
+
+TEST_F(CertVerify, IncoherentTagAnswerPairIsACaseMismatch) {
+  CertRecord record = record_for(11);
+  record.answer = !record.answer;  // tag left alone: pair now incoherent
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kCaseMismatch);
+}
+
+TEST_F(CertVerify, WrongBranchTagIsACaseMismatch) {
+  CertRecord record = record_for(11);
+  const bool was_large = record.case_tag == CaseTag::kLargeHit ||
+                         record.case_tag == CaseTag::kLargeMiss;
+  // Claim the other branch, keeping the tag/answer pair coherent.
+  record.case_tag = was_large
+                        ? (record.answer ? CaseTag::kSmallAccept
+                                         : CaseTag::kSmallReject)
+                        : (record.answer ? CaseTag::kLargeHit
+                                         : CaseTag::kLargeMiss);
+  record.threshold_idx = was_large ? active_threshold_index(run()) : -1;
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kCaseMismatch);
+}
+
+TEST_F(CertVerify, StaleThresholdIndexIsAThresholdMismatch) {
+  // Find a small-branch record (the threshold echo only exists there).
+  CertRecord record;
+  bool found = false;
+  for (std::size_t i = 0; i < 600 && !found; ++i) {
+    record = record_for(i);
+    found = record.case_tag == CaseTag::kSmallAccept ||
+            record.case_tag == CaseTag::kSmallReject;
+  }
+  ASSERT_TRUE(found) << "test instance produced no small-branch answers";
+  record.threshold_idx += 1;  // a different EPS entry than the active one
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kThresholdMismatch);
+}
+
+TEST_F(CertVerify, OutOfRangeWitnessIsAWitnessInvariant) {
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  CertRecord record = record_for(11);
+  record.item = fingerprint().n;  // index out of range
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kWitnessInvariant);
+
+  record = record_for(11);
+  record.profit = fingerprint().total_profit + 1;
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kWitnessInvariant);
+
+  record = record_for(11);
+  record.weight = -1;
+  EXPECT_EQ(verifier.check_record(record), RejectReason::kWitnessInvariant);
+}
+
+TEST_F(CertVerify, NonMonotoneSequenceIsRejected) {
+  std::vector<CertRecord> records = {record_for(1), record_for(2),
+                                     record_for(3)};
+  records[0].seq = 0;
+  records[1].seq = 7;
+  records[2].seq = 7;  // replayed / duplicated query id
+  const auto bytes = raw_segment(fingerprint(), records);
+
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  VerifyReport report;
+  std::int64_t last_seq = -1;
+  verifier.verify_segment(bytes, report, last_seq);
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(
+      report.by_reason[static_cast<std::size_t>(RejectReason::kSequence)], 1u);
+}
+
+TEST_F(CertVerify, ForeignSnapshotFingerprintRejectsTheWholeSegment) {
+  // A log written under a different tape seed: same instance, different
+  // serving context — the header must pin it out.
+  auto foreign = fingerprint();
+  foreign.tape_seed = kTapeSeed + 1;
+  const auto bytes = raw_segment(foreign, {record_for(1)});
+
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  VerifyReport report;
+  std::int64_t last_seq = -1;
+  verifier.verify_segment(bytes, report, last_seq);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.records, 0u);  // no record of a foreign segment is read
+  EXPECT_EQ(report.by_reason[static_cast<std::size_t>(
+                RejectReason::kFingerprintMismatch)],
+            1u);
+}
+
+TEST_F(CertVerify, SampledAuditChecksEveryKthButCrcsEverything) {
+  constexpr std::uint64_t kRecords = 100;
+  {
+    CertLog log({.directory = dir()}, fingerprint());
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      (void)log.append(record_for(i % 600));
+    }
+  }
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {.sample_every = 7},
+                             registry);
+  const auto report = verifier.verify_path(dir());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records, kRecords);
+  EXPECT_EQ(report.accepted, kRecords);  // structure: all 100
+  EXPECT_EQ(report.records_checked, (kRecords + 6) / 7);  // semantics: 15
+
+  // A structural defect in an *unsampled* record is still caught: sampling
+  // never skips the CRC pass.
+  const auto segments = CertLog::list_segments(dir());
+  ASSERT_EQ(segments.size(), 1u);
+  std::string bytes;
+  {
+    std::ifstream is(segments[0], std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(is)),
+                 std::istreambuf_iterator<char>());
+  }
+  // Record 1 (not a multiple of 7, so semantically unsampled): flip one bit.
+  const std::size_t at = kCertHeaderBytes + kCertRecordBytes + 20;
+  bytes[at] = static_cast<char>(bytes[at] ^ 1);
+  VerifyReport tampered;
+  std::int64_t last_seq = -1;
+  verifier.verify_segment(bytes, tampered, last_seq);
+  EXPECT_FALSE(tampered.clean());
+  EXPECT_EQ(
+      tampered.by_reason[static_cast<std::size_t>(RejectReason::kCorrupt)],
+      1u);
+}
+
+TEST_F(CertVerify, RejectionsFeedTheLabelledRejectionCounters) {
+  auto foreign = fingerprint();
+  foreign.tape_seed = kTapeSeed + 1;
+  const auto bytes = raw_segment(foreign, {});
+
+  metrics::Registry registry;
+  const LogVerifier verifier(fingerprint(), run(), {}, registry);
+  VerifyReport report;
+  std::int64_t last_seq = -1;
+  verifier.verify_segment(bytes, report, last_seq);
+  EXPECT_EQ(registry.counter_value(
+                "cert_records_rejected_total",
+                {{"reason", "fingerprint-mismatch"}}),
+            1u);
+}
+
+}  // namespace
+}  // namespace lcaknap::cert

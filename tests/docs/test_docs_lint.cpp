@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cert/cert_log.h"
+#include "cert/verifier.h"
+#include "core/lca_kp.h"
+#include "core/serving_sim.h"
+#include "fault/chaos.h"
+#include "fault/circuit_breaker.h"
+#include "fault/plan.h"
+#include "fault/verifying.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "oracle/access.h"
+#include "oracle/flaky.h"
+#include "oracle/instrumented.h"
+#include "oracle/sharded.h"
+#include "serve/engine.h"
+#include "store/snapshot.h"
+#include "store/state_store.h"
+#include "util/virtual_clock.h"
+
+/// Docs lint (ISSUE 6 satellite): the documentation is part of the operator
+/// contract, so CI holds it to two machine-checkable invariants:
+///
+///  1. every metric family the serving stack can export has a row in
+///     docs/OBSERVABILITY.md — enforced by instantiating every
+///     metric-producing component against the registry and diffing the
+///     registered family names against the doc text;
+///  2. every relative markdown link in README.md and docs/ resolves to a
+///     file that exists in the repo.
+///
+/// The source tree location comes in via the LCAKNAP_SOURCE_DIR compile
+/// definition (see tests/CMakeLists.txt).
+
+namespace lcaknap {
+namespace {
+
+std::filesystem::path source_dir() {
+  return std::filesystem::path(LCAKNAP_SOURCE_DIR);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+TEST(DocsLint, EveryExportedMetricFamilyHasACatalogueRow) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   ("lcaknap_docs_lint_" +
+                    std::to_string(
+                        ::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(tmp);
+  std::filesystem::create_directories(tmp / "certs");
+  std::filesystem::create_directories(tmp / "snaps");
+
+  // Instantiate (and lightly exercise) every metric-producing component so
+  // each family registers.  This test binary owns the global registry:
+  // everything below lands there, including simulate_serving's families.
+  auto& registry = metrics::global_registry();
+  const auto inst =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 300, 4);
+  const oracle::MaterializedAccess storage(inst);
+  const oracle::InstrumentedAccess instrumented(
+      storage, registry, oracle::LatencyModel{});  // + oracle_access_latency_us
+  const oracle::FlakyAccess flaky(instrumented, 0.01, 0xF1A, registry);
+  const oracle::RetryingAccess retrying(flaky, oracle::RetryConfig{},
+                                        util::system_clock(), registry);
+  const oracle::ShardedAccess sharded(inst, 4, registry);
+  const fault::ChaosAccess chaos(
+      instrumented, fault::parse_fault_plan("steady:0", 1),
+      util::system_clock(), /*armed=*/false, registry);
+  const fault::VerifyingAccess verifying(chaos, registry);
+  const fault::BreakerAccess breaker(instrumented, fault::CircuitBreakerConfig{},
+                                     util::system_clock(), registry);
+
+  core::LcaKpConfig lca_config;
+  lca_config.eps = 0.3;
+  lca_config.seed = 0xFEED;
+  lca_config.large_samples = 500;
+  lca_config.quantile_samples = 1'024;
+  const core::LcaKp lca(retrying, lca_config);
+
+  {
+    serve::EngineConfig engine_config;
+    engine_config.workers = 2;
+    engine_config.cache.capacity = 64;
+    engine_config.certify = true;
+    engine_config.cert_dir = (tmp / "certs").string();
+    serve::ServeEngine engine(lca, engine_config, registry);
+    (void)engine.submit_wait(1);
+    engine.drain();
+    const cert::LogVerifier verifier(
+        store::fingerprint_of(lca, engine_config.warmup_tape_seed),
+        engine.run(), {}, registry);
+    (void)verifier.verify_path(engine_config.cert_dir);
+  }
+  {
+    store::StateStoreConfig store_config;
+    store_config.snapshot_dir = (tmp / "snaps").string();
+    store::StateStore state_store(store_config, registry);
+    (void)state_store.get("lint", lca, 7);
+  }
+  {
+    core::ServingConfig serving;
+    serving.lca = lca_config;
+    serving.replicas = 1;
+    core::WorkloadConfig workload;
+    workload.queries = 20;
+    (void)core::simulate_serving(inst, serving, workload, nullptr);
+  }
+  std::filesystem::remove_all(tmp);
+
+  const std::string doc = read_file(source_dir() / "docs" / "OBSERVABILITY.md");
+  const auto snapshot = registry.snapshot();
+  std::set<std::string> families;
+  for (const auto& sample : snapshot.counters) families.insert(sample.name);
+  for (const auto& sample : snapshot.gauges) families.insert(sample.name);
+  for (const auto& sample : snapshot.histograms) families.insert(sample.name);
+  // The harness registered a meaningful stack, or the lint proves nothing.
+  ASSERT_GE(families.size(), 30u);
+
+  for (const auto& family : families) {
+    // A catalogue row always renders the family name in backticks.
+    EXPECT_NE(doc.find("`" + family), std::string::npos)
+        << "metric family `" << family
+        << "` is exported but has no row in docs/OBSERVABILITY.md";
+  }
+}
+
+/// Extracts markdown link targets: every `](target)` occurrence.
+std::vector<std::string> link_targets(const std::string& text) {
+  std::vector<std::string> targets;
+  std::size_t at = 0;
+  while ((at = text.find("](", at)) != std::string::npos) {
+    const std::size_t start = at + 2;
+    const std::size_t end = text.find(')', start);
+    if (end == std::string::npos) break;
+    targets.push_back(text.substr(start, end - start));
+    at = end + 1;
+  }
+  return targets;
+}
+
+TEST(DocsLint, EveryRelativeMarkdownLinkResolves) {
+  std::vector<std::filesystem::path> pages = {source_dir() / "README.md",
+                                              source_dir() / "ROADMAP.md"};
+  for (const auto& entry :
+       std::filesystem::directory_iterator(source_dir() / "docs")) {
+    if (entry.path().extension() == ".md") pages.push_back(entry.path());
+  }
+  ASSERT_GE(pages.size(), 5u);
+
+  std::size_t checked = 0;
+  for (const auto& page : pages) {
+    const std::string text = read_file(page);
+    for (const auto& raw : link_targets(text)) {
+      if (raw.empty() || raw.front() == '#') continue;  // intra-page anchor
+      if (raw.find("://") != std::string::npos) continue;  // external URL
+      if (raw.rfind("mailto:", 0) == 0) continue;
+      // Strip any trailing anchor: FILE.md#section -> FILE.md.
+      const std::string target = raw.substr(0, raw.find('#'));
+      const auto resolved = page.parent_path() / target;
+      EXPECT_TRUE(std::filesystem::exists(resolved))
+          << page.filename().string() << " links to " << raw
+          << " but " << resolved << " does not exist";
+      ++checked;
+    }
+  }
+  // The docs index alone cross-links every page; a tiny count means the
+  // extractor broke, not that the docs went quiet.
+  EXPECT_GE(checked, 20u);
+}
+
+}  // namespace
+}  // namespace lcaknap

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -94,7 +95,7 @@ TEST(Cli, HelpListsEveryCommandAndFlag) {
   ASSERT_EQ(help.exit_code, 1);
   const char* const expected[] = {
       "generate", "solve", "serve", "eval", "serve-engine",
-      "snapshot <save|load|verify>",
+      "snapshot <save|load|verify>", "verify-log",
       // generate / solve / serve / eval
       "--family", "--n", "--seed", "--out", "--in", "--method", "--eps",
       "--items", "--all", "--flaky", "--retries", "--replicas", "--queries",
@@ -108,6 +109,8 @@ TEST(Cli, HelpListsEveryCommandAndFlag) {
       // warm-up + persistence
       "--warmup-threads", "--tape", "--snap", "--snapshot-dir",
       "--instance-id",
+      // certification
+      "--certify", "--cert-dir", "--log", "--sample",
       // global
       "--metrics",
   };
@@ -150,6 +153,61 @@ TEST(Cli, SnapshotSaveLoadVerifyRoundTrip) {
   EXPECT_EQ(run("snapshot --in " + path).exit_code, 1);
   EXPECT_EQ(run("snapshot frobnicate --in " + path + " --snap " + snap)
                 .exit_code, 1);
+}
+
+TEST(Cli, CertifyThenVerifyLogRoundTrip) {
+  const std::string path = temp_instance();
+  const std::string snap = ::testing::TempDir() + "cli_cert.snap";
+  const std::string certs = ::testing::TempDir() + "cli_certs";
+  const std::string context = " --in " + path + " --eps 0.2 --seed 9 --tape 3";
+  std::remove(snap.c_str());
+  std::system(("rm -rf " + certs).c_str());
+  ASSERT_EQ(run("generate --family uncorrelated --n 2000 --seed 4 --out " +
+                path).exit_code, 0);
+
+  // The certified-tenant walkthrough from docs/PERSISTENCE.md: snapshot the
+  // warm state, serve with certification on, audit the log offline.
+  ASSERT_EQ(run("snapshot save" + context + " --snap " + snap).exit_code, 0);
+  const auto serve = run("serve-engine" + context +
+                         " --queries 2000 --workers 2 --certify --cert-dir " +
+                         certs);
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+  EXPECT_NE(serve.output.find("certificates written"), std::string::npos);
+
+  const auto verify = run("verify-log --log " + certs + " --snap " + snap);
+  ASSERT_EQ(verify.exit_code, 0) << verify.output;
+  EXPECT_NE(verify.output.find("CLEAN"), std::string::npos);
+  EXPECT_NE(verify.output.find("oracle queries"), std::string::npos);
+
+  const auto sampled = run("verify-log --log " + certs + " --snap " + snap +
+                           " --sample 7");
+  ASSERT_EQ(sampled.exit_code, 0) << sampled.output;
+
+  // Flip one byte in the middle of the sealed segment: the audit must turn
+  // REJECTED with exit 2 and a typed reason.
+  std::string segment;
+  for (const auto& entry : std::filesystem::directory_iterator(certs)) {
+    if (entry.path().extension() == ".seg") segment = entry.path().string();
+  }
+  ASSERT_FALSE(segment.empty());
+  {
+    std::fstream file(segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(200);
+    const char corrupted = '\x5A';
+    file.write(&corrupted, 1);
+  }
+  const auto rejected = run("verify-log --log " + certs + " --snap " + snap);
+  EXPECT_EQ(rejected.exit_code, 2) << rejected.output;
+  EXPECT_NE(rejected.output.find("REJECTED"), std::string::npos);
+  EXPECT_NE(rejected.output.find("corrupt"), std::string::npos);
+
+  // Flag discipline: --cert-dir without --certify is a usage error, as is
+  // verify-log without its inputs.
+  EXPECT_EQ(run("serve-engine" + context + " --queries 10 --cert-dir " +
+                certs).exit_code, 1);
+  EXPECT_EQ(run("verify-log --snap " + snap).exit_code, 1);
+  EXPECT_EQ(run("verify-log --log " + certs).exit_code, 1);
 }
 
 TEST(Cli, ServeEngineRestoresFromSnapshotDir) {

@@ -20,7 +20,8 @@
 //       (L(I~), EPS); `load` rehydrates it (fingerprint-verified against
 //       the instance and flags); `verify` additionally re-runs the live
 //       warm-up and proves digest equality (exit 2 on any mismatch).
-//   serve-engine --in FILE [--eps E] [--seed S] [--shape uniform|zipf|hotspot]
+//   serve-engine --in FILE [--eps E] [--seed S] [--tape T]
+//            [--shape uniform|zipf|hotspot]
 //            [--queries Q] [--zipf-s S] [--hot-frac F] [--hot-items K]
 //            [--workers W] [--queue-cap N] [--batch-max B] [--linger-us L]
 //            [--cache-cap N] [--cache-shards S] [--paranoia-every N]
@@ -28,6 +29,7 @@
 //            [--retry-attempts N] [--backoff-us B] [--backoff-max-us M]
 //            [--retry-budget R] [--breaker] [--degrade] [--warmup-threads K]
 //            [--snapshot-dir DIR] [--instance-id ID]
+//            [--certify --cert-dir DIR]
 //       Replay a synthetic workload through the concurrent serving engine
 //       (bounded queue -> micro-batcher -> worker pool -> sharded answer
 //       cache) and print the throughput/outcome/cache report.  With
@@ -39,7 +41,16 @@
 //       (durations ms, latencies us) — see docs/RESILIENCE.md.  With
 //       --snapshot-dir, the warm state is hydrated through the StateStore:
 //       a verified snapshot skips the warm-up entirely; a live warm-up is
-//       persisted for the next process (docs/PERSISTENCE.md).
+//       persisted for the next process (docs/PERSISTENCE.md).  With
+//       --certify, every evaluated answer appends a CRC-sealed certificate
+//       record to an atomically-rotated log under --cert-dir
+//       (docs/CERTIFICATES.md).
+//   verify-log --log <FILE|DIR> --snap PATH [--sample K]
+//       Offline certificate audit: replay a certificate log against the
+//       warm-state snapshot it names and re-derive every answer with ZERO
+//       oracle access.  --sample K semantically re-checks every Kth record
+//       (structure/CRC always checked).  Exit 2 on any rejection, with the
+//       typed reason breakdown printed (docs/CERTIFICATES.md).
 //
 // Global flag: --metrics=prom|json dumps the metrics registry (Prometheus
 // text exposition or JSON lines) to stdout when the command finishes — see
@@ -60,6 +71,8 @@
 #include <string>
 #include <vector>
 
+#include "cert/cert_log.h"
+#include "cert/verifier.h"
 #include "core/consistency.h"
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
@@ -89,7 +102,7 @@ using namespace lcaknap;
 
 /// Minimal --flag value parser; flags are unique and take one value, given
 /// either as `--flag value` or `--flag=value`, except the booleans (`--all`,
-/// `--breaker`, `--degrade`), which take none.
+/// `--breaker`, `--degrade`, `--certify`), which take none.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -103,7 +116,8 @@ class Args {
         values_[key.substr(0, eq)] = key.substr(eq + 1);
         continue;
       }
-      if (key == "all" || key == "breaker" || key == "degrade") {
+      if (key == "all" || key == "breaker" || key == "degrade" ||
+          key == "certify") {
         values_[key] = "true";
         continue;
       }
@@ -415,6 +429,14 @@ int cmd_serve_engine(const Args& args) {
   engine_config.warmup_threads =
       static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
   engine_config.degrade = args.get("degrade").has_value();
+  engine_config.certify = args.get("certify").has_value();
+  if (engine_config.certify) {
+    engine_config.cert_dir = args.require("cert-dir");
+    std::filesystem::create_directories(engine_config.cert_dir);
+    engine_config.cert_segment_records = args.get_u64("cert-segment-records", 0);
+  } else if (args.get("cert-dir")) {
+    throw std::invalid_argument("--cert-dir requires --certify");
+  }
 
   const oracle::MaterializedAccess storage(inst);
   const oracle::InstrumentedAccess access(storage, metrics::global_registry());
@@ -542,6 +564,14 @@ int cmd_serve_engine(const Args& args) {
         .cell(std::to_string(counters.to_open) + " / " +
               std::to_string(counters.rejected));
   }
+  if (engine_config.certify) {
+    table.row().cell("certificates written / skipped")
+        .cell(std::to_string(stats.cert_records) + " / " +
+              std::to_string(stats.cert_skipped));
+    table.row().cell("certificate segments sealed").cell(stats.cert_segments);
+    table.row().cell("certificate log bytes").cell(stats.cert_bytes);
+    table.row().cell("certificate dir").cell(engine_config.cert_dir);
+  }
   table.print(std::cout, "serve-engine (" + args.get("shape").value_or("hotspot") +
                              ", " + std::to_string(engine_config.workers) +
                              " workers)");
@@ -551,6 +581,49 @@ int cmd_serve_engine(const Args& args) {
     return 2;
   }
   return 0;
+}
+
+int cmd_verify_log(const Args& args) {
+  const std::string log_path = args.require("log");
+  const std::string snap_path = args.require("snap");
+  cert::VerifierConfig verifier_config;
+  verifier_config.sample_every = args.get_u64("sample", 1);
+
+  // The snapshot is the only input besides the log: its fingerprint pins the
+  // instance/config/tape identity and its payload carries (L(I~), EPS).  No
+  // oracle object is ever constructed — this audit is instance-blind.
+  store::SnapshotFingerprint fingerprint;
+  const auto run = store::read_snapshot(snap_path, nullptr, &fingerprint);
+  const cert::LogVerifier verifier(fingerprint, run, verifier_config);
+  const auto report = verifier.verify_path(log_path);
+
+  util::Table table({"metric", "value"});
+  table.row().cell("segments").cell(report.segments);
+  table.row().cell("records").cell(report.records);
+  table.row().cell("semantically checked").cell(report.records_checked);
+  table.row().cell("sample rate (every Kth)").cell(
+      std::max<std::uint64_t>(1, verifier_config.sample_every));
+  table.row().cell("accepted / rejected")
+      .cell(std::to_string(report.accepted) + " / " +
+            std::to_string(report.rejected));
+  for (int r = 0; r < cert::kRejectReasonCount; ++r) {
+    if (report.by_reason[static_cast<std::size_t>(r)] == 0) continue;
+    table.row()
+        .cell(std::string("rejected: ") +
+              cert::reject_reason_name(static_cast<cert::RejectReason>(r)))
+        .cell(report.by_reason[static_cast<std::size_t>(r)]);
+  }
+  table.row().cell("throughput (records/s)").cell(
+      report.seconds > 0
+          ? static_cast<double>(report.records) / report.seconds
+          : 0.0, 0);
+  table.row().cell("oracle queries").cell(std::uint64_t{0});
+  table.row().cell("verdict").cell(report.clean() ? "CLEAN" : "REJECTED");
+  table.print(std::cout, "verify-log");
+  for (const auto& example : report.examples) {
+    std::cerr << "reject: " << example << "\n";
+  }
+  return report.clean() ? 0 : 2;
 }
 
 void usage() {
@@ -563,7 +636,7 @@ void usage() {
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
       "  snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]\n"
       "           [--tape T] [--warmup-threads K]\n"
-      "  serve-engine --in FILE [--eps E] [--seed S]\n"
+      "  serve-engine --in FILE [--eps E] [--seed S] [--tape T]\n"
       "           [--shape uniform|zipf|hotspot] [--queries Q] [--zipf-s S]\n"
       "           [--hot-frac F] [--hot-items K] [--workers W] [--queue-cap N]\n"
       "           [--batch-max B] [--linger-us L] [--cache-cap N]\n"
@@ -572,6 +645,8 @@ void usage() {
       "           [--backoff-us B] [--backoff-max-us M] [--retry-budget R]\n"
       "           [--breaker] [--degrade] [--warmup-threads K]\n"
       "           [--snapshot-dir DIR] [--instance-id ID]\n"
+      "           [--certify --cert-dir DIR]\n"
+      "  verify-log --log FILE|DIR --snap PATH [--sample K]\n"
       "--warmup-threads parallelizes the one-time warm-up run without\n"
       "changing any served answer (deterministic sharded sampling).\n"
       "snapshot save writes a versioned, CRC64-sealed warm-state snapshot;\n"
@@ -581,6 +656,11 @@ void usage() {
       "--snapshot-dir hydrates serve-engine's warm state through the\n"
       "StateStore: a verified snapshot named by --instance-id skips the\n"
       "warm-up; a live warm-up is persisted for the next process.\n"
+      "--certify emits one CRC-sealed certificate record per evaluated\n"
+      "answer into an atomically-rotated log under --cert-dir; verify-log\n"
+      "replays such a log against the warm-state snapshot offline (zero\n"
+      "oracle access), semantically re-checking every Kth record (--sample),\n"
+      "exit 2 on any rejection (see docs/CERTIFICATES.md).\n"
       "--chaos-plan scripts oracle faults during the replay, e.g.\n"
       "  \"steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400\"\n"
       "(durations ms, latencies us; see docs/RESILIENCE.md).\n"
@@ -623,6 +703,8 @@ int main(int argc, char** argv) {
       rc = cmd_eval(args);
     } else if (command == "serve-engine") {
       rc = cmd_serve_engine(args);
+    } else if (command == "verify-log") {
+      rc = cmd_verify_log(args);
     } else if (command == "snapshot") {
       rc = cmd_snapshot(argv[2], args);
     } else {
