@@ -1,0 +1,59 @@
+#ifndef LCAKNAP_NET_CLIENT_H
+#define LCAKNAP_NET_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+/// \file client.h
+/// Blocking protocol client: the test harness, the CLI's remote commands,
+/// and one load-generator connection each speak through it.
+///
+/// Two usage modes:
+///  * **serial** — `call()` is one round-trip; responses arrive in request
+///    order by construction, which is what the byte-identical two-process
+///    comparison needs (pipelined responses may legally interleave);
+///  * **pipelined** — `send()` queues frames without waiting and `recv()`
+///    pulls whatever response completes next; the load generator keeps a
+///    window of these in flight per connection.
+///
+/// `recv(raw)` optionally captures the exact response bytes as they came
+/// off the socket — the integration suite compares those across replicas,
+/// pinning Lemma 4.9 at wire granularity, not just answer granularity.
+
+namespace lcaknap::net {
+
+class Client {
+ public:
+  /// Connects to `host:port` (blocking).  Throws `std::system_error`.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  /// One serial round-trip.  Throws on socket failure or a malformed
+  /// response (`WireDecodeError`).
+  ResponseFrame call(const RequestFrame& frame, std::string* raw = nullptr);
+
+  /// Queues one frame (blocking write, no response wait).
+  void send(const RequestFrame& frame);
+  /// Blocks for the next response frame; `raw`, when non-null, receives
+  /// its exact wire bytes.
+  ResponseFrame recv(std::string* raw = nullptr);
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  void write_all(const std::string& bytes);
+
+  int fd_ = -1;
+  std::string inbuf_;  ///< bytes read past the last decoded response
+};
+
+}  // namespace lcaknap::net
+
+#endif  // LCAKNAP_NET_CLIENT_H

@@ -1,0 +1,250 @@
+#include "net/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lcaknap::net {
+
+TenantRouter::TenantRouter(store::StateStore& store,
+                           metrics::Registry& registry)
+    : store_(&store),
+      registry_(&registry),
+      tenants_warm_(&registry.gauge(
+          "net_tenants_warm",
+          "Tenants with a warm engine in the router (hydrated, serving)")),
+      hydration_failures_(&registry.counter(
+          "net_hydration_failures_total",
+          "Tenant hydrations that failed; their parked frames were "
+          "completed kError")) {}
+
+TenantRouter::~TenantRouter() { drain(); }
+
+void TenantRouter::register_tenant(const std::string& id,
+                                   TenantConfig config) {
+  if (!valid_tenant(id)) {
+    throw std::invalid_argument("invalid tenant id: '" + id + "'");
+  }
+  if (config.lca == nullptr) {
+    throw std::invalid_argument("tenant '" + id + "' has no algorithm");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      tenants_.emplace(id, std::make_unique<Tenant>());
+  if (!inserted) {
+    throw std::invalid_argument("tenant '" + id + "' already registered");
+  }
+  it->second->config = std::move(config);
+}
+
+void TenantRouter::complete(Tenant& tenant, std::uint64_t request_id,
+                            WireStatus status,
+                            const std::function<void(const ResponseFrame&)>& cb,
+                            bool answer, bool cache_hit) {
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status = status;
+  response.answer = answer;
+  response.cache_hit = cache_hit;
+  tenant.inflight.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  cb(response);
+}
+
+void TenantRouter::submit_to_engine(
+    Tenant& tenant, std::uint64_t request_id, std::uint64_t item,
+    std::uint64_t deadline_us, std::function<void(const ResponseFrame&)> cb) {
+  // The engine fires the completion exactly once from one of its threads;
+  // translate its outcome onto the wire and settle the tenant's quota there.
+  auto on_done = [this, &tenant, request_id,
+                  cb = std::move(cb)](const serve::Response& r) {
+    complete(tenant, request_id, wire_status_of(r.outcome), cb, r.answer,
+             r.cache_hit);
+  };
+  if (deadline_us == 0) {
+    tenant.engine->submit(static_cast<std::size_t>(item), std::move(on_done));
+  } else {
+    tenant.engine->submit(
+        static_cast<std::size_t>(item),
+        std::chrono::microseconds(static_cast<std::int64_t>(deadline_us)),
+        std::move(on_done));
+  }
+}
+
+void TenantRouter::route(const RequestFrame& frame,
+                         std::function<void(const ResponseFrame&)> cb) {
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  Tenant* tenant = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = tenants_.find(frame.tenant); it != tenants_.end()) {
+      tenant = it->second.get();
+    }
+  }
+  if (tenant == nullptr) {
+    unknown_tenant_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    ResponseFrame response;
+    response.request_id = frame.request_id;
+    response.status = WireStatus::kUnknownTenant;
+    cb(response);
+    return;
+  }
+  // Per-tenant admission quota, settled before any queue is touched: the
+  // optimistic increment is undone on shed so the counter never drifts.
+  const std::size_t now_inflight =
+      tenant->inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (draining_.load(std::memory_order_relaxed) ||
+      now_inflight > tenant->config.max_inflight) {
+    quota_shed_.fetch_add(1, std::memory_order_relaxed);
+    complete(*tenant, frame.request_id, WireStatus::kOverloaded, cb);
+    return;
+  }
+  bool start_hydration = false;
+  bool parked = false;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mutex);
+    switch (tenant->state) {
+      case TenantState::kWarm:
+        break;  // fall through to the engine below
+      case TenantState::kCold:
+        tenant->state = TenantState::kHydrating;
+        start_hydration = true;
+        [[fallthrough]];
+      case TenantState::kHydrating:
+        parked_count_.fetch_add(1, std::memory_order_relaxed);
+        tenant->parked.push_back(Parked{frame.request_id, frame.item,
+                                        frame.deadline_us, std::move(cb)});
+        parked = true;
+        break;
+      case TenantState::kFailed:
+        failed = true;
+        break;
+    }
+  }
+  if (failed) {
+    complete(*tenant, frame.request_id, WireStatus::kError, cb);
+    return;
+  }
+  if (start_hydration) {
+    const std::string id = frame.tenant;
+    std::lock_guard<std::mutex> lock(mutex_);
+    hydrators_.emplace_back(
+        [this, id, tenant] { hydrate(id, *tenant); });
+    return;
+  }
+  if (parked) return;  // the hydration epilogue will submit it
+  submit_to_engine(*tenant, frame.request_id, frame.item, frame.deadline_us,
+                   std::move(cb));
+}
+
+void TenantRouter::hydrate(const std::string& id, Tenant& tenant) {
+  std::unique_ptr<serve::ServeEngine> engine;
+  std::exception_ptr error;
+  try {
+    // Single-flight is layered: the StateStore coalesces concurrent
+    // warm-ups of the same id across the process, and the router's state
+    // machine guarantees at most one hydration thread per tenant anyway.
+    auto run = store_->get(id, *tenant.config.lca, tenant.config.tape_seed);
+    serve::EngineConfig engine_config = tenant.config.engine;
+    engine_config.warm_state = std::move(run);
+    engine_config.warmup_tape_seed = tenant.config.tape_seed;
+    engine = std::make_unique<serve::ServeEngine>(*tenant.config.lca,
+                                                  engine_config, *registry_);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::vector<Parked> parked;
+  {
+    std::lock_guard<std::mutex> lock(tenant.mutex);
+    parked.swap(tenant.parked);
+    if (error) {
+      tenant.state = TenantState::kFailed;
+    } else {
+      tenant.engine = std::move(engine);
+      tenant.state = TenantState::kWarm;
+    }
+  }
+  if (error) {
+    hydration_failures_count_.fetch_add(1, std::memory_order_relaxed);
+    hydration_failures_->inc();
+    for (auto& p : parked) {
+      complete(tenant, p.request_id, WireStatus::kError, p.cb);
+    }
+    return;
+  }
+  hydrations_.fetch_add(1, std::memory_order_relaxed);
+  tenants_warm_->add(1.0);
+  for (auto& p : parked) {
+    submit_to_engine(tenant, p.request_id, p.item, p.deadline_us,
+                     std::move(p.cb));
+  }
+}
+
+void TenantRouter::warm_all() {
+  std::vector<std::pair<std::string, Tenant*>> cold;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, tenant] : tenants_) {
+      std::lock_guard<std::mutex> tlock(tenant->mutex);
+      if (tenant->state == TenantState::kCold) {
+        tenant->state = TenantState::kHydrating;
+        cold.emplace_back(id, tenant.get());
+      }
+    }
+  }
+  for (auto& [id, tenant] : cold) hydrate(id, *tenant);
+}
+
+void TenantRouter::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  // Re-check after joining: a route racing the drain flag may have spawned
+  // one more hydrator between our swap and its emplace.
+  while (true) {
+    std::vector<std::thread> hydrators;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      hydrators.swap(hydrators_);
+    }
+    if (hydrators.empty()) break;
+    for (auto& t : hydrators) {
+      if (t.joinable()) t.join();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, tenant] : tenants_) {
+    (void)id;
+    if (tenant->engine != nullptr) tenant->engine->drain();
+  }
+}
+
+RouterStats TenantRouter::stats() const {
+  RouterStats stats;
+  stats.routed = routed_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.unknown_tenant = unknown_tenant_.load(std::memory_order_relaxed);
+  stats.quota_shed = quota_shed_.load(std::memory_order_relaxed);
+  stats.parked = parked_count_.load(std::memory_order_relaxed);
+  stats.hydrations = hydrations_.load(std::memory_order_relaxed);
+  stats.hydration_failures =
+      hydration_failures_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<std::string> TenantRouter::tenant_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+const serve::ServeEngine* TenantRouter::engine(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) return nullptr;
+  std::lock_guard<std::mutex> tlock(it->second->mutex);
+  return it->second->engine.get();
+}
+
+}  // namespace lcaknap::net

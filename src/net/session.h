@@ -1,0 +1,163 @@
+#ifndef LCAKNAP_NET_SESSION_H
+#define LCAKNAP_NET_SESSION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lca_kp.h"
+#include "metrics/metrics.h"
+#include "net/wire.h"
+#include "serve/engine.h"
+#include "store/state_store.h"
+
+/// \file session.h
+/// The tenant-routing session layer between the wire and the engines.
+///
+/// A serving process hosts many tenants; each decoded `RequestFrame` names
+/// one by instance id.  `TenantRouter` owns one `ServeEngine` per tenant
+/// and routes frames:
+///
+///   route(frame, cb) ── tenant lookup ──> kUnknownTenant (typed, instant)
+///                    ── admission quota ─> kOverloaded   (per-tenant cap)
+///                    ── cold tenant ─────> hydrate-on-first-touch: one
+///                        background hydration per tenant (single-flight —
+///                        the `StateStore` coalesces concurrent warm-ups,
+///                        and the router additionally parks frames that
+///                        arrive mid-hydration instead of blocking the
+///                        caller, completing them when the engine is up)
+///                    ── warm tenant ─────> `ServeEngine::submit(item, cb)`
+///                        with the frame's relative deadline on the
+///                        engine's clock
+///
+/// Isolation is structural, not cooperative: every tenant has its own
+/// engine (queue, workers, cache, breaker/degrade policy) over its own
+/// warm state, so a chaos-plan brownout on one tenant's oracle can only
+/// consume that tenant's resources — the integration suite pins that a
+/// browned-out tenant never changes a healthy tenant's answers.
+///
+/// `route()` never blocks on warm-up or evaluation; the callback fires
+/// exactly once, from the router thread (rejections), a hydration thread
+/// (parked frames failing), or an engine thread (served answers).  Wire
+/// conservation extends the engine law: frames routed == callbacks fired,
+/// with every status accounted.
+
+namespace lcaknap::net {
+
+/// One tenant's serving recipe.  `lca` (and the oracle access behind it)
+/// must outlive the router.
+struct TenantConfig {
+  const core::LcaKp* lca = nullptr;
+  /// Engine knobs for this tenant (workers, queue bound, batcher, cache,
+  /// degrade, certify...).  `warm_state` is overwritten by hydration.
+  serve::EngineConfig engine;
+  /// Warm-up tape of the tenant's one-time Theorem 4.1 run; part of the
+  /// snapshot fingerprint the StateStore verifies.
+  std::uint64_t tape_seed = 7;
+  /// Per-tenant admission quota: frames in flight (parked + engine) beyond
+  /// this are shed kOverloaded before touching the engine.  The noisy
+  /// neighbour bound: one tenant's burst cannot queue out another's.
+  std::size_t max_inflight = 1024;
+};
+
+/// Point-in-time router counters (the wire-level conservation operands).
+struct RouterStats {
+  std::uint64_t routed = 0;           ///< route() calls accepted for any path
+  std::uint64_t completed = 0;        ///< callbacks fired
+  std::uint64_t unknown_tenant = 0;   ///< kUnknownTenant rejections
+  std::uint64_t quota_shed = 0;       ///< kOverloaded from per-tenant quotas
+  std::uint64_t parked = 0;           ///< frames parked during hydration
+  std::uint64_t hydrations = 0;       ///< engines brought up
+  std::uint64_t hydration_failures = 0;
+};
+
+class TenantRouter {
+ public:
+  TenantRouter(store::StateStore& store,
+               metrics::Registry& registry = metrics::global_registry());
+  /// Joins hydration threads and drains every tenant engine: all accepted
+  /// frames complete before destruction.
+  ~TenantRouter();
+
+  TenantRouter(const TenantRouter&) = delete;
+  TenantRouter& operator=(const TenantRouter&) = delete;
+
+  /// Declares a tenant (cold; nothing is warmed until first touch).
+  /// Throws `std::invalid_argument` for an invalid id, a null `lca`, or a
+  /// duplicate registration.
+  void register_tenant(const std::string& id, TenantConfig config);
+
+  /// Routes one decoded frame; `cb` fires exactly once with the response
+  /// (the frame's `request_id` echoed).  Never blocks on warm-up or
+  /// evaluation.
+  void route(const RequestFrame& frame,
+             std::function<void(const ResponseFrame&)> cb);
+
+  /// Eagerly hydrates every registered tenant (blocking; used by the CLI
+  /// before announcing the listen port so first requests are warm).
+  void warm_all();
+
+  /// Completes all in-flight work and joins hydration threads.  Subsequent
+  /// route() calls are shed kOverloaded.  Idempotent.
+  void drain();
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] std::vector<std::string> tenant_ids() const;
+  /// The tenant's engine, or nullptr while cold/hydrating (test hook).
+  [[nodiscard]] const serve::ServeEngine* engine(const std::string& id) const;
+
+ private:
+  struct Parked {
+    std::uint64_t request_id;
+    std::uint64_t item;
+    std::uint64_t deadline_us;
+    std::function<void(const ResponseFrame&)> cb;
+  };
+  enum class TenantState { kCold, kHydrating, kWarm, kFailed };
+  struct Tenant {
+    TenantConfig config;
+    std::mutex mutex;
+    TenantState state = TenantState::kCold;
+    std::unique_ptr<serve::ServeEngine> engine;
+    std::vector<Parked> parked;
+    /// Frames accepted and not yet completed (parked + inside the engine).
+    std::atomic<std::size_t> inflight{0};
+  };
+
+  void hydrate(const std::string& id, Tenant& tenant);
+  void submit_to_engine(Tenant& tenant, std::uint64_t request_id,
+                        std::uint64_t item, std::uint64_t deadline_us,
+                        std::function<void(const ResponseFrame&)> cb);
+  void complete(Tenant& tenant, std::uint64_t request_id, WireStatus status,
+                const std::function<void(const ResponseFrame&)>& cb,
+                bool answer = false, bool cache_hit = false);
+
+  store::StateStore* store_;
+  metrics::Registry* registry_;
+  metrics::Gauge* tenants_warm_;
+  metrics::Counter* hydration_failures_;
+
+  mutable std::mutex mutex_;  ///< guards the tenant map and thread list
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::thread> hydrators_;
+  std::atomic<bool> draining_{false};
+
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> unknown_tenant_{0};
+  std::atomic<std::uint64_t> quota_shed_{0};
+  std::atomic<std::uint64_t> parked_count_{0};
+  std::atomic<std::uint64_t> hydrations_{0};
+  std::atomic<std::uint64_t> hydration_failures_count_{0};
+};
+
+}  // namespace lcaknap::net
+
+#endif  // LCAKNAP_NET_SESSION_H

@@ -24,6 +24,7 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
                          metrics::Registry& registry)
     : lca_(&lca),
       config_(config),
+      clock_(config.clock != nullptr ? config.clock : &util::system_clock()),
       requests_ok_(&registry.counter("serve_requests_total",
                                      "Requests finished by the serving engine",
                                      {{"outcome", "ok"}})),
@@ -132,16 +133,31 @@ void ServeEngine::finish(Request& request, const Response& response) {
   latency_us_->observe(std::chrono::duration<double, std::micro>(
                            Clock::now() - request.enqueued_at)
                            .count());
-  request.promise.set_value(response);
+  if (request.callback) {
+    // Callback path: exactly-once like the promise path, and exception-safe —
+    // a throwing callback must never take down the worker that ran it.
+    try {
+      request.callback(response);
+    } catch (...) {
+    }
+  } else {
+    request.promise.set_value(response);
+  }
 }
 
-std::future<Response> ServeEngine::submit_at(std::size_t item,
-                                             Clock::time_point deadline) {
-  Request request;
-  request.item = item;
-  request.enqueued_at = Clock::now();
-  request.deadline = deadline;
-  auto future = request.promise.get_future();
+std::uint64_t ServeEngine::deadline_from(
+    std::chrono::microseconds deadline) const {
+  const std::uint64_t now = clock_->now_us();
+  // Negative deadlines are honoured as already-expired (tests use them to
+  // force shedding); `expired()` is `deadline_us <= now`, so "now" qualifies.
+  if (deadline.count() < 0) return now;
+  const auto rel = static_cast<std::uint64_t>(deadline.count());
+  // Saturate instead of wrapping past kNoDeadline.
+  if (rel >= Request::kNoDeadline - now) return Request::kNoDeadline - 1;
+  return now + rel;
+}
+
+void ServeEngine::admit(Request&& request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.try_push(std::move(request))) {
     // try_push fails without consuming the request; reject it here so every
@@ -151,6 +167,16 @@ std::future<Response> ServeEngine::submit_at(std::size_t item,
     finish(request, response);
   }
   queue_depth_gauge_->set(static_cast<double>(queue_.depth()));
+}
+
+std::future<Response> ServeEngine::submit_at(std::size_t item,
+                                             std::uint64_t deadline_us) {
+  Request request;
+  request.item = item;
+  request.enqueued_at = Clock::now();
+  request.deadline_us = deadline_us;
+  auto future = request.promise.get_future();
+  admit(std::move(request));
   return future;
 }
 
@@ -158,12 +184,35 @@ std::future<Response> ServeEngine::submit(std::size_t item) {
   if (config_.default_deadline.count() != 0) {
     return submit(item, config_.default_deadline);
   }
-  return submit_at(item, Clock::time_point::max());
+  return submit_at(item, Request::kNoDeadline);
 }
 
 std::future<Response> ServeEngine::submit(std::size_t item,
                                           std::chrono::microseconds deadline) {
-  return submit_at(item, Clock::now() + deadline);
+  return submit_at(item, deadline_from(deadline));
+}
+
+void ServeEngine::submit_cb(std::size_t item, std::uint64_t deadline_us,
+                            CompletionCallback callback) {
+  Request request;
+  request.item = item;
+  request.enqueued_at = Clock::now();
+  request.deadline_us = deadline_us;
+  request.callback = std::move(callback);
+  admit(std::move(request));
+}
+
+void ServeEngine::submit(std::size_t item, CompletionCallback callback) {
+  if (config_.default_deadline.count() != 0) {
+    submit(item, config_.default_deadline, std::move(callback));
+    return;
+  }
+  submit_cb(item, Request::kNoDeadline, std::move(callback));
+}
+
+void ServeEngine::submit(std::size_t item, std::chrono::microseconds deadline,
+                         CompletionCallback callback) {
+  submit_cb(item, deadline_from(deadline), std::move(callback));
 }
 
 Response ServeEngine::submit_wait(std::size_t item) {
@@ -188,8 +237,9 @@ void ServeEngine::dispatch_loop() {
       queue_.pop_all(backlog);
     }
     const auto now = Clock::now();
+    const std::uint64_t now_us = clock_->now_us();
     for (auto& pending : backlog) {
-      if (pending.expired(now)) {
+      if (pending.expired(now_us)) {
         Response response;
         response.outcome = Outcome::kDeadlineExceeded;
         finish(pending, response);
@@ -311,9 +361,9 @@ void ServeEngine::execute_batch(Batch batch) {
     }
   }
 
-  const auto now = Clock::now();
+  const std::uint64_t now_us = clock_->now_us();
   for (auto& request : batch.requests) {
-    if (response.outcome == Outcome::kOk && request.expired(now)) {
+    if (response.outcome == Outcome::kOk && request.expired(now_us)) {
       Response shed;
       shed.outcome = Outcome::kDeadlineExceeded;
       finish(request, shed);

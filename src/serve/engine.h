@@ -17,6 +17,7 @@
 #include "serve/batcher.h"
 #include "serve/request_queue.h"
 #include "util/thread_pool.h"
+#include "util/virtual_clock.h"
 
 /// \file engine.h
 /// The concurrent serving engine: queue → batcher → worker pool → cache.
@@ -59,6 +60,14 @@ struct EngineConfig {
   /// Deadline applied by `submit(item)`; 0 = no deadline (negative values
   /// are honoured as already-expired, which tests use to force shedding).
   std::chrono::microseconds default_deadline{0};
+  /// The clock request deadlines are checked against (submission, dispatch,
+  /// and evaluation all read `clock->now_us()`).  Null means the process
+  /// `util::system_clock()`.  Injecting a `util::VirtualClock` makes
+  /// deadline shedding deterministic for wire-level timeout tests: a
+  /// request expires exactly when the test advances the clock past its
+  /// deadline, never because a CI machine stalled.  The clock must outlive
+  /// the engine.
+  util::Clock* clock = nullptr;
   /// Fresh-randomness tape for the constructor's warm-up pipeline run.
   std::uint64_t warmup_tape_seed = 7;
   /// Threads for the constructor's sharded warm-up (`LcaKp::run_warmup`).
@@ -148,6 +157,17 @@ class ServeEngine {
   /// Same, with an explicit per-request deadline (from now).
   [[nodiscard]] std::future<Response> submit(std::size_t item,
                                              std::chrono::microseconds deadline);
+  /// Non-blocking completion API: `callback` is invoked exactly once with
+  /// the response, from whichever engine thread finishes the request (the
+  /// submitting thread itself for admission rejections).  The conservation
+  /// law and every outcome counter treat this path identically to the
+  /// future path.  The callback must not block or throw; the network
+  /// front-end (src/net/) uses it to marshal completions onto connection
+  /// write queues without parking a thread per request.
+  void submit(std::size_t item, CompletionCallback callback);
+  /// Same, with an explicit per-request deadline (from now).
+  void submit(std::size_t item, std::chrono::microseconds deadline,
+              CompletionCallback callback);
   /// Convenience: submit and block for the response.
   [[nodiscard]] Response submit_wait(std::size_t item);
 
@@ -167,8 +187,17 @@ class ServeEngine {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
 
  private:
+  /// Absolute deadline instant on `clock_` for a relative `deadline`;
+  /// negative values land at "now" (already expired).
+  [[nodiscard]] std::uint64_t deadline_from(
+      std::chrono::microseconds deadline) const;
   [[nodiscard]] std::future<Response> submit_at(std::size_t item,
-                                                Clock::time_point deadline);
+                                                std::uint64_t deadline_us);
+  void submit_cb(std::size_t item, std::uint64_t deadline_us,
+                 CompletionCallback callback);
+  /// Common admission path; completes the request kOverloaded when the
+  /// bounded queue refuses it.
+  void admit(Request&& request);
   void dispatch_loop();
   /// Hands `ready` to the worker pool, grouping several batches per pool
   /// task when the backlog is deep (amortizes per-task overhead) while
@@ -187,6 +216,7 @@ class ServeEngine {
 
   const core::LcaKp* lca_;
   EngineConfig config_;
+  util::Clock* clock_;
   core::LcaKpRun run_;
   std::unique_ptr<cert::CertLog> cert_log_;
   /// Index of the active small-item threshold in the run's EPS payload,

@@ -3,6 +3,8 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <future>
 
 /// \file request.h
@@ -16,6 +18,20 @@
 /// outcome (a production serving path may legitimately say "no capacity"
 /// or "too late" instead of an answer; it must never say two different
 /// answers for the same item).
+///
+/// Completion travels back one of two ways, chosen at submission: a
+/// `std::future<Response>` (the original blocking-consumer API) or a
+/// completion callback (the non-blocking API the network front-end
+/// `src/net/` marshals onto connection write queues).  Exactly one of the
+/// two fires, exactly once, for every submitted request — the conservation
+/// law counts both paths identically.
+///
+/// Deadlines are *semantic* time and therefore run on the engine's injected
+/// `util::Clock` (`EngineConfig::clock`): microsecond instants compared
+/// against `clock->now_us()`.  Under a `util::VirtualClock`, wire-level
+/// timeout tests advance time explicitly and shedding becomes deterministic
+/// instead of wall-clock flaky.  (Queue waits and batch linger remain real
+/// time: they are throughput/latency dials, not request semantics.)
 
 namespace lcaknap::serve {
 
@@ -54,18 +70,31 @@ struct Response {
   bool cache_hit = false;  ///< answered from the sharded cache
 };
 
+/// How a completed request reaches its submitter on the callback path.  May
+/// be invoked from any engine thread (worker, dispatcher, or the submitting
+/// thread itself for admission rejections); it must not block and must not
+/// throw (a throwing callback is swallowed, never allowed to take down a
+/// worker).
+using CompletionCallback = std::function<void(const Response&)>;
+
 /// One in-flight membership query.  Move-only (owns the promise side of the
-/// submitter's future).
+/// submitter's future, or the completion callback).
 struct Request {
+  /// Deadline sentinel: never expires.
+  static constexpr std::uint64_t kNoDeadline = UINT64_MAX;
+
   std::size_t item = 0;
   Clock::time_point enqueued_at{};
-  /// Requests whose deadline passes before evaluation are shed with
-  /// kDeadlineExceeded; `Clock::time_point::max()` means no deadline.
-  Clock::time_point deadline = Clock::time_point::max();
+  /// Absolute instant on the engine's `util::Clock` (`now_us()` scale) after
+  /// which the request is shed with kDeadlineExceeded; `kNoDeadline` means
+  /// no deadline.
+  std::uint64_t deadline_us = kNoDeadline;
   std::promise<Response> promise;
+  /// When set, completion invokes this instead of fulfilling the promise.
+  CompletionCallback callback;
 
-  [[nodiscard]] bool expired(Clock::time_point now) const noexcept {
-    return deadline <= now;
+  [[nodiscard]] bool expired(std::uint64_t now_us) const noexcept {
+    return deadline_us <= now_us;
   }
 };
 

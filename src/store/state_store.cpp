@@ -258,6 +258,14 @@ std::size_t StateStore::size() const {
   return by_id_.size();
 }
 
+std::vector<std::string> StateStore::warm_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(lru_.size());
+  for (const auto& entry : lru_) ids.push_back(entry.id);
+  return ids;
+}
+
 void StateStore::invalidate(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = by_id_.find(id); it != by_id_.end()) {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/lca_kp.h"
 #include "metrics/metrics.h"
@@ -92,6 +93,10 @@ class StateStore {
   [[nodiscard]] bool contains(const std::string& id) const;
   /// Warm states currently in memory.
   [[nodiscard]] std::size_t size() const;
+  /// Ids of the warm states currently in memory, most recently used first
+  /// (does not touch LRU order).  The network front-end's runbook surface:
+  /// `lcaknap serve --listen` reports it per tenant sweep.
+  [[nodiscard]] std::vector<std::string> warm_ids() const;
   /// Drops `id` from memory (its on-disk snapshot is untouched).
   void invalidate(const std::string& id);
 

@@ -18,6 +18,9 @@
 #include "fault/verifying.h"
 #include "knapsack/generators.h"
 #include "metrics/metrics.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/session.h"
 #include "oracle/access.h"
 #include "oracle/flaky.h"
 #include "oracle/instrumented.h"
@@ -110,6 +113,24 @@ TEST(DocsLint, EveryExportedMetricFamilyHasACatalogueRow) {
     store_config.snapshot_dir = (tmp / "snaps").string();
     store::StateStore state_store(store_config, registry);
     (void)state_store.get("lint", lca, 7);
+  }
+  {
+    // The network front-end: router + epoll server + one wire round-trip
+    // registers every net_* family (src/net/, docs/NETWORKING.md).
+    store::StateStoreConfig net_store_config;
+    store::StateStore net_store(net_store_config, registry);
+    net::TenantRouter router(net_store, registry);
+    net::TenantConfig tenant;
+    tenant.lca = &lca;
+    tenant.engine.workers = 1;
+    router.register_tenant("lint", tenant);
+    net::Server server(router, net::ServerConfig{}, registry);
+    net::Client client("127.0.0.1", server.port());
+    net::RequestFrame frame;
+    frame.tenant = "lint";
+    (void)client.call(frame);
+    server.stop();
+    router.drain();
   }
   {
     core::ServingConfig serving;

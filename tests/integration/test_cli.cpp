@@ -3,12 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/wire.h"
 
 namespace {
 
@@ -111,6 +118,10 @@ TEST(Cli, HelpListsEveryCommandAndFlag) {
       "--instance-id",
       // certification
       "--certify", "--cert-dir", "--log", "--sample",
+      // network front-end
+      "--listen", "--tenants", "--max-conns", "--conn-inflight",
+      "--tenant-inflight", "--store-capacity", "--chaos-tenant",
+      "--allow-shutdown",
       // global
       "--metrics",
   };
@@ -208,6 +219,164 @@ TEST(Cli, CertifyThenVerifyLogRoundTrip) {
                 certs).exit_code, 1);
   EXPECT_EQ(run("verify-log --snap " + snap).exit_code, 1);
   EXPECT_EQ(run("verify-log --log " + certs).exit_code, 1);
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// One `serve --listen` child process: started in the background through the
+/// shell, its ephemeral port parsed from the announced "listening on" line.
+class ServerProcess {
+ public:
+  explicit ServerProcess(const std::string& flags, const std::string& tag) {
+    start(flags, tag);  // gtest fatal assertions cannot live in a ctor body
+  }
+
+ private:
+  void start(const std::string& flags, const std::string& tag) {
+    log_ = ::testing::TempDir() + "cli_server_" + tag + ".log";
+    std::remove(log_.c_str());
+    const std::string command =
+        kCli + " serve " + flags + " > " + log_ + " 2>&1 &";
+    ASSERT_EQ(std::system(command.c_str()), 0);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    const std::string needle = "listening on 127.0.0.1:";
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::string log = read_all(log_);
+      const auto at = log.find(needle);
+      if (at != std::string::npos && log.find('\n', at) != std::string::npos) {
+        port_ = static_cast<std::uint16_t>(
+            std::stoul(log.substr(at + needle.size())));
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "server never announced its port; log:\n" << read_all(log_);
+  }
+
+ public:
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits for the post-shutdown summary (flushed at process exit).
+  std::string final_output() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::string log = read_all(log_);
+      if (log.find("wire conservation") != std::string::npos) return log;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return read_all(log_);
+  }
+
+ private:
+  std::string log_;
+  std::uint16_t port_ = 0;
+};
+
+TEST(Cli, TwoServerProcessesAnswerByteIdentically) {
+  // Lemma 4.9 at wire granularity: two independent processes, warmed from
+  // the same instance and seeds, must answer an identical serial query
+  // stream with *byte-identical* response frames — the property that makes
+  // replica fan-out behind a load balancer sound.
+  const std::string path = temp_instance();
+  ASSERT_EQ(run("generate --family uncorrelated --n 2000 --seed 4 --out " +
+                path).exit_code, 0);
+  const std::string flags = "--listen 0 --in " + path +
+                            " --instance-id t1 --eps 0.2 --seed 9 --tape 3"
+                            " --workers 2 --allow-shutdown";
+  ServerProcess first(flags, "replica_a");
+  ServerProcess second(flags, "replica_b");
+  ASSERT_NE(first.port(), 0);
+  ASSERT_NE(second.port(), 0);
+
+  lcaknap::net::Client client_a("127.0.0.1", first.port());
+  lcaknap::net::Client client_b("127.0.0.1", second.port());
+  std::size_t ok = 0;
+  for (std::uint64_t q = 0; q < 400; ++q) {
+    lcaknap::net::RequestFrame frame;
+    frame.request_id = q;
+    frame.item = (q * 37) % 2'000;
+    frame.tenant = "t1";
+    std::string raw_a;
+    std::string raw_b;
+    const auto response_a = client_a.call(frame, &raw_a);
+    const auto response_b = client_b.call(frame, &raw_b);
+    ASSERT_EQ(raw_a, raw_b) << "replicas diverged at query " << q;
+    if (response_a.status == lcaknap::net::WireStatus::kOk) ++ok;
+  }
+  EXPECT_GT(ok, 0u) << "the comparison must cover served answers";
+
+  // Gated remote shutdown; both exit summaries must report conservation.
+  lcaknap::net::RequestFrame shutdown;
+  shutdown.flags = lcaknap::net::RequestFrame::kFlagShutdown;
+  shutdown.tenant = "t1";
+  EXPECT_EQ(client_a.call(shutdown).status,
+            lcaknap::net::WireStatus::kShuttingDown);
+  EXPECT_EQ(client_b.call(shutdown).status,
+            lcaknap::net::WireStatus::kShuttingDown);
+  EXPECT_NE(first.final_output().find("HOLDS"), std::string::npos);
+  EXPECT_NE(second.final_output().find("HOLDS"), std::string::npos);
+}
+
+TEST(Cli, ServeListenIsolatesAChaosTenant) {
+  // The multi-tenant runbook path end-to-end: tenant "noisy" runs under a
+  // scripted brownout while tenant "calm" must keep serving ok answers that
+  // match a clean single-tenant replica of the same instance.
+  const std::string calm = ::testing::TempDir() + "cli_calm.txt";
+  const std::string noisy = ::testing::TempDir() + "cli_noisy.txt";
+  ASSERT_EQ(run("generate --family uncorrelated --n 1500 --seed 6 --out " +
+                calm).exit_code, 0);
+  ASSERT_EQ(run("generate --family needle --n 1200 --seed 7 --out " +
+                noisy).exit_code, 0);
+  const std::string common = " --eps 0.2 --seed 9 --tape 3 --workers 2"
+                             " --allow-shutdown";
+  ServerProcess reference("--listen 0 --tenants calm=" + calm + common,
+                          "reference");
+  ServerProcess stormy("--listen 0 --tenants calm=" + calm + ",noisy=" + noisy +
+                           " --chaos-tenant noisy"
+                           " --chaos-plan brownout:3600000:fail=0.3,lat=50..200" +
+                           common,
+                       "stormy");
+
+  lcaknap::net::Client ref_client("127.0.0.1", reference.port());
+  lcaknap::net::Client storm_client("127.0.0.1", stormy.port());
+  lcaknap::net::Client noise_client("127.0.0.1", stormy.port());
+  std::thread noise([&] {
+    for (std::uint64_t q = 0; q < 200; ++q) {
+      lcaknap::net::RequestFrame frame;
+      frame.request_id = q;
+      frame.item = q % 1'200;
+      frame.tenant = "noisy";
+      (void)noise_client.call(frame);
+    }
+  });
+  for (std::uint64_t q = 0; q < 200; ++q) {
+    lcaknap::net::RequestFrame frame;
+    frame.request_id = q;
+    frame.item = (q * 13) % 1'500;
+    frame.tenant = "calm";
+    std::string raw_ref;
+    std::string raw_storm;
+    const auto ref_response = ref_client.call(frame, &raw_ref);
+    ASSERT_EQ(ref_response.status, lcaknap::net::WireStatus::kOk);
+    (void)storm_client.call(frame, &raw_storm);
+    ASSERT_EQ(raw_ref, raw_storm)
+        << "chaos on tenant 'noisy' leaked into tenant 'calm' at query " << q;
+  }
+  noise.join();
+
+  lcaknap::net::RequestFrame shutdown;
+  shutdown.flags = lcaknap::net::RequestFrame::kFlagShutdown;
+  shutdown.tenant = "calm";
+  (void)ref_client.call(shutdown);
+  (void)storm_client.call(shutdown);
+  EXPECT_NE(stormy.final_output().find("HOLDS"), std::string::npos);
 }
 
 TEST(Cli, ServeEngineRestoresFromSnapshotDir) {

@@ -87,6 +87,8 @@
 #include "knapsack/solvers/solve.h"
 #include "metrics/exporters.h"
 #include "metrics/metrics.h"
+#include "net/server.h"
+#include "net/session.h"
 #include "oracle/access.h"
 #include "oracle/flaky.h"
 #include "oracle/instrumented.h"
@@ -117,7 +119,7 @@ class Args {
         continue;
       }
       if (key == "all" || key == "breaker" || key == "degrade" ||
-          key == "certify") {
+          key == "certify" || key == "allow-shutdown") {
         values_[key] = "true";
         continue;
       }
@@ -224,7 +226,188 @@ std::vector<std::size_t> parse_items(const std::string& csv, std::size_t n) {
   return items;
 }
 
+/// `serve --listen PORT`: the network front door (docs/NETWORKING.md).
+/// Hosts one or more tenants behind the length-prefixed binary protocol:
+/// register -> warm (StateStore-hydrated, snapshot-first) -> arm optional
+/// per-tenant chaos -> accept.  Runs until a gated shutdown frame arrives
+/// (--allow-shutdown) or the process is signalled.
+int cmd_serve_listen(const Args& args) {
+  auto& registry = metrics::global_registry();
+
+  // Tenants: "--tenants a=fileA,b=fileB", or the single default tenant
+  // "--in FILE" named by --instance-id.
+  std::vector<std::pair<std::string, std::string>> specs;
+  if (const auto csv = args.get("tenants")) {
+    std::stringstream ss(*csv);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        throw std::invalid_argument("--tenants entries are id=file, got: " +
+                                    token);
+      }
+      specs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    if (specs.empty()) throw std::invalid_argument("--tenants list is empty");
+  } else {
+    specs.emplace_back(args.get("instance-id").value_or("default"),
+                       args.require("in"));
+  }
+
+  core::LcaKpConfig lca_config;
+  lca_config.eps = args.get_double("eps", 0.1);
+  lca_config.seed = args.get_u64("seed", 0xC0DE);
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = static_cast<std::size_t>(args.get_u64("workers", 4));
+  engine_config.queue_capacity =
+      static_cast<std::size_t>(args.get_u64("queue-cap", 8'192));
+  engine_config.batcher.max_batch_size =
+      static_cast<std::size_t>(args.get_u64("batch-max", 64));
+  engine_config.batcher.max_linger =
+      std::chrono::microseconds(args.get_u64("linger-us", 200));
+  engine_config.cache.capacity =
+      static_cast<std::size_t>(args.get_u64("cache-cap", 1 << 16));
+  engine_config.cache.shards =
+      static_cast<std::size_t>(args.get_u64("cache-shards", 8));
+  engine_config.default_deadline =
+      std::chrono::microseconds(args.get_u64("deadline-us", 0));
+  engine_config.warmup_threads =
+      static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
+  engine_config.degrade = args.get("degrade").has_value();
+  const std::uint64_t tape_seed = args.get_u64("tape", 7);
+
+  // Per-tenant oracle stacks; own everything the router borrows.
+  struct TenantStack {
+    explicit TenantStack(knapsack::Instance instance)
+        : inst(std::move(instance)) {}
+    knapsack::Instance inst;
+    std::unique_ptr<oracle::MaterializedAccess> storage;
+    std::unique_ptr<oracle::InstrumentedAccess> instrumented;
+    std::optional<fault::ChaosAccess> chaos;
+    std::unique_ptr<core::LcaKp> lca;
+  };
+  const auto chaos_tenant = args.get("chaos-tenant");
+  const auto chaos_plan = args.get("chaos-plan");
+  if (chaos_tenant.has_value() != chaos_plan.has_value()) {
+    throw std::invalid_argument(
+        "--chaos-tenant and --chaos-plan go together");
+  }
+  std::vector<std::unique_ptr<TenantStack>> stacks;
+  for (const auto& [id, path] : specs) {
+    auto stack = std::make_unique<TenantStack>(load_instance(path));
+    stack->storage = std::make_unique<oracle::MaterializedAccess>(stack->inst);
+    stack->instrumented =
+        std::make_unique<oracle::InstrumentedAccess>(*stack->storage, registry);
+    const oracle::InstanceAccess* top = stack->instrumented.get();
+    if (chaos_tenant && *chaos_tenant == id) {
+      // Disarmed through warm-up (the paper's one-time phase is a
+      // controlled environment); armed right before accept.
+      stack->chaos.emplace(*top,
+                           fault::parse_fault_plan(
+                               *chaos_plan, args.get_u64("chaos-seed", 0xC405)),
+                           util::system_clock(), /*armed=*/false);
+      top = &*stack->chaos;
+    }
+    stack->lca = std::make_unique<core::LcaKp>(*top, lca_config);
+    stacks.push_back(std::move(stack));
+  }
+
+  store::StateStoreConfig store_config;
+  store_config.capacity = static_cast<std::size_t>(
+      args.get_u64("store-capacity", std::max<std::uint64_t>(8, specs.size())));
+  if (const auto dir = args.get("snapshot-dir")) {
+    std::filesystem::create_directories(*dir);
+    store_config.snapshot_dir = *dir;
+  }
+  store_config.warmup_threads = engine_config.warmup_threads;
+  store::StateStore state_store(store_config, registry);
+
+  net::TenantRouter router(state_store, registry);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    net::TenantConfig tenant;
+    tenant.lca = stacks[i]->lca.get();
+    tenant.engine = engine_config;
+    tenant.tape_seed = tape_seed;
+    tenant.max_inflight =
+        static_cast<std::size_t>(args.get_u64("tenant-inflight", 1024));
+    router.register_tenant(specs[i].first, tenant);
+  }
+  // Warm before accepting so the first remote query is never paying a
+  // warm-up, then start the scripted storm (if any).
+  router.warm_all();
+  for (auto& stack : stacks) {
+    if (stack->chaos) stack->chaos->arm();
+  }
+
+  net::ServerConfig server_config;
+  server_config.port =
+      static_cast<std::uint16_t>(args.get_u64("listen", 0));
+  server_config.max_connections =
+      static_cast<std::size_t>(args.get_u64("max-conns", 256));
+  server_config.max_inflight_per_connection =
+      static_cast<std::size_t>(args.get_u64("conn-inflight", 128));
+  server_config.allow_shutdown = args.get("allow-shutdown").has_value();
+  net::Server server(router, server_config, registry);
+
+  // The machine-readable contract the loadgen and the two-process tests
+  // parse; announce only once everything above is warm.
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  server.wait_shutdown();
+  server.stop();
+  router.drain();
+
+  const auto stats = server.stats();
+  const auto router_stats = router.stats();
+  util::Table table({"metric", "value"});
+  table.row().cell("tenants").cell(specs.size());
+  {
+    std::string warm;
+    for (const auto& id : state_store.warm_ids()) {
+      if (!warm.empty()) warm += ", ";
+      warm += id;
+    }
+    table.row().cell("warm tenants").cell(warm.empty() ? "(none)" : warm);
+  }
+  table.row().cell("connections accepted / shed at capacity")
+      .cell(std::to_string(stats.accepted) + " / " +
+            std::to_string(stats.at_capacity));
+  table.row().cell("frames in").cell(stats.frames_in);
+  table.row().cell("decode errors").cell(stats.decode_errors);
+  std::string by_status;
+  for (std::size_t s = 0; s < stats.by_status.size(); ++s) {
+    if (stats.by_status[s] == 0) continue;
+    if (!by_status.empty()) by_status += ", ";
+    by_status +=
+        std::string(net::wire_status_name(static_cast<net::WireStatus>(s))) +
+        "=" + std::to_string(stats.by_status[s]);
+  }
+  table.row().cell("responses by status").cell(
+      by_status.empty() ? "(none)" : by_status);
+  table.row().cell("wire conservation").cell(
+      stats.frames_in == stats.responses_to_frames() ? "HOLDS" : "VIOLATED");
+  table.row().cell("bytes in / out").cell(std::to_string(stats.bytes_in) +
+                                          " / " +
+                                          std::to_string(stats.bytes_out));
+  table.row().cell("routed / completed").cell(
+      std::to_string(router_stats.routed) + " / " +
+      std::to_string(router_stats.completed));
+  table.row().cell("quota shed / unknown tenant")
+      .cell(std::to_string(router_stats.quota_shed) + " / " +
+            std::to_string(router_stats.unknown_tenant));
+  table.print(std::cout, "serve --listen");
+  if (stats.frames_in != stats.responses_to_frames()) {
+    std::cerr << "WIRE CONSERVATION VIOLATED: " << stats.frames_in
+              << " frames in, " << stats.responses_to_frames()
+              << " responses\n";
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
+  if (args.get("listen")) return cmd_serve_listen(args);
   const auto inst = load_instance(args.require("in"));
   core::LcaKpConfig config;
   config.eps = args.get_double("eps", 0.1);
@@ -633,6 +816,14 @@ void usage() {
       "  solve    --in FILE [--method exact|greedy|fptas] [--eps E]\n"
       "  serve    --in FILE [--eps E] [--seed S] (--items i,j,k | --all)\n"
       "           [--flaky RATE] [--retries N] [--warmup-threads K]\n"
+      "  serve    --listen PORT (--in FILE | --tenants a=fileA,b=fileB)\n"
+      "           [--instance-id ID] [--eps E] [--seed S] [--tape T]\n"
+      "           [--workers W] [--queue-cap N] [--batch-max B] [--linger-us L]\n"
+      "           [--cache-cap N] [--cache-shards S] [--deadline-us D]\n"
+      "           [--max-conns N] [--conn-inflight N] [--tenant-inflight N]\n"
+      "           [--store-capacity N] [--snapshot-dir DIR] [--degrade]\n"
+      "           [--chaos-tenant ID --chaos-plan SPEC] [--chaos-seed S]\n"
+      "           [--allow-shutdown]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
       "  snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]\n"
       "           [--tape T] [--warmup-threads K]\n"
@@ -664,6 +855,14 @@ void usage() {
       "--chaos-plan scripts oracle faults during the replay, e.g.\n"
       "  \"steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400\"\n"
       "(durations ms, latencies us; see docs/RESILIENCE.md).\n"
+      "--listen turns serve into a TCP front-end on 127.0.0.1 (port 0 picks\n"
+      "an ephemeral port, announced as 'listening on 127.0.0.1:PORT'): the\n"
+      "length-prefixed binary protocol of docs/NETWORKING.md, multi-tenant\n"
+      "routing by instance id through the StateStore, per-connection and\n"
+      "per-tenant backpressure shedding kOverloaded, and an optional\n"
+      "per-tenant chaos plan armed after warm-up.  --allow-shutdown honours\n"
+      "the gated remote-shutdown frame (tests; never production).  Drive it\n"
+      "with tools/lcaknap_loadgen.\n"
       "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
       "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }

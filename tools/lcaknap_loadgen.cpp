@@ -1,0 +1,412 @@
+// lcaknap_loadgen — closed- and open-loop traffic driver for
+// `lcaknap_cli serve --listen` (docs/NETWORKING.md, experiment E20).
+//
+//   lcaknap_loadgen --port P [--host 127.0.0.1] [--tenant default]
+//     [--mode closed|open] [--connections C] [--window W]
+//     [--queries N] [--duration-ms D] [--qps R]
+//     [--items-max M] [--seed S] [--deadline-us D] [--json]
+//
+// Closed loop (default): each of C connections keeps a window of W frames
+// in flight — send, wait, send — so offered load self-regulates to what the
+// server sustains; the classic saturation probe.  `--queries N` bounds the
+// total; `--duration-ms` bounds the wall time (whichever first).
+//
+// Open loop: frames are paced at a fixed `--qps` total regardless of
+// responses (a sender and a drainer thread per connection) — the overload
+// probe: offered load does not slow down when the server sheds, so the
+// kOverloaded wire status and the conservation law do the talking.
+//
+// Reports sent/answered counts, responses by wire status, wire-level
+// conservation (sent == responses received, zero silent drops), latency
+// percentiles, and achieved qps; `--json` emits one machine-readable line
+// (the E20 harness parses it).
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime/conservation failure.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lcaknap;
+using Clock = std::chrono::steady_clock;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      if (key == "json" || key == "shutdown") {
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--" + key + " needs a value");
+      }
+      values_[key] = argv[++i];
+    }
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::stoull(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Per-connection tally, merged after the run.
+struct ConnResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::array<std::uint64_t, 8> by_status{};
+  std::vector<double> latencies_us;
+  std::string error;  ///< first socket failure, if any
+};
+
+struct RunConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string tenant = "default";
+  bool open_loop = false;
+  std::size_t connections = 1;
+  std::size_t window = 1;
+  std::uint64_t total_queries = 10'000;
+  std::uint64_t duration_ms = 0;  ///< 0 = unbounded (closed loop only)
+  double qps = 0.0;               ///< open loop target, all connections
+  std::uint64_t items_max = 1'000;
+  std::uint64_t seed = 1;
+  std::uint64_t deadline_us = 0;
+};
+
+void record(ConnResult& result, const net::ResponseFrame& response,
+            double latency_us) {
+  result.received += 1;
+  const auto s = static_cast<std::size_t>(response.status);
+  if (s < result.by_status.size()) result.by_status[s] += 1;
+  result.latencies_us.push_back(latency_us);
+}
+
+/// Closed loop: keep `window` frames outstanding until the quota or the
+/// deadline; every sent frame is drained before the connection closes.
+void run_closed(const RunConfig& config, std::uint64_t quota,
+                std::uint64_t conn_seed, ConnResult& result) {
+  try {
+    net::Client client(config.host, config.port);
+    std::mt19937_64 rng(conn_seed);
+    std::uniform_int_distribution<std::uint64_t> pick(
+        0, config.items_max > 0 ? config.items_max - 1 : 0);
+    std::unordered_map<std::uint64_t, Clock::time_point> outstanding;
+    const auto start = Clock::now();
+    const auto deadline =
+        config.duration_ms > 0
+            ? start + std::chrono::milliseconds(config.duration_ms)
+            : Clock::time_point::max();
+    std::uint64_t next_id = 1;
+    const auto send_one = [&] {
+      net::RequestFrame frame;
+      frame.request_id = next_id++;
+      frame.item = pick(rng);
+      frame.deadline_us = config.deadline_us;
+      frame.tenant = config.tenant;
+      outstanding.emplace(frame.request_id, Clock::now());
+      client.send(frame);
+      result.sent += 1;
+    };
+    while (result.sent < quota && Clock::now() < deadline) {
+      while (outstanding.size() < config.window && result.sent < quota) {
+        send_one();
+      }
+      if (outstanding.empty()) break;
+      const auto response = client.recv();
+      const auto it = outstanding.find(response.request_id);
+      const double latency =
+          it == outstanding.end()
+              ? 0.0
+              : std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          it->second)
+                    .count();
+      if (it != outstanding.end()) outstanding.erase(it);
+      record(result, response, latency);
+    }
+    while (!outstanding.empty()) {
+      const auto response = client.recv();
+      const auto it = outstanding.find(response.request_id);
+      const double latency =
+          it == outstanding.end()
+              ? 0.0
+              : std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          it->second)
+                    .count();
+      if (it != outstanding.end()) outstanding.erase(it);
+      record(result, response, latency);
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+}
+
+/// Open loop: a paced sender and a drainer thread share the connection;
+/// offered load never backs off.
+void run_open(const RunConfig& config, double conn_qps, std::uint64_t quota,
+              std::uint64_t conn_seed, ConnResult& result) {
+  try {
+    net::Client client(config.host, config.port);
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Clock::time_point> outstanding;
+    std::atomic<bool> done_sending{false};
+
+    std::thread drainer([&] {
+      try {
+        while (true) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (done_sending.load(std::memory_order_acquire) &&
+                outstanding.empty()) {
+              return;
+            }
+          }
+          const auto response = client.recv();
+          double latency = 0.0;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            const auto it = outstanding.find(response.request_id);
+            if (it != outstanding.end()) {
+              latency = std::chrono::duration<double, std::micro>(
+                            Clock::now() - it->second)
+                            .count();
+              outstanding.erase(it);
+            }
+          }
+          std::lock_guard<std::mutex> lock(mutex);
+          record(result, response, latency);
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (result.error.empty()) result.error = e.what();
+      }
+    });
+
+    std::mt19937_64 rng(conn_seed);
+    std::uniform_int_distribution<std::uint64_t> pick(
+        0, config.items_max > 0 ? config.items_max - 1 : 0);
+    const auto start = Clock::now();
+    const auto end = start + std::chrono::milliseconds(
+                                 config.duration_ms > 0 ? config.duration_ms
+                                                        : 1'000);
+    const auto gap = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(conn_qps > 0 ? 1.0 / conn_qps : 0.0));
+    auto next_send = start;
+    std::uint64_t next_id = 1;
+    while (Clock::now() < end && result.sent < quota) {
+      if (gap.count() > 0) {
+        std::this_thread::sleep_until(next_send);
+        next_send += gap;
+      }
+      net::RequestFrame frame;
+      frame.request_id = next_id++;
+      frame.item = pick(rng);
+      frame.deadline_us = config.deadline_us;
+      frame.tenant = config.tenant;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        outstanding.emplace(frame.request_id, Clock::now());
+      }
+      client.send(frame);
+      result.sent += 1;
+    }
+    done_sending.store(true, std::memory_order_release);
+    drainer.join();
+  } catch (const std::exception& e) {
+    if (result.error.empty()) result.error = e.what();
+  }
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int run(const Args& args) {
+  RunConfig config;
+  config.host = args.get("host").value_or("127.0.0.1");
+  config.port = static_cast<std::uint16_t>(
+      std::stoul(args.get("port").value_or("0")));
+  if (config.port == 0) throw std::invalid_argument("--port is required");
+  config.tenant = args.get("tenant").value_or("default");
+  const std::string mode = args.get("mode").value_or("closed");
+  if (mode != "closed" && mode != "open") {
+    throw std::invalid_argument("unknown --mode: " + mode);
+  }
+  config.open_loop = mode == "open";
+  config.connections =
+      std::max<std::size_t>(1, args.get_u64("connections", 1));
+  config.window = std::max<std::size_t>(1, args.get_u64("window", 1));
+  config.total_queries = args.get_u64("queries", 10'000);
+  config.duration_ms = args.get_u64("duration-ms", 0);
+  config.qps = static_cast<double>(args.get_u64("qps", 0));
+  config.items_max = std::max<std::uint64_t>(1, args.get_u64("items-max", 1'000));
+  config.seed = args.get_u64("seed", 1);
+  config.deadline_us = args.get_u64("deadline-us", 0);
+  if (config.open_loop && config.qps <= 0) {
+    throw std::invalid_argument("--mode open needs --qps");
+  }
+
+  const std::uint64_t per_conn =
+      (config.total_queries + config.connections - 1) / config.connections;
+  std::vector<ConnResult> results(config.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    const std::uint64_t conn_seed = config.seed * 0x9E3779B97F4A7C15ull + c;
+    if (config.open_loop) {
+      const double conn_qps =
+          config.qps / static_cast<double>(config.connections);
+      threads.emplace_back([&, c, conn_seed, conn_qps] {
+        run_open(config, conn_qps, per_conn, conn_seed, results[c]);
+      });
+    } else {
+      threads.emplace_back([&, c, conn_seed] {
+        run_closed(config, per_conn, conn_seed, results[c]);
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ConnResult total;
+  for (auto& r : results) {
+    total.sent += r.sent;
+    total.received += r.received;
+    for (std::size_t s = 0; s < total.by_status.size(); ++s) {
+      total.by_status[s] += r.by_status[s];
+    }
+    total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+    if (total.error.empty() && !r.error.empty()) total.error = r.error;
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const double p50 = percentile(total.latencies_us, 0.50);
+  const double p95 = percentile(total.latencies_us, 0.95);
+  const double p99 = percentile(total.latencies_us, 0.99);
+  const double qps =
+      elapsed_s > 0 ? static_cast<double>(total.received) / elapsed_s : 0.0;
+  const std::uint64_t ok =
+      total.by_status[static_cast<std::size_t>(net::WireStatus::kOk)];
+  const bool conserved = total.sent == total.received;
+
+  if (args.get("json")) {
+    std::ostringstream json;
+    json << "{\"mode\":\"" << mode << "\",\"connections\":"
+         << config.connections << ",\"window\":" << config.window
+         << ",\"sent\":" << total.sent << ",\"received\":" << total.received
+         << ",\"qps\":" << qps << ",\"p50_us\":" << p50 << ",\"p95_us\":"
+         << p95 << ",\"p99_us\":" << p99 << ",\"conserved\":"
+         << (conserved ? "true" : "false");
+    for (std::size_t s = 0; s < total.by_status.size(); ++s) {
+      json << ",\"" << net::wire_status_name(static_cast<net::WireStatus>(s))
+           << "\":" << total.by_status[s];
+    }
+    json << "}";
+    std::cout << json.str() << std::endl;
+  } else {
+    util::Table table({"metric", "value"});
+    table.row().cell("mode").cell(mode);
+    table.row().cell("connections x window").cell(
+        std::to_string(config.connections) + " x " +
+        std::to_string(config.window));
+    table.row().cell("sent / received").cell(std::to_string(total.sent) +
+                                             " / " +
+                                             std::to_string(total.received));
+    std::string by_status;
+    for (std::size_t s = 0; s < total.by_status.size(); ++s) {
+      if (total.by_status[s] == 0) continue;
+      if (!by_status.empty()) by_status += ", ";
+      by_status +=
+          std::string(net::wire_status_name(static_cast<net::WireStatus>(s))) +
+          "=" + std::to_string(total.by_status[s]);
+    }
+    table.row().cell("by status").cell(by_status.empty() ? "(none)"
+                                                         : by_status);
+    table.row().cell("ok fraction").cell(
+        total.received > 0
+            ? static_cast<double>(ok) / static_cast<double>(total.received)
+            : 0.0);
+    table.row().cell("achieved qps").cell(qps, 0);
+    table.row().cell("p50 / p95 / p99 us").cell(
+        std::to_string(static_cast<std::uint64_t>(p50)) + " / " +
+        std::to_string(static_cast<std::uint64_t>(p95)) + " / " +
+        std::to_string(static_cast<std::uint64_t>(p99)));
+    table.row().cell("wire conservation").cell(conserved ? "HOLDS"
+                                                         : "VIOLATED");
+    table.print(std::cout, "loadgen");
+  }
+  if (args.get("shutdown")) {
+    // Ask an --allow-shutdown server to exit (scripted runs / CI smoke).
+    net::Client client(config.host, config.port);
+    net::RequestFrame frame;
+    frame.flags = net::RequestFrame::kFlagShutdown;
+    frame.tenant = config.tenant;
+    const auto response = client.call(frame);
+    std::cerr << "shutdown -> " << net::wire_status_name(response.status)
+              << "\n";
+  }
+  if (!total.error.empty()) {
+    std::cerr << "error: " << total.error << "\n";
+    return 2;
+  }
+  return conserved ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Args(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "usage error: " << e.what() << "\n"
+              << "usage: lcaknap_loadgen --port P [--host H] [--tenant ID]\n"
+                 "  [--mode closed|open] [--connections C] [--window W]\n"
+                 "  [--queries N] [--duration-ms D] [--qps R]\n"
+                 "  [--items-max M] [--seed S] [--deadline-us D] [--json]\n"
+                 "  [--shutdown]\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
