@@ -71,18 +71,38 @@ std::string FaultPlan::describe() const {
 
 namespace {
 
-std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+/// Translates an absolute byte offset in the spec into the 1-based
+/// line/column a FaultPlanParseError reports; multi-line scripts (phases
+/// separated by '\n') make the line component meaningful.
+[[noreturn]] void fail_at(const std::string& spec, std::size_t at,
+                          const std::string& reason, std::string token) {
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i < at && i < spec.size(); ++i) {
+    if (spec[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  throw FaultPlanParseError(reason, line, column, std::move(token));
+}
+
+std::uint64_t parse_u64(const std::string& spec, std::size_t at,
+                        const std::string& text, const std::string& what) {
   try {
     std::size_t used = 0;
     const auto value = std::stoull(text, &used);
     if (used != text.size()) throw std::invalid_argument(text);
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("fault plan: bad " + what + ": '" + text + "'");
+    fail_at(spec, at, "bad " + what, text);
   }
 }
 
-double parse_rate(const std::string& text, const std::string& what) {
+double parse_rate(const std::string& spec, std::size_t at,
+                  const std::string& text, const std::string& what) {
   try {
     std::size_t used = 0;
     const double value = std::stod(text, &used);
@@ -91,50 +111,63 @@ double parse_rate(const std::string& text, const std::string& what) {
     }
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("fault plan: bad " + what + ": '" + text + "'");
+    fail_at(spec, at, "bad " + what, text);
   }
 }
 
-FaultPhase parse_phase(const std::string& text) {
+/// Parses one phase token; `base` is the token's absolute offset in the
+/// spec, so every error points at the offending token, not just the phase.
+FaultPhase parse_phase(const std::string& spec, std::size_t base,
+                       const std::string& text) {
   // label ':' duration_ms [':' knob (',' knob)*]
   const auto first = text.find(':');
   if (first == std::string::npos || first == 0) {
-    throw std::invalid_argument("fault plan: phase needs 'label:duration_ms': '" +
-                                text + "'");
+    fail_at(spec, base, "phase needs 'label:duration_ms'", text);
   }
   FaultPhase phase;
   phase.label = text.substr(0, first);
   const auto second = text.find(':', first + 1);
   const auto duration_text = text.substr(
       first + 1, second == std::string::npos ? std::string::npos : second - first - 1);
-  phase.duration_us = parse_u64(duration_text, "duration") * 1000;
+  phase.duration_us =
+      parse_u64(spec, base + first + 1, duration_text, "duration") * 1000;
   if (second == std::string::npos) return phase;
 
-  std::stringstream knobs(text.substr(second + 1));
-  std::string knob;
-  while (std::getline(knobs, knob, ',')) {
+  std::size_t pos = second + 1;
+  while (true) {
+    const auto comma = text.find(',', pos);
+    const bool last = comma == std::string::npos;
+    const std::string knob =
+        text.substr(pos, last ? std::string::npos : comma - pos);
+    if (last && knob.empty()) break;  // a trailing ',' yields no knob
+    const std::size_t knob_at = base + pos;
     const auto eq = knob.find('=');
     if (eq == std::string::npos) {
-      throw std::invalid_argument("fault plan: knob needs 'key=value': '" + knob + "'");
+      fail_at(spec, knob_at, "knob needs 'key=value'", knob);
     }
     const auto key = knob.substr(0, eq);
     const auto value = knob.substr(eq + 1);
+    const std::size_t value_at = knob_at + eq + 1;
     if (key == "fail") {
-      phase.fail_rate = parse_rate(value, "fail rate");
+      phase.fail_rate = parse_rate(spec, value_at, value, "fail rate");
     } else if (key == "corrupt") {
-      phase.corrupt_rate = parse_rate(value, "corrupt rate");
+      phase.corrupt_rate = parse_rate(spec, value_at, value, "corrupt rate");
     } else if (key == "lat") {
       const auto dots = value.find("..");
       if (dots == std::string::npos) {
-        phase.latency_min_us = phase.latency_max_us = parse_u64(value, "latency");
+        phase.latency_min_us = phase.latency_max_us =
+            parse_u64(spec, value_at, value, "latency");
       } else {
-        phase.latency_min_us = parse_u64(value.substr(0, dots), "latency min");
-        phase.latency_max_us = parse_u64(value.substr(dots + 2), "latency max");
+        phase.latency_min_us =
+            parse_u64(spec, value_at, value.substr(0, dots), "latency min");
+        phase.latency_max_us = parse_u64(spec, value_at + dots + 2,
+                                         value.substr(dots + 2), "latency max");
       }
     } else {
-      throw std::invalid_argument("fault plan: unknown knob '" + key +
-                                  "' (try fail, corrupt, lat)");
+      fail_at(spec, knob_at, "unknown knob (try fail, corrupt, lat)", key);
     }
+    if (last) break;
+    pos = comma + 1;
   }
   return phase;
 }
@@ -143,10 +176,15 @@ FaultPhase parse_phase(const std::string& text) {
 
 FaultPlan parse_fault_plan(const std::string& spec, std::uint64_t seed, bool cycle) {
   std::vector<FaultPhase> phases;
-  std::stringstream ss(spec);
-  std::string token;
-  while (std::getline(ss, token, ';')) {
-    if (!token.empty()) phases.push_back(parse_phase(token));
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    auto end = spec.find_first_of(";\n", start);
+    if (end == std::string::npos) end = spec.size();
+    if (end > start) {
+      phases.push_back(parse_phase(spec, start, spec.substr(start, end - start)));
+    }
+    if (end == spec.size()) break;
+    start = end + 1;
   }
   return FaultPlan(std::move(phases), seed, cycle);  // validates
 }

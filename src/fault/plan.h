@@ -2,6 +2,7 @@
 #define LCAKNAP_FAULT_PLAN_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -77,9 +78,35 @@ class FaultPlan {
   std::uint64_t total_us_ = 0;
 };
 
+/// Typed parse failure: carries the 1-based line/column where the offending
+/// token starts and the token itself, so a mistyped plan in a CLI flag or a
+/// chaos-drill script points at the exact spot instead of a bare reason.
+/// Derives from std::invalid_argument, so callers that only care that the
+/// spec was malformed keep working.
+class FaultPlanParseError : public std::invalid_argument {
+ public:
+  FaultPlanParseError(std::string reason, std::size_t line, std::size_t column,
+                      std::string token)
+      : std::invalid_argument("fault plan:" + std::to_string(line) + ":" +
+                              std::to_string(column) + ": " + reason + ": '" +
+                              token + "'"),
+        line_(line),
+        column_(column),
+        token_(std::move(token)) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+  std::string token_;
+};
+
 /// Parses the CLI plan grammar:
 ///
-///   plan   := phase (';' phase)*
+///   plan   := phase ((';' | '\n') phase)*
 ///   phase  := label ':' duration_ms [':' knob (',' knob)*]
 ///   knob   := 'fail=' RATE | 'corrupt=' RATE
 ///           | 'lat=' US | 'lat=' US '..' US
@@ -87,7 +114,11 @@ class FaultPlan {
 /// Durations are milliseconds (human scale); latencies are microseconds
 /// (injection scale).  A trailing phase with duration 0 holds forever.
 /// Example: "steady:200;outage:100:fail=1;brownout:150:fail=0.2,lat=100..400".
-/// Throws std::invalid_argument on malformed specs.
+/// Multi-line scripts separate phases by newline; both separators nest the
+/// same way.  Throws `FaultPlanParseError` (an std::invalid_argument with
+/// line/column and the offending token) on malformed specs; semantic
+/// violations (inverted ranges, zero mid-plan durations) throw plain
+/// std::invalid_argument from the FaultPlan constructor.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec,
                                          std::uint64_t seed, bool cycle = false);
 

@@ -1,0 +1,121 @@
+#include "fleet/chaos.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lcaknap::fleet {
+
+namespace {
+
+/// Disjoint decision streams per (replica, fault class): each action class
+/// rolls independent dice, so raising `fail=` cannot change which ticks
+/// brown out — the same decoupling ChaosAccess guarantees per call.
+enum class ChaosStream : std::uint64_t {
+  kKill = 1,
+  kBrownoutDuration = 3,
+  kCorrupt = 4,
+};
+
+std::uint64_t stream_of(std::uint64_t replica_id, ChaosStream s) noexcept {
+  return replica_id * 16 + static_cast<std::uint64_t>(s);
+}
+
+}  // namespace
+
+const char* chaos_action_name(ChaosAction action) noexcept {
+  switch (action) {
+    case ChaosAction::kKill: return "kill";
+    case ChaosAction::kBrownout: return "brownout";
+    case ChaosAction::kCorruptSnapshot: return "corrupt_snapshot";
+  }
+  return "unknown";
+}
+
+ReplicaChaos::ReplicaChaos(fault::FaultPlan plan,
+                           std::vector<ReplicaTarget> targets,
+                           ChaosHooks hooks, util::Clock& clock,
+                           metrics::Registry& registry)
+    : plan_(std::move(plan)),
+      targets_(std::move(targets)),
+      alive_(targets_.size(), true),
+      hooks_(std::move(hooks)),
+      clock_(&clock),
+      prf_(plan_.seed()),
+      kills_counter_(&registry.counter(
+          "fleet_chaos_kills_total", "Replicas killed by the chaos driver")),
+      brownouts_counter_(&registry.counter(
+          "fleet_chaos_brownouts_total",
+          "Replica brownouts (paused process) fired by the chaos driver")),
+      corruptions_counter_(&registry.counter(
+          "fleet_chaos_snapshot_corruptions_total",
+          "Shipped snapshots corrupted in flight by the chaos driver")) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("ReplicaChaos: at least one target required");
+  }
+}
+
+void ReplicaChaos::arm() {
+  armed_ = true;
+  armed_at_us_ = clock_->now_us();
+  tick_index_ = 0;
+}
+
+void ReplicaChaos::revive(std::uint64_t replica_id) {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].replica_id == replica_id) alive_[i] = true;
+  }
+}
+
+std::size_t ReplicaChaos::tick() {
+  if (!armed_) return 0;
+  const std::uint64_t elapsed = clock_->now_us() - armed_at_us_;
+  const auto& phase = plan_.phase_at(elapsed);
+  const std::uint64_t tick = tick_index_++;
+  std::size_t fired = 0;
+
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const auto& target = targets_[i];
+    const auto id = target.replica_id;
+
+    if (phase.corrupt_rate > 0.0 &&
+        prf_.uniform(stream_of(id, ChaosStream::kCorrupt), tick) <
+            phase.corrupt_rate) {
+      events_.push_back({elapsed, id, ChaosAction::kCorruptSnapshot,
+                         phase.label, 0});
+      corruptions_counter_->inc();
+      ++fired;
+      if (hooks_.corrupt_snapshot) hooks_.corrupt_snapshot(target);
+    }
+
+    if (phase.latency_max_us > 0) {
+      // Latency phases apply throughout (matching per-call injection in
+      // ChaosAccess): every tick pauses, only the duration is drawn.
+      const auto span = phase.latency_max_us - phase.latency_min_us;
+      const auto pause =
+          phase.latency_min_us +
+          static_cast<std::uint64_t>(
+              prf_.uniform(stream_of(id, ChaosStream::kBrownoutDuration),
+                           tick) *
+              static_cast<double>(span + 1));
+      events_.push_back(
+          {elapsed, id, ChaosAction::kBrownout, phase.label, pause});
+      brownouts_counter_->inc();
+      ++fired;
+      if (hooks_.brownout) hooks_.brownout(target, pause);
+    }
+
+    if (phase.fail_rate > 0.0 &&
+        prf_.uniform(stream_of(id, ChaosStream::kKill), tick) <
+            phase.fail_rate) {
+      events_.push_back({elapsed, id, ChaosAction::kKill, phase.label, 0});
+      kills_counter_->inc();
+      ++fired;
+      alive_[i] = false;  // dead until revive()
+      if (hooks_.kill) hooks_.kill(target);
+    }
+  }
+  return fired;
+}
+
+}  // namespace lcaknap::fleet

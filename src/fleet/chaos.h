@@ -1,0 +1,114 @@
+#ifndef LCAKNAP_FLEET_CHAOS_H
+#define LCAKNAP_FLEET_CHAOS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "metrics/metrics.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+/// \file chaos.h
+/// Chaos drills at *replica* granularity.
+///
+/// `fault::ChaosAccess` injects faults per oracle call; `ReplicaChaos`
+/// re-targets the same scripted `FaultPlan` grammar at whole replicas.  The
+/// phase knobs are reinterpreted at process scale:
+///
+///   * `fail=R`        — each tick, each target is killed (SIGKILL through
+///                       the hook) with probability R;
+///   * `lat=A..B`      — brownout: the target is paused for a duration
+///                       drawn uniformly in [A, B] us (SIGSTOP/SIGCONT in
+///                       the orchestrator, an engine stall in unit tests);
+///   * `corrupt=R`     — with probability R the target's *shipped snapshot*
+///                       is corrupted in flight, exercising the restoring
+///                       replica's typed-rejection path.
+///
+/// Actions are delivered through injected `ChaosHooks`, so unit tests drive
+/// in-process stand-ins on a `VirtualClock` while the fleet orchestrator
+/// installs real `kill(2)`-based hooks.  Per-tick decisions are a pure
+/// function of (plan seed, replica_id, tick index) via `util::Prf` —
+/// replaying a drill reproduces the identical kill schedule, the property
+/// tests/fleet/test_chaos.cpp pins.  Every action lands in a typed
+/// `ChaosEvent` log so a drill report can say exactly what was done to
+/// whom, when, and under which phase.
+
+namespace lcaknap::fleet {
+
+struct ReplicaTarget {
+  std::uint64_t replica_id = 0;
+  std::string label;  ///< for event logs and drill reports
+};
+
+enum class ChaosAction : std::uint8_t {
+  kKill = 0,
+  kBrownout = 1,
+  kCorruptSnapshot = 2,
+};
+
+[[nodiscard]] const char* chaos_action_name(ChaosAction action) noexcept;
+
+struct ChaosEvent {
+  std::uint64_t at_us = 0;  ///< elapsed armed time when the action fired
+  std::uint64_t replica_id = 0;
+  ChaosAction action = ChaosAction::kKill;
+  std::string phase;               ///< label of the plan phase in force
+  std::uint64_t brownout_us = 0;   ///< drawn pause length (kBrownout only)
+};
+
+/// Action delivery.  Unset hooks mean the action is skipped (but the event
+/// is still logged — the schedule is the contract, delivery is pluggable).
+struct ChaosHooks {
+  std::function<void(const ReplicaTarget&)> kill;
+  std::function<void(const ReplicaTarget&, std::uint64_t pause_us)> brownout;
+  std::function<void(const ReplicaTarget&)> corrupt_snapshot;
+};
+
+class ReplicaChaos {
+ public:
+  /// Throws std::invalid_argument on an empty target list.
+  ReplicaChaos(fault::FaultPlan plan, std::vector<ReplicaTarget> targets,
+               ChaosHooks hooks, util::Clock& clock,
+               metrics::Registry& registry = metrics::global_registry());
+
+  /// Starts (or restarts) the plan clock.  Ticks before arm() are no-ops.
+  void arm();
+
+  /// Evaluates the phase in force and rolls each target's dice for this
+  /// tick; fires hooks for the actions drawn.  Returns how many actions
+  /// fired.  A killed target is dropped from subsequent ticks until
+  /// `revive()` (the orchestrator revives after replacing the process).
+  std::size_t tick();
+
+  /// Re-enters `replica_id` into the drill (after a replacement process
+  /// took over its slot).
+  void revive(std::uint64_t replica_id);
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const fault::FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  fault::FaultPlan plan_;
+  std::vector<ReplicaTarget> targets_;
+  std::vector<bool> alive_;
+  ChaosHooks hooks_;
+  util::Clock* clock_;
+  util::Prf prf_;
+  bool armed_ = false;
+  std::uint64_t armed_at_us_ = 0;
+  std::uint64_t tick_index_ = 0;
+  std::vector<ChaosEvent> events_;
+
+  metrics::Counter* kills_counter_;
+  metrics::Counter* brownouts_counter_;
+  metrics::Counter* corruptions_counter_;
+};
+
+}  // namespace lcaknap::fleet
+
+#endif  // LCAKNAP_FLEET_CHAOS_H

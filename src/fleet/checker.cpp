@@ -1,0 +1,93 @@
+#include "fleet/checker.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lcaknap::fleet {
+
+ConsistencyChecker::ConsistencyChecker(std::vector<CheckerEndpoint> endpoints,
+                                       metrics::Registry& registry)
+    : checks_counter_(&registry.counter(
+          "fleet_checks_total",
+          "Cross-replica consistency probes completed")),
+      divergences_counter_(&registry.counter(
+          "fleet_divergences_total",
+          "Probes where two served answers disagreed (Lemma 4.9 violation; "
+          "must stay 0)")),
+      unavailable_counter_(&registry.counter(
+          "fleet_check_unavailable_total",
+          "Endpoint unreachable during a consistency probe")) {
+  if (endpoints.size() < 2) {
+    throw std::invalid_argument(
+        "ConsistencyChecker: need at least two endpoints to cross-check");
+  }
+  for (auto& endpoint : endpoints) {
+    endpoints_.push_back(Endpoint{std::move(endpoint), nullptr});
+  }
+}
+
+bool ConsistencyChecker::check(const std::string& tenant, std::uint64_t item) {
+  std::vector<CheckObservation> observations;
+  observations.reserve(endpoints_.size());
+
+  for (auto& endpoint : endpoints_) {
+    CheckObservation seen;
+    seen.replica_id = endpoint.config.replica_id;
+    net::RequestFrame request;
+    request.request_id = next_request_id_++;
+    request.item = item;
+    request.tenant = tenant;
+    try {
+      if (endpoint.client == nullptr || !endpoint.client->connected()) {
+        endpoint.client = std::make_unique<net::Client>(endpoint.config.host,
+                                                        endpoint.config.port);
+      }
+      const auto response = endpoint.client->call(request);
+      seen.reachable = true;
+      seen.status = response.status;
+      seen.answer = response.answer != 0;
+    } catch (const net::ConnectionLost&) {
+      endpoint.client.reset();
+      ++report_.unavailable;
+      unavailable_counter_->inc();
+    }
+    observations.push_back(seen);
+  }
+
+  ++report_.checks;
+  checks_counter_->inc();
+
+  // Compare within each answer class: kOk against kOk, kDegraded against
+  // kDegraded.  A refusal is not an answer and joins neither class.
+  bool diverged = false;
+  for (const auto status :
+       {net::WireStatus::kOk, net::WireStatus::kDegraded}) {
+    const CheckObservation* first = nullptr;
+    for (const auto& seen : observations) {
+      if (!seen.reachable) continue;
+      if (seen.status != status) {
+        continue;
+      }
+      if (first == nullptr) {
+        first = &seen;
+        continue;
+      }
+      ++report_.comparisons;
+      if (seen.answer != first->answer) diverged = true;
+    }
+  }
+  for (const auto& seen : observations) {
+    if (seen.reachable && seen.status != net::WireStatus::kOk &&
+        seen.status != net::WireStatus::kDegraded) {
+      ++report_.non_ok;
+    }
+  }
+  if (diverged) {
+    ++report_.divergences;
+    divergences_counter_->inc();
+    report_.details.push_back({tenant, item, observations});
+  }
+  return !diverged;
+}
+
+}  // namespace lcaknap::fleet

@@ -1,0 +1,110 @@
+#ifndef LCAKNAP_FLEET_CHECKER_H
+#define LCAKNAP_FLEET_CHECKER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "net/client.h"
+#include "net/wire.h"
+
+/// \file checker.h
+/// Cross-replica consistency checking: Lemma 4.9 asserted over the fleet.
+///
+/// Every replica built from the same shared seed must answer every
+/// `(tenant, item)` query with the *identical* membership bit — that is the
+/// lemma's "consistent with one maximal point p'" guarantee, and the whole
+/// basis for coordination-free failover.  `ConsistencyChecker` turns it
+/// into a falsifiable runtime check: query all endpoints for the same
+/// `(tenant, item)`, collect the served answers, and flag any pair of
+/// `kOk` answers that disagree as a **divergence**.
+///
+/// What is and is not a divergence:
+///   * two `kOk` answers with different `answer` bytes — divergence (the
+///     lemma is violated; something in the seed/state plumbing is broken);
+///   * an unreachable replica (`ConnectionLost`) — *unavailability*, counted
+///     separately; chaos drills expect plenty of it and none of it is an
+///     inconsistency;
+///   * a typed non-answer (`kOverloaded`, `kDeadlineExceeded`, ...) — a
+///     refusal, not an answer; counted as `non_ok`, never compared;
+///   * `kDegraded` answers are compared among themselves but not against
+///     `kOk` (the degrade ladder is an explicitly-flagged different
+///     computation; mixing the two classes would manufacture false alarms).
+///
+/// `cache_hit` and `replica_id` legitimately differ across replicas and are
+/// excluded from comparison; the `answer` byte is the payload the lemma
+/// speaks about.  Metrics: `fleet_checks_total`, `fleet_divergences_total`
+/// (must stay 0), `fleet_check_unavailable_total`.
+
+namespace lcaknap::fleet {
+
+struct CheckerEndpoint {
+  std::uint64_t replica_id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// One replica's view of one probed (tenant, item).
+struct CheckObservation {
+  std::uint64_t replica_id = 0;
+  bool reachable = false;
+  net::WireStatus status = net::WireStatus::kError;
+  bool answer = false;
+};
+
+struct Divergence {
+  std::string tenant;
+  std::uint64_t item = 0;
+  std::vector<CheckObservation> observations;  ///< the conflicting views
+};
+
+struct CheckerReport {
+  std::uint64_t checks = 0;        ///< (tenant, item) probes completed
+  std::uint64_t comparisons = 0;   ///< answer pairs compared
+  std::uint64_t divergences = 0;   ///< pairs that disagreed (must be 0)
+  std::uint64_t unavailable = 0;   ///< endpoint unreachable during a probe
+  std::uint64_t non_ok = 0;        ///< typed refusals (never compared)
+  std::vector<Divergence> details; ///< one entry per divergent probe
+
+  [[nodiscard]] bool consistent() const noexcept { return divergences == 0; }
+};
+
+class ConsistencyChecker {
+ public:
+  /// Throws std::invalid_argument on fewer than two endpoints (there is
+  /// nothing to cross-check).  Connections are opened lazily and re-opened
+  /// after a `ConnectionLost` (replicas die and come back mid-drill).
+  explicit ConsistencyChecker(
+      std::vector<CheckerEndpoint> endpoints,
+      metrics::Registry& registry = metrics::global_registry());
+
+  ConsistencyChecker(const ConsistencyChecker&) = delete;
+  ConsistencyChecker& operator=(const ConsistencyChecker&) = delete;
+
+  /// Probes every endpoint for (tenant, item) and folds the observations
+  /// into the report.  Returns true when no divergence was recorded by
+  /// *this* probe.
+  bool check(const std::string& tenant, std::uint64_t item);
+
+  [[nodiscard]] const CheckerReport& report() const noexcept { return report_; }
+
+ private:
+  struct Endpoint {
+    CheckerEndpoint config;
+    std::unique_ptr<net::Client> client;
+  };
+
+  std::vector<Endpoint> endpoints_;
+  std::uint64_t next_request_id_ = 1;
+  CheckerReport report_;
+
+  metrics::Counter* checks_counter_;
+  metrics::Counter* divergences_counter_;
+  metrics::Counter* unavailable_counter_;
+};
+
+}  // namespace lcaknap::fleet
+
+#endif  // LCAKNAP_FLEET_CHECKER_H

@@ -1,0 +1,190 @@
+#include "fleet/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcaknap::fleet {
+
+const char* disposition_name(Disposition d) noexcept {
+  switch (d) {
+    case Disposition::kOk: return "ok";
+    case Disposition::kFailedOver: return "failed_over";
+    case Disposition::kDegraded: return "degraded";
+    case Disposition::kOverloaded: return "overloaded";
+    case Disposition::kDeadline: return "deadline";
+    case Disposition::kError: return "error";
+  }
+  return "unknown";
+}
+
+FleetClient::FleetClient(FleetClientConfig config, util::Clock& clock,
+                         metrics::Registry& registry)
+    : config_(std::move(config)),
+      clock_(&clock),
+      map_(config_.map, registry),
+      jitter_(config_.jitter_seed),
+      failover_attempts_counter_(&registry.counter(
+          "fleet_failover_attempts_total",
+          "Query attempts past the first candidate replica")),
+      backoff_sleep_counter_(&registry.counter(
+          "fleet_backoff_sleep_us",
+          "Microseconds slept in failover backoff (decorrelated jitter)")) {
+  if (config_.replicas.empty()) {
+    throw std::invalid_argument("FleetClient: at least one replica required");
+  }
+  for (const auto& endpoint : config_.replicas) {
+    const auto groups = map_.groups();
+    if (std::find(groups.begin(), groups.end(), endpoint.group) ==
+        groups.end()) {
+      map_.add_group(endpoint.group);
+    }
+    replicas_.push_back(Replica{endpoint, nullptr});
+  }
+  for (std::size_t d = 0; d < kDispositionCount; ++d) {
+    queries_by_disposition_[d] = &registry.counter(
+        "fleet_queries_total", "Fleet queries settled, by disposition",
+        {{"disposition", disposition_name(static_cast<Disposition>(d))}});
+  }
+}
+
+std::vector<std::size_t> FleetClient::candidates_of(
+    const std::string& tenant) const {
+  const auto order = map_.preference_of(tenant);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(replicas_.size());
+  for (const auto group : order) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].endpoint.group == group) candidates.push_back(i);
+    }
+  }
+  return candidates;
+}
+
+void FleetClient::settle(Disposition d) {
+  ++stats_.by_disposition[static_cast<std::size_t>(d)];
+  queries_by_disposition_[static_cast<std::size_t>(d)]->inc();
+}
+
+void FleetClient::backoff(std::uint64_t query_index, std::size_t hop,
+                          std::uint64_t* prev_us,
+                          std::uint64_t budget_edge_us) {
+  // Decorrelated jitter (mirrors oracle::RetryConfig): uniform in
+  // [base, prev * multiplier], clamped to the max, never past the budget.
+  const double span =
+      static_cast<double>(*prev_us) * config_.backoff_multiplier;
+  const double hi = std::max(static_cast<double>(config_.base_backoff_us), span);
+  const double u = jitter_.uniform(query_index, hop);
+  auto sleep_us = static_cast<std::uint64_t>(
+      static_cast<double>(config_.base_backoff_us) +
+      u * (hi - static_cast<double>(config_.base_backoff_us)));
+  sleep_us = std::min(sleep_us, config_.max_backoff_us);
+  if (budget_edge_us != 0) {
+    const auto now = clock_->now_us();
+    if (now >= budget_edge_us) return;  // budget spent; settle upstream
+    sleep_us = std::min(sleep_us, budget_edge_us - now);
+  }
+  *prev_us = sleep_us;
+  stats_.backoff_sleep_us += sleep_us;
+  backoff_sleep_counter_->inc(sleep_us);
+  clock_->sleep_us(sleep_us);
+}
+
+FleetResult FleetClient::query(const std::string& tenant, std::uint64_t item,
+                               std::uint64_t deadline_us) {
+  const std::uint64_t query_index = next_request_id_++;
+  ++stats_.offered;
+
+  net::RequestFrame request;
+  request.request_id = query_index;
+  request.item = item;
+  request.deadline_us = deadline_us;
+  request.tenant = tenant;
+
+  const std::uint64_t budget_edge_us =
+      config_.attempt_budget_us == 0
+          ? 0
+          : clock_->now_us() + config_.attempt_budget_us;
+
+  const auto candidates = candidates_of(tenant);
+  const std::size_t attempts_allowed =
+      std::min(config_.max_attempts, candidates.size());
+
+  FleetResult result;
+  bool saw_overload = false;
+  std::uint64_t prev_backoff_us = config_.base_backoff_us;
+
+  for (std::size_t hop = 0; hop < attempts_allowed; ++hop) {
+    if (budget_edge_us != 0 && clock_->now_us() >= budget_edge_us) {
+      result.disposition = Disposition::kDeadline;
+      settle(result.disposition);
+      return result;
+    }
+    if (hop > 0) {
+      ++stats_.failover_attempts;
+      failover_attempts_counter_->inc();
+      backoff(query_index, hop, &prev_backoff_us, budget_edge_us);
+      if (budget_edge_us != 0 && clock_->now_us() >= budget_edge_us) {
+        result.disposition = Disposition::kDeadline;
+        settle(result.disposition);
+        return result;
+      }
+    }
+    auto& replica = replicas_[candidates[hop]];
+    ++result.attempts;
+    try {
+      if (replica.client == nullptr || !replica.client->connected()) {
+        replica.client = std::make_unique<net::Client>(replica.endpoint.host,
+                                                       replica.endpoint.port);
+      }
+      const auto response = replica.client->call(request);
+      result.status = response.status;
+      result.answer = response.answer != 0;
+      result.cache_hit = response.cache_hit != 0;
+      result.replica_id = response.replica_id;
+      switch (response.status) {
+        case net::WireStatus::kOk:
+          result.disposition =
+              hop == 0 ? Disposition::kOk : Disposition::kFailedOver;
+          settle(result.disposition);
+          return result;
+        case net::WireStatus::kDegraded:
+          result.disposition = Disposition::kDegraded;
+          settle(result.disposition);
+          return result;
+        case net::WireStatus::kDeadlineExceeded:
+          result.disposition = Disposition::kDeadline;
+          settle(result.disposition);
+          return result;
+        case net::WireStatus::kOverloaded:
+          saw_overload = true;
+          continue;  // alive but shedding: fail over, keep the connection
+        case net::WireStatus::kShuttingDown:
+          // Going away; do not reuse this connection for later queries.
+          replica.client.reset();
+          continue;
+        case net::WireStatus::kError:
+        case net::WireStatus::kBadRequest:
+        case net::WireStatus::kUnknownTenant:
+          // Deterministic fleet: a sibling would answer identically, so a
+          // terminal status settles the query instead of burning hops.
+          result.disposition = Disposition::kError;
+          settle(result.disposition);
+          return result;
+      }
+    } catch (const net::ConnectionLost&) {
+      // Replica dead (connect refused, reset mid-pipeline, closed with the
+      // response outstanding): drop the connection and try a sibling.
+      replica.client.reset();
+      continue;
+    }
+    // WireDecodeError propagates: a malformed frame is a protocol bug, not
+    // a dead replica, and must not be masked by failover.
+  }
+
+  result.disposition =
+      saw_overload ? Disposition::kOverloaded : Disposition::kError;
+  settle(result.disposition);
+  return result;
+}
+
+}  // namespace lcaknap::fleet

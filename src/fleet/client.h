@@ -1,0 +1,165 @@
+#ifndef LCAKNAP_FLEET_CLIENT_H
+#define LCAKNAP_FLEET_CLIENT_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/map.h"
+#include "metrics/metrics.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+/// \file client.h
+/// The fleet front door: route by the placement map, fail over by Lemma 4.9.
+///
+/// A `FleetClient` holds one lazy `net::Client` per replica endpoint and
+/// answers each query by walking the tenant's preference order (home group
+/// first, then successive arc owners — `FleetMap::preference_of`).  Because
+/// every replica computes answers as a pure function of the shared seed,
+/// retrying a *different* replica after a failure is semantically free: the
+/// sibling returns the byte-identical answer the dead replica would have.
+/// Failover is therefore the default response to a retryable failure:
+///
+///   * `net::ConnectionLost`  — replica dead or dying: drop the cached
+///     connection, back off (decorrelated jitter on the injected clock,
+///     mirroring `oracle::RetryConfig`), try the next candidate;
+///   * `kOverloaded` / `kShuttingDown` — replica alive but shedding: same
+///     failover path, no connection teardown for overload;
+///   * `WireDecodeError` — the *frame* is malformed, not the replica;
+///     retrying elsewhere would re-decode garbage, so it propagates.
+///
+/// Each query runs under a deadline budget (`attempt_budget_us` on the
+/// injected clock): backoff sleeps and attempts stop when the budget is
+/// spent and the query settles as `kDeadline`.
+///
+/// Every offered query settles in exactly one disposition — the fleet
+/// conservation law the drill asserts:
+///
+///   offered == ok + failed_over + degraded + overloaded + deadline + error
+///
+/// (`ok` = first-candidate success; `failed_over` = success after at least
+/// one failover hop; `degraded` = a kDegraded answer, wherever served.)
+/// Metrics: `fleet_queries_total{disposition}`, `fleet_failover_attempts_total`,
+/// `fleet_backoff_sleep_us` (docs/OBSERVABILITY.md, docs/FLEET.md).
+
+namespace lcaknap::fleet {
+
+/// One replica's address.  `replica_id` is what the server echoes on its
+/// responses (ServerConfig::replica_id); `group` places it on the map.
+struct ReplicaEndpoint {
+  std::uint64_t replica_id = 0;
+  std::uint64_t group = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct FleetClientConfig {
+  std::vector<ReplicaEndpoint> replicas;
+  FleetMapConfig map;
+  /// Candidates tried per query before settling (capped by replica count).
+  std::size_t max_attempts = 4;
+  /// Per-query wall budget on the injected clock; 0 = unlimited.  Spent
+  /// budget settles the query kDeadline even if candidates remain.
+  std::uint64_t attempt_budget_us = 0;
+  /// Decorrelated-jitter backoff between failover hops, mirroring
+  /// oracle::RetryConfig: sleep ~ U[base, prev*multiplier], clamped to max.
+  std::uint64_t base_backoff_us = 200;
+  std::uint64_t max_backoff_us = 100'000;
+  double backoff_multiplier = 3.0;
+  std::uint64_t jitter_seed = 0x7E77;
+};
+
+/// How one offered query settled (the conservation partition).
+enum class Disposition : std::uint8_t {
+  kOk = 0,          ///< answered kOk by the first candidate
+  kFailedOver = 1,  ///< answered kOk after >= 1 failover hop
+  kDegraded = 2,    ///< answered kDegraded (served, flagged)
+  kOverloaded = 3,  ///< every candidate shed kOverloaded
+  kDeadline = 4,    ///< budget spent (or the server said kDeadlineExceeded)
+  kError = 5,       ///< unreachable fleet or a terminal error status
+};
+inline constexpr std::size_t kDispositionCount = 6;
+
+[[nodiscard]] const char* disposition_name(Disposition d) noexcept;
+
+struct FleetResult {
+  Disposition disposition = Disposition::kError;
+  /// Final wire status (kError disposition with status kOk means the fleet
+  /// was unreachable and no response exists).
+  net::WireStatus status = net::WireStatus::kError;
+  bool answer = false;
+  bool cache_hit = false;
+  /// Which replica answered (echoed replica_id); 0 if none did.
+  std::uint64_t replica_id = 0;
+  /// Candidates tried (1 = no failover).
+  std::size_t attempts = 0;
+};
+
+struct FleetStats {
+  std::uint64_t offered = 0;
+  std::array<std::uint64_t, kDispositionCount> by_disposition{};
+  std::uint64_t failover_attempts = 0;  ///< hops past the first candidate
+  std::uint64_t backoff_sleep_us = 0;   ///< total jitter slept
+
+  [[nodiscard]] std::uint64_t settled() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto count : by_disposition) sum += count;
+    return sum;
+  }
+  /// The fleet conservation law; holds at every quiescent point.
+  [[nodiscard]] bool conserved() const noexcept { return offered == settled(); }
+};
+
+class FleetClient {
+ public:
+  /// Builds the placement map from the endpoint list (each distinct group
+  /// joins the ring once, in listing order).  Throws std::invalid_argument
+  /// on an empty replica list.  Connections are opened lazily per replica.
+  explicit FleetClient(FleetClientConfig config,
+                       util::Clock& clock,
+                       metrics::Registry& registry = metrics::global_registry());
+
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  /// One fleet query; never throws on replica failure (that is the point) —
+  /// only on local misuse (e.g. WireDecodeError bubbling a protocol bug).
+  [[nodiscard]] FleetResult query(const std::string& tenant, std::uint64_t item,
+                                  std::uint64_t deadline_us = 0);
+
+  [[nodiscard]] const FleetMap& map() const noexcept { return map_; }
+  [[nodiscard]] FleetStats stats() const noexcept { return stats_; }
+
+ private:
+  struct Replica {
+    ReplicaEndpoint endpoint;
+    std::unique_ptr<net::Client> client;  ///< lazy; reset on ConnectionLost
+  };
+
+  /// Candidate replica indices for `tenant`, in failover order.
+  [[nodiscard]] std::vector<std::size_t> candidates_of(const std::string& tenant) const;
+  void settle(Disposition d);
+  void backoff(std::uint64_t query_index, std::size_t hop, std::uint64_t* prev_us,
+               std::uint64_t budget_edge_us);
+
+  FleetClientConfig config_;
+  util::Clock* clock_;
+  FleetMap map_;
+  std::vector<Replica> replicas_;
+  util::Prf jitter_;
+  std::uint64_t next_request_id_ = 1;
+  FleetStats stats_;
+
+  std::array<metrics::Counter*, kDispositionCount> queries_by_disposition_{};
+  metrics::Counter* failover_attempts_counter_;
+  metrics::Counter* backoff_sleep_counter_;
+};
+
+}  // namespace lcaknap::fleet
+
+#endif  // LCAKNAP_FLEET_CLIENT_H

@@ -1,0 +1,146 @@
+#include "fleet/map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcaknap::fleet {
+
+namespace {
+
+/// FNV-1a over the tenant id; the Prf then mixes the result onto the ring,
+/// so tenants that differ in one byte land far apart.
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* rebalance_kind_name(RebalanceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case RebalanceEvent::Kind::kGroupAdded: return "group_added";
+    case RebalanceEvent::Kind::kGroupRemoved: return "group_removed";
+    case RebalanceEvent::Kind::kTenantTracked: return "tenant_tracked";
+    case RebalanceEvent::Kind::kTenantMoved: return "tenant_moved";
+  }
+  return "unknown";
+}
+
+FleetMap::FleetMap(FleetMapConfig config, metrics::Registry& registry)
+    : config_(config),
+      prf_(config.seed),
+      groups_gauge_(&registry.gauge(
+          "fleet_groups", "Replica groups currently on the placement ring")),
+      moves_counter_(&registry.counter(
+          "fleet_rebalance_moves_total",
+          "Tracked tenants re-homed by fleet membership changes")) {
+  if (config_.vnodes == 0) {
+    throw std::invalid_argument("FleetMap: vnodes must be positive");
+  }
+}
+
+void FleetMap::add_group(std::uint64_t group_id) {
+  if (std::find(group_ids_.begin(), group_ids_.end(), group_id) !=
+      group_ids_.end()) {
+    throw std::invalid_argument("FleetMap: group " + std::to_string(group_id) +
+                                " already on the ring");
+  }
+  const auto key = prf_.subkey(group_id);
+  for (std::size_t v = 0; v < config_.vnodes; ++v) {
+    // Collisions across groups are astronomically unlikely but would make
+    // placement insertion-order dependent; probe to keep it a pure function
+    // of the membership *set*.
+    std::uint64_t point = key.word(v, 0);
+    while (ring_.count(point) != 0) ++point;
+    ring_.emplace(point, group_id);
+  }
+  group_ids_.push_back(group_id);
+  groups_gauge_->add(1.0);
+  events_.push_back({RebalanceEvent::Kind::kGroupAdded, group_id, {}, 0, 0});
+  rehome_tracked();
+}
+
+void FleetMap::remove_group(std::uint64_t group_id) {
+  const auto it = std::find(group_ids_.begin(), group_ids_.end(), group_id);
+  if (it == group_ids_.end()) {
+    throw std::invalid_argument("FleetMap: group " + std::to_string(group_id) +
+                                " is not on the ring");
+  }
+  if (group_ids_.size() == 1 && !tracked_.empty()) {
+    throw std::invalid_argument(
+        "FleetMap: cannot remove the last group while tenants are tracked");
+  }
+  for (auto ring_it = ring_.begin(); ring_it != ring_.end();) {
+    if (ring_it->second == group_id) {
+      ring_it = ring_.erase(ring_it);
+    } else {
+      ++ring_it;
+    }
+  }
+  group_ids_.erase(it);
+  groups_gauge_->add(-1.0);
+  events_.push_back({RebalanceEvent::Kind::kGroupRemoved, group_id, {}, 0, 0});
+  rehome_tracked();
+}
+
+void FleetMap::track(const std::string& tenant) {
+  if (tracked_.count(tenant) != 0) return;
+  const auto home = group_of(tenant);
+  tracked_.emplace(tenant, home);
+  events_.push_back(
+      {RebalanceEvent::Kind::kTenantTracked, 0, tenant, 0, home});
+}
+
+std::uint64_t FleetMap::point_of_tenant(const std::string& tenant) const {
+  return prf_.word(fnv1a(tenant), 0);
+}
+
+std::uint64_t FleetMap::group_of(const std::string& tenant) const {
+  if (ring_.empty()) {
+    throw std::logic_error("FleetMap: no groups on the ring");
+  }
+  const auto it = ring_.lower_bound(point_of_tenant(tenant));
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+std::vector<std::uint64_t> FleetMap::groups() const { return group_ids_; }
+
+std::vector<std::uint64_t> FleetMap::preference_of(
+    const std::string& tenant) const {
+  if (ring_.empty()) {
+    throw std::logic_error("FleetMap: no groups on the ring");
+  }
+  std::vector<std::uint64_t> order;
+  order.reserve(group_ids_.size());
+  auto it = ring_.lower_bound(point_of_tenant(tenant));
+  // Walk the ring clockwise from the tenant's point, keeping the first
+  // appearance of each group: the home group, then its natural successors.
+  for (std::size_t steps = 0;
+       steps < ring_.size() && order.size() < group_ids_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(order.begin(), order.end(), it->second) == order.end()) {
+      order.push_back(it->second);
+    }
+    ++it;
+  }
+  return order;
+}
+
+void FleetMap::rehome_tracked() {
+  if (ring_.empty()) return;
+  for (auto& [tenant, home] : tracked_) {
+    const auto now = group_of(tenant);
+    if (now == home) continue;
+    events_.push_back(
+        {RebalanceEvent::Kind::kTenantMoved, 0, tenant, home, now});
+    home = now;
+    ++moves_;
+    moves_counter_->inc();
+  }
+}
+
+}  // namespace lcaknap::fleet

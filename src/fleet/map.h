@@ -1,0 +1,116 @@
+#ifndef LCAKNAP_FLEET_MAP_H
+#define LCAKNAP_FLEET_MAP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+/// \file map.h
+/// Consistent-hash placement of tenants across replica groups.
+///
+/// Lemma 4.9 makes placement a pure load-balancing decision: every replica
+/// built from the same shared seed serves byte-identical answers, so the map
+/// never decides *correctness*, only *affinity* — which group a tenant's
+/// queries land on first, and therefore whose cache stays hot for it.  That
+/// is the Rubinfeld et al. parallelization argument at fleet granularity:
+/// "implemented in parallel on different machines with no coordination"
+/// still wants each machine to see a stable slice of the key space.
+///
+/// The ring is deterministic: each group contributes `vnodes` points at
+/// `Prf(seed).subkey(group).word(vnode, 0)`, and a tenant hashes to the
+/// first point clockwise from `Prf(seed).word(fnv1a(tenant), 0)`.  Two
+/// processes that build a `FleetMap` with the same (seed, vnodes, groups)
+/// agree on every placement with no coordination — the fleet client and
+/// the consistency checker both rely on this, and tests/fleet/test_map.cpp
+/// pins golden placements so the function cannot drift silently.
+///
+/// Membership changes emit a typed `RebalanceEvent` per observable effect.
+/// Consistent hashing keeps disruption minimal: adding or removing one
+/// group moves only the tenants whose arc it owned (~tracked/groups of
+/// them), never reshuffles the rest — also pinned by tests.
+
+namespace lcaknap::fleet {
+
+struct FleetMapConfig {
+  /// Virtual nodes per group; more vnodes = smoother balance, larger ring.
+  std::size_t vnodes = 64;
+  /// Ring seed.  Every process in the fleet must use the same value (it is
+  /// part of the shared-seed contract, like the LCA tape seed).
+  std::uint64_t seed = 0xF1EE7;
+};
+
+/// One observable effect of a membership change or tracking call.
+struct RebalanceEvent {
+  enum class Kind {
+    kGroupAdded,      ///< group joined the ring
+    kGroupRemoved,    ///< group left the ring
+    kTenantTracked,   ///< tenant registered; `to_group` is its placement
+    kTenantMoved,     ///< membership change re-homed a tracked tenant
+  };
+  Kind kind;
+  std::uint64_t group = 0;      ///< subject group (add/remove)
+  std::string tenant;           ///< subject tenant (tracked/moved)
+  std::uint64_t from_group = 0; ///< previous home (moved only)
+  std::uint64_t to_group = 0;   ///< new home (tracked/moved)
+};
+
+[[nodiscard]] const char* rebalance_kind_name(RebalanceEvent::Kind kind) noexcept;
+
+class FleetMap {
+ public:
+  explicit FleetMap(FleetMapConfig config = {},
+                    metrics::Registry& registry = metrics::global_registry());
+
+  /// Adds a replica group's vnodes to the ring; re-homes tracked tenants,
+  /// emitting kTenantMoved per change.  Throws std::invalid_argument on a
+  /// duplicate group id.
+  void add_group(std::uint64_t group_id);
+  /// Removes a group; its tracked tenants move to the next arc owner.
+  /// Throws std::invalid_argument if the group is absent or it is the last
+  /// group while tenants are tracked (they would have no home).
+  void remove_group(std::uint64_t group_id);
+
+  /// Registers a tenant so membership changes report its moves.  Idempotent.
+  void track(const std::string& tenant);
+
+  /// The group owning `tenant`'s arc.  Pure function of (seed, vnodes,
+  /// current groups, tenant) — identical across processes.  Throws
+  /// std::logic_error on an empty ring.
+  [[nodiscard]] std::uint64_t group_of(const std::string& tenant) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> groups() const;
+  /// Groups ordered by failover preference for `tenant`: its home group
+  /// first, then successive arc owners clockwise (each group once).  The
+  /// fleet client walks this order when a replica is dead or shedding.
+  [[nodiscard]] std::vector<std::uint64_t> preference_of(
+      const std::string& tenant) const;
+
+  [[nodiscard]] const std::vector<RebalanceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+
+ private:
+  [[nodiscard]] std::uint64_t point_of_tenant(const std::string& tenant) const;
+  void rehome_tracked();
+
+  FleetMapConfig config_;
+  util::Prf prf_;
+  std::map<std::uint64_t, std::uint64_t> ring_;  ///< point -> group
+  std::vector<std::uint64_t> group_ids_;         ///< insertion order
+  std::unordered_map<std::string, std::uint64_t> tracked_;  ///< tenant -> home
+  std::vector<RebalanceEvent> events_;
+  std::uint64_t moves_ = 0;
+
+  metrics::Gauge* groups_gauge_;
+  metrics::Counter* moves_counter_;
+};
+
+}  // namespace lcaknap::fleet
+
+#endif  // LCAKNAP_FLEET_MAP_H

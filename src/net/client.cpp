@@ -17,6 +17,15 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// Socket errors that mean "the peer is gone", not "this process is broken":
+/// the retryable class a failover layer may safely answer by trying a
+/// sibling replica.
+[[nodiscard]] bool peer_gone(int err) noexcept {
+  return err == ECONNRESET || err == ECONNREFUSED || err == ECONNABORTED ||
+         err == EPIPE || err == ETIMEDOUT || err == EHOSTUNREACH ||
+         err == ENETUNREACH || err == ENETRESET;
+}
+
 }  // namespace
 
 Client::Client(const std::string& host, std::uint16_t port) {
@@ -35,7 +44,10 @@ Client::Client(const std::string& host, std::uint16_t port) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::system_error(err, std::generic_category(), "connect");
+    // A refused or unreachable connect is the canonical "replica dead"
+    // signal; surface it as the retryable class.
+    throw ConnectionLost(err, "connect to " + host + ":" +
+                                  std::to_string(port));
   }
   const int yes = 1;
   (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
@@ -53,14 +65,29 @@ void Client::close() {
   }
 }
 
+void Client::fail(int err, const char* what) {
+  if (peer_gone(err)) {
+    // A dead peer makes the fd useless; close it so connected() reports the
+    // truth and a pooling caller (fleet::FleetClient) reconnects cleanly.
+    close();
+    throw ConnectionLost(err, what);
+  }
+  throw std::system_error(err, std::generic_category(), what);
+}
+
 void Client::write_all(const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that reset must surface as EPIPE -> typed
+    // ConnectionLost, never a process-fatal SIGPIPE.
     const ssize_t wrote =
-        ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      // A reset mid-frame leaves a partial write on the wire: the frame
+      // never reached the server whole, so the call is safely retryable
+      // against a sibling replica.
+      fail(errno, sent == 0 ? "write" : "write (partial frame sent)");
     }
     sent += static_cast<std::size_t>(wrote);
   }
@@ -85,11 +112,15 @@ ResponseFrame Client::recv(std::string* raw) {
     const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
     if (got < 0) {
       if (errno == EINTR) continue;
-      throw_errno("read");
+      fail(errno, "read");
     }
     if (got == 0) {
-      throw std::system_error(ECONNRESET, std::generic_category(),
-                              "server closed the connection mid-response");
+      // EOF with a response outstanding: the server died (or tore the
+      // connection down) mid-pipeline — typed retryable, distinct from a
+      // malformed frame (WireDecodeError).
+      close();
+      throw ConnectionLost(ECONNRESET,
+                           "server closed the connection mid-response");
     }
     inbuf_.append(chunk, static_cast<std::size_t>(got));
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <system_error>
 
 #include "net/wire.h"
 
@@ -24,9 +25,23 @@
 
 namespace lcaknap::net {
 
+/// The peer is gone: connect refused, the socket reset mid-pipeline, or the
+/// server closed the connection with a response outstanding (a partial
+/// write/read).  Typed so a failover layer (fleet::FleetClient) can tell
+/// "replica dead — retry a sibling" apart from `WireDecodeError` ("frame
+/// malformed — retrying elsewhere would just re-decode garbage") and from
+/// local configuration errors (plain `std::system_error`).
+class ConnectionLost : public std::system_error {
+ public:
+  ConnectionLost(int err, const std::string& what)
+      : std::system_error(err, std::generic_category(), what) {}
+};
+
 class Client {
  public:
-  /// Connects to `host:port` (blocking).  Throws `std::system_error`.
+  /// Connects to `host:port` (blocking).  A refused/unreachable peer throws
+  /// `ConnectionLost` (retryable — the replica may be down); local setup
+  /// failures (bad host string, no sockets) throw plain `std::system_error`.
   Client(const std::string& host, std::uint16_t port);
   ~Client();
 
@@ -34,20 +49,26 @@ class Client {
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
 
-  /// One serial round-trip.  Throws on socket failure or a malformed
-  /// response (`WireDecodeError`).
+  /// One serial round-trip.  Throws `ConnectionLost` when the peer dies
+  /// mid-call (retryable) or `WireDecodeError` on a malformed response.
   ResponseFrame call(const RequestFrame& frame, std::string* raw = nullptr);
 
-  /// Queues one frame (blocking write, no response wait).
+  /// Queues one frame (blocking write, no response wait).  A peer that
+  /// resets mid-write (EPIPE/ECONNRESET, including a partial write) throws
+  /// `ConnectionLost`.
   void send(const RequestFrame& frame);
   /// Blocks for the next response frame; `raw`, when non-null, receives
-  /// its exact wire bytes.
+  /// its exact wire bytes.  A connection that closes or resets with the
+  /// response outstanding throws `ConnectionLost`.
   ResponseFrame recv(std::string* raw = nullptr);
 
   void close();
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
  private:
+  /// Maps a socket errno to the typed hierarchy: peer-gone errnos close the
+  /// fd and throw `ConnectionLost`; everything else is `std::system_error`.
+  [[noreturn]] void fail(int err, const char* what);
   void write_all(const std::string& bytes);
 
   int fd_ = -1;

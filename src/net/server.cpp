@@ -310,6 +310,23 @@ void Server::handle_readable(Connection& conn) {
 
 void Server::handle_frame(Connection& conn, const RequestFrame& frame,
                           std::chrono::steady_clock::time_point received_at) {
+  if (frame.flags & RequestFrame::kFlagHealth) {
+    // Readiness probe: answered on the loop thread straight from the
+    // router's state machine, never queued behind real work — a hydrating
+    // replica must still answer "not ready" instantly.
+    health_probes_.fetch_add(1, std::memory_order_relaxed);
+    ResponseFrame response;
+    response.request_id = frame.request_id;
+    const auto readiness = router_->readiness(frame.tenant);
+    if (readiness == TenantReadiness::kUnknownTenant) {
+      response.status = WireStatus::kUnknownTenant;
+    } else {
+      response.status = WireStatus::kOk;
+      response.answer = readiness == TenantReadiness::kWarm;
+    }
+    respond(conn, response);
+    return;
+  }
   if (frame.flags & RequestFrame::kFlagShutdown) {
     ResponseFrame response;
     response.request_id = frame.request_id;
@@ -345,11 +362,14 @@ void Server::handle_frame(Connection& conn, const RequestFrame& frame,
   // keep it simple and observe here only for synchronous completions.
   auto sink = sink_;
   const std::uint64_t conn_id = conn.id;
+  const std::uint64_t replica_id = config_.replica_id;
   metrics::Histogram* latency = frame_latency_us_;
-  router_->route(frame, [sink, conn_id, latency,
+  router_->route(frame, [sink, conn_id, replica_id, latency,
                          received_at](const ResponseFrame& response) {
+    ResponseFrame attributed = response;
+    attributed.replica_id = replica_id;
     std::string bytes;
-    encode(response, bytes);
+    encode(attributed, bytes);
     latency->observe(std::chrono::duration<double, std::micro>(
                          std::chrono::steady_clock::now() - received_at)
                          .count());
@@ -389,7 +409,9 @@ void Server::handle_completions() {
 }
 
 void Server::respond(Connection& conn, const ResponseFrame& response) {
-  encode(response, conn.outbuf);
+  ResponseFrame attributed = response;
+  attributed.replica_id = config_.replica_id;
+  encode(attributed, conn.outbuf);
   count_status(response.status);
   frame_latency_us_->observe(0.0);
   flush(conn);
@@ -406,9 +428,11 @@ void Server::count_status(WireStatus status) {
 
 void Server::flush(Connection& conn) {
   while (conn.out_offset < conn.outbuf.size()) {
+    // MSG_NOSIGNAL: a peer that resets with a response in flight must be an
+    // EPIPE errno (-> conn.closing below), never a process-fatal SIGPIPE.
     const ssize_t wrote =
-        ::write(conn.fd, conn.outbuf.data() + conn.out_offset,
-                conn.outbuf.size() - conn.out_offset);
+        ::send(conn.fd, conn.outbuf.data() + conn.out_offset,
+               conn.outbuf.size() - conn.out_offset, MSG_NOSIGNAL);
     if (wrote > 0) {
       bytes_out_.fetch_add(static_cast<std::uint64_t>(wrote),
                            std::memory_order_relaxed);
@@ -469,6 +493,7 @@ ServerStats Server::stats() const {
   stats.frames_in = frames_in_.load(std::memory_order_relaxed);
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   stats.inflight_shed = inflight_shed_.load(std::memory_order_relaxed);
+  stats.health_probes = health_probes_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   for (std::size_t s = 0; s < by_status_.size(); ++s) {

@@ -67,6 +67,10 @@ struct ServerConfig {
   /// must not stop a production server; the two-process integration test
   /// and the CLI's --allow-shutdown turn it on).
   bool allow_shutdown = false;
+  /// Echoed on every response frame so fleet clients and the consistency
+  /// checker can attribute answers (docs/FLEET.md).  0 = unassigned; the
+  /// fleet orchestrator assigns each replica a distinct id.
+  std::uint64_t replica_id = 0;
   /// listen(2) backlog.
   int backlog = 128;
 };
@@ -81,6 +85,7 @@ struct ServerStats {
   std::uint64_t frames_in = 0;      ///< well-formed request frames decoded
   std::uint64_t decode_errors = 0;  ///< typed wire errors (connection torn down)
   std::uint64_t inflight_shed = 0;  ///< kOverloaded from the per-connection cap
+  std::uint64_t health_probes = 0;  ///< kFlagHealth frames answered
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   /// Responses sent, indexed by `WireStatus`.
@@ -191,6 +196,7 @@ class Server {
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> decode_errors_{0};
   std::atomic<std::uint64_t> inflight_shed_{0};
+  std::atomic<std::uint64_t> health_probes_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::array<std::atomic<std::uint64_t>, 8> by_status_{};

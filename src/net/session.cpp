@@ -239,6 +239,24 @@ std::vector<std::string> TenantRouter::tenant_ids() const {
   return ids;
 }
 
+TenantReadiness TenantRouter::readiness(const std::string& id) const {
+  Tenant* tenant = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(id);
+    if (it == tenants_.end()) return TenantReadiness::kUnknownTenant;
+    tenant = it->second.get();
+  }
+  std::lock_guard<std::mutex> tlock(tenant->mutex);
+  switch (tenant->state) {
+    case TenantState::kCold: return TenantReadiness::kCold;
+    case TenantState::kHydrating: return TenantReadiness::kHydrating;
+    case TenantState::kWarm: return TenantReadiness::kWarm;
+    case TenantState::kFailed: return TenantReadiness::kFailed;
+  }
+  return TenantReadiness::kFailed;
+}
+
 const serve::ServeEngine* TenantRouter::engine(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = tenants_.find(id);

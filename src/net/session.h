@@ -67,6 +67,16 @@ struct TenantConfig {
   std::size_t max_inflight = 1024;
 };
 
+/// Where a tenant sits in the hydration state machine, for health/readiness
+/// probes (`RequestFrame::kFlagHealth`): only `kWarm` serves answers.
+enum class TenantReadiness {
+  kUnknownTenant,  ///< not registered with this router
+  kCold,           ///< registered, nothing warmed yet
+  kHydrating,      ///< warm-up or snapshot restore in flight
+  kWarm,           ///< engine up; answers are being served
+  kFailed,         ///< hydration failed; frames are answered kError
+};
+
 /// Point-in-time router counters (the wire-level conservation operands).
 struct RouterStats {
   std::uint64_t routed = 0;           ///< route() calls accepted for any path
@@ -110,6 +120,9 @@ class TenantRouter {
 
   [[nodiscard]] RouterStats stats() const;
   [[nodiscard]] std::vector<std::string> tenant_ids() const;
+  /// The tenant's position in the hydration state machine — the payload of
+  /// a health/readiness frame.  Never blocks on hydration.
+  [[nodiscard]] TenantReadiness readiness(const std::string& id) const;
   /// The tenant's engine, or nullptr while cold/hydrating (test hook).
   [[nodiscard]] const serve::ServeEngine* engine(const std::string& id) const;
 

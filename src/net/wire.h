@@ -25,7 +25,14 @@
 ///               request_id:u64 item:u64 deadline_us:u64
 ///               tenant_len:u16 tenant:bytes crc:u64
 ///   response := len:u32 magic:u32('LKRS') version:u16 status:u16
-///               request_id:u64 answer:u8 cache_hit:u8 crc:u64
+///               request_id:u64 replica_id:u64 answer:u8 cache_hit:u8 crc:u64
+///
+/// Version 2 added `replica_id` (echoed on every response) and the health
+/// flag: a request with `kFlagHealth` set is a readiness probe for its
+/// tenant — answered on the event loop without touching the engine, with
+/// `answer` = 1 iff the tenant's warm state is hydrated and serving.  The
+/// fleet layer (src/fleet/, docs/FLEET.md) gates snapshot-shipped bootstrap
+/// on it and attributes every answer to the replica that produced it.
 ///
 /// `len` counts every byte after the length field itself.  The trailing CRC
 /// (CRC-64/XZ, same polynomial as the snapshot format) covers the *whole*
@@ -45,7 +52,7 @@ namespace lcaknap::net {
 
 inline constexpr std::uint32_t kRequestMagic = 0x5152'4B4Cu;   // "LKRQ"
 inline constexpr std::uint32_t kResponseMagic = 0x5352'4B4Cu;  // "LKRS"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Tenant ids are StateStore instance ids: `[A-Za-z0-9._-]+`, bounded.
 inline constexpr std::size_t kMaxTenantBytes = 64;
 /// Hard cap on `len` for either frame kind; anything larger is kBadLength
@@ -98,6 +105,11 @@ struct RequestFrame {
   /// Gated remote shutdown (the two-process integration test uses it); the
   /// server ignores the flag unless started with allow_shutdown.
   static constexpr std::uint16_t kFlagShutdown = 1u << 0;
+  /// Health/readiness probe for `tenant`: answered instantly on the event
+  /// loop (`answer` = warm-and-serving), never routed to an engine.  A
+  /// joining replica reports warm through it (snapshot-shipped bootstrap,
+  /// docs/FLEET.md); `item` and `deadline_us` are ignored.
+  static constexpr std::uint16_t kFlagHealth = 1u << 1;
 
   std::uint16_t flags = 0;
   std::uint64_t request_id = 0;   ///< echoed verbatim in the response
@@ -109,6 +121,10 @@ struct RequestFrame {
 /// One answer on the wire.
 struct ResponseFrame {
   std::uint64_t request_id = 0;
+  /// Which replica produced this response (ServerConfig::replica_id, echoed
+  /// on every frame).  The fleet's failover bookkeeping and the consistency
+  /// checker attribute answers by it; 0 = unassigned (single-process use).
+  std::uint64_t replica_id = 0;
   WireStatus status = WireStatus::kError;
   bool answer = false;
   bool cache_hit = false;

@@ -16,6 +16,10 @@
 #include "fault/circuit_breaker.h"
 #include "fault/plan.h"
 #include "fault/verifying.h"
+#include "fleet/chaos.h"
+#include "fleet/checker.h"
+#include "fleet/client.h"
+#include "fleet/map.h"
 #include "knapsack/generators.h"
 #include "metrics/metrics.h"
 #include "net/client.h"
@@ -131,6 +135,25 @@ TEST(DocsLint, EveryExportedMetricFamilyHasACatalogueRow) {
     (void)client.call(frame);
     server.stop();
     router.drain();
+  }
+  {
+    // The fleet layer: placement map, failover client, replica chaos, and
+    // the cross-replica checker register every fleet_* family
+    // (src/fleet/, docs/FLEET.md).  Nothing listens on port 1, so the one
+    // query settles kError instantly on the virtual clock — families
+    // register at construction either way.
+    util::VirtualClock fleet_clock;
+    fleet::FleetClientConfig fleet_config;
+    fleet_config.replicas = {{1, 0, "127.0.0.1", 1}, {2, 1, "127.0.0.1", 1}};
+    fleet::FleetClient fleet_client(fleet_config, fleet_clock, registry);
+    (void)fleet_client.query("lint", 1);
+    fleet::ReplicaChaos replica_chaos(fault::parse_fault_plan("steady:0", 1),
+                                      {{1, "lint"}}, fleet::ChaosHooks{},
+                                      fleet_clock, registry);
+    (void)replica_chaos.tick();
+    fleet::ConsistencyChecker checker(
+        {{1, "127.0.0.1", 1}, {2, "127.0.0.1", 1}}, registry);
+    (void)checker.check("lint", 1);
   }
   {
     core::ServingConfig serving;

@@ -129,6 +129,137 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+/// Runs the parser on a malformed spec and returns the typed error.
+FaultPlanParseError parse_error_of(const std::string& spec) {
+  try {
+    (void)parse_fault_plan(spec, 1);
+  } catch (const FaultPlanParseError& error) {
+    return error;
+  }
+  ADD_FAILURE() << "parse unexpectedly succeeded for: " << spec;
+  return FaultPlanParseError("unreachable", 0, 0, "");
+}
+
+TEST(FaultPlan, ParseErrorsPointAtTheOffendingToken) {
+  // One pin per malformed shape: the error names the token and lands the
+  // cursor on it (1-based line:column), so a 40-line chaos script fails
+  // with "fault plan:17:12: ..." instead of a bare what().
+  {
+    const auto error = parse_error_of("noduration");
+    EXPECT_EQ(error.line(), 1u);
+    EXPECT_EQ(error.column(), 1u);
+    EXPECT_EQ(error.token(), "noduration");
+    EXPECT_NE(std::string(error.what()).find("fault plan:1:1:"),
+              std::string::npos)
+        << error.what();
+  }
+  {  // empty label
+    const auto error = parse_error_of(":100");
+    EXPECT_EQ(error.column(), 1u);
+    EXPECT_EQ(error.token(), ":100");
+  }
+  {  // unparsable duration: cursor on the duration field, not the phase
+    const auto error = parse_error_of("steady:abc");
+    EXPECT_EQ(error.line(), 1u);
+    EXPECT_EQ(error.column(), 8u);
+    EXPECT_EQ(error.token(), "abc");
+  }
+  {  // unknown knob: cursor on the key
+    const auto error = parse_error_of("steady:100:bogus=1");
+    EXPECT_EQ(error.column(), 12u);
+    EXPECT_EQ(error.token(), "bogus");
+    EXPECT_NE(std::string(error.what()).find("unknown knob"),
+              std::string::npos);
+  }
+  {  // knob without '='
+    const auto error = parse_error_of("steady:100:fail");
+    EXPECT_EQ(error.column(), 12u);
+    EXPECT_EQ(error.token(), "fail");
+  }
+  {  // rate outside [0, 1]: cursor on the value, not the key
+    const auto error = parse_error_of("steady:100:fail=2");
+    EXPECT_EQ(error.column(), 17u);
+    EXPECT_EQ(error.token(), "2");
+    EXPECT_NE(std::string(error.what()).find("bad fail rate"),
+              std::string::npos);
+  }
+  {  // NaN rate
+    const auto error = parse_error_of("steady:100:corrupt=nan");
+    EXPECT_EQ(error.column(), 20u);
+    EXPECT_EQ(error.token(), "nan");
+  }
+  {  // malformed latency max: cursor past the '..'
+    const auto error = parse_error_of("s:100:lat=1..zz");
+    EXPECT_EQ(error.column(), 14u);
+    EXPECT_EQ(error.token(), "zz");
+    EXPECT_NE(std::string(error.what()).find("bad latency max"),
+              std::string::npos);
+  }
+  {  // empty knob between commas
+    const auto error = parse_error_of("s:100:fail=0.2,,lat=5");
+    EXPECT_EQ(error.column(), 16u);
+    EXPECT_EQ(error.token(), "");
+  }
+}
+
+TEST(FaultPlan, ParseErrorsCarryTheLineInMultiLineScripts) {
+  // Newline joins ';' as a phase separator, so scripted plans read one
+  // phase per line — and a bad line is reported as that line.
+  {
+    const auto error = parse_error_of("steady:200\noutage:abc");
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_EQ(error.column(), 8u);
+    EXPECT_EQ(error.token(), "abc");
+    EXPECT_NE(std::string(error.what()).find("fault plan:2:8:"),
+              std::string::npos)
+        << error.what();
+  }
+  {
+    const auto error =
+        parse_error_of("steady:200\noutage:100:fail=1\nbrown:50:lat=9..x");
+    EXPECT_EQ(error.line(), 3u);
+    EXPECT_EQ(error.column(), 17u);
+    EXPECT_EQ(error.token(), "x");
+  }
+  // ';' on one line keeps every offset on line 1.
+  {
+    const auto error = parse_error_of("a:100;b:xyz");
+    EXPECT_EQ(error.line(), 1u);
+    EXPECT_EQ(error.column(), 9u);
+    EXPECT_EQ(error.token(), "xyz");
+  }
+}
+
+TEST(FaultPlan, NewlineSeparatedScriptsParseLikeSemicolons) {
+  const auto by_newline = parse_fault_plan(
+      "steady:200\noutage:100:fail=1\ntail:0", /*seed=*/42);
+  const auto by_semicolon = parse_fault_plan(
+      "steady:200;outage:100:fail=1;tail:0", /*seed=*/42);
+  ASSERT_EQ(by_newline.phases().size(), 3u);
+  ASSERT_EQ(by_semicolon.phases().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(by_newline.phases()[i].label, by_semicolon.phases()[i].label);
+    EXPECT_EQ(by_newline.phases()[i].duration_us,
+              by_semicolon.phases()[i].duration_us);
+    EXPECT_EQ(by_newline.phases()[i].fail_rate,
+              by_semicolon.phases()[i].fail_rate);
+  }
+}
+
+TEST(FaultPlan, ParseErrorIsCatchableAsInvalidArgument) {
+  // FaultPlanParseError derives std::invalid_argument: callers that predate
+  // the typed error (and every existing EXPECT_THROW above) keep working.
+  EXPECT_THROW((void)parse_fault_plan("steady:abc", 1), std::invalid_argument);
+  bool caught = false;
+  try {
+    (void)parse_fault_plan("steady:abc", 1);
+  } catch (const std::invalid_argument& error) {
+    caught = true;
+    EXPECT_NE(std::string(error.what()).find("'abc'"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+}
+
 TEST(FaultPlan, DescribeMentionsEveryPhase) {
   const auto plan =
       parse_fault_plan("steady:200;outage:100:fail=1;tail:0", /*seed=*/3);

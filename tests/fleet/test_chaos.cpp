@@ -1,0 +1,191 @@
+#include "fleet/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "metrics/metrics.h"
+#include "util/virtual_clock.h"
+
+/// \file test_chaos.cpp
+/// Replica-granularity chaos: the schedule is a pure function of (plan seed,
+/// replica_id, tick index), so replaying a drill reproduces the identical
+/// kill/brownout/corruption sequence — the property that makes a failed
+/// drill debuggable.  Hooks are in-process counters here; the orchestrator
+/// installs kill(2)-based ones (tools/lcaknap_fleet.cpp).
+
+namespace lcaknap::fleet {
+namespace {
+
+std::vector<ReplicaTarget> three_targets() {
+  return {{1, "g0"}, {2, "g1"}, {3, "g2"}};
+}
+
+struct CountingHooks {
+  std::vector<std::uint64_t> killed;
+  std::vector<std::uint64_t> browned;
+  std::vector<std::uint64_t> corrupted;
+  std::vector<std::uint64_t> pauses;
+
+  ChaosHooks hooks() {
+    ChaosHooks h;
+    h.kill = [this](const ReplicaTarget& t) { killed.push_back(t.replica_id); };
+    h.brownout = [this](const ReplicaTarget& t, std::uint64_t pause_us) {
+      browned.push_back(t.replica_id);
+      pauses.push_back(pause_us);
+    };
+    h.corrupt_snapshot = [this](const ReplicaTarget& t) {
+      corrupted.push_back(t.replica_id);
+    };
+    return h;
+  }
+};
+
+/// Runs `ticks` ticks at `step_us` spacing and returns the event log.
+std::vector<ChaosEvent> run_drill(const std::string& spec, std::uint64_t seed,
+                                  std::size_t ticks, std::uint64_t step_us,
+                                  CountingHooks* hooks = nullptr) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  CountingHooks local;
+  CountingHooks* sink = hooks != nullptr ? hooks : &local;
+  ReplicaChaos chaos(fault::parse_fault_plan(spec, seed), three_targets(),
+                     sink->hooks(), clock, registry);
+  chaos.arm();
+  for (std::size_t t = 0; t < ticks; ++t) {
+    (void)chaos.tick();
+    clock.advance_us(step_us);
+  }
+  return chaos.events();
+}
+
+TEST(ReplicaChaos, SameSeedReplaysTheIdenticalSchedule) {
+  const std::string spec = "storm:1000:fail=0.3,corrupt=0.2,lat=100..400";
+  const auto first = run_drill(spec, 0xC0A5, 50, 10'000);
+  const auto second = run_drill(spec, 0xC0A5, 50, 10'000);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].at_us, second[i].at_us);
+    EXPECT_EQ(first[i].replica_id, second[i].replica_id);
+    EXPECT_EQ(first[i].action, second[i].action);
+    EXPECT_EQ(first[i].phase, second[i].phase);
+    EXPECT_EQ(first[i].brownout_us, second[i].brownout_us);
+  }
+  EXPECT_FALSE(first.empty()) << "a 50-tick storm at these rates must fire";
+
+  // A different seed draws a different schedule (overwhelmingly likely over
+  // 50 ticks x 3 targets x 3 dice).
+  const auto other = run_drill(spec, 0xC0A6, 50, 10'000);
+  bool differs = other.size() != first.size();
+  for (std::size_t i = 0; !differs && i < first.size(); ++i) {
+    differs = first[i].replica_id != other[i].replica_id ||
+              first[i].action != other[i].action ||
+              first[i].at_us != other[i].at_us;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ReplicaChaos, KilledTargetsDropOutUntilRevived) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  CountingHooks counting;
+  ReplicaChaos chaos(fault::parse_fault_plan("massacre:0:fail=1", 7),
+                     three_targets(), counting.hooks(), clock, registry);
+  chaos.arm();
+  EXPECT_EQ(chaos.tick(), 3u) << "fail=1 kills every alive target";
+  EXPECT_EQ(counting.killed.size(), 3u);
+  EXPECT_EQ(chaos.tick(), 0u) << "the dead roll no dice";
+  EXPECT_EQ(counting.killed.size(), 3u);
+
+  chaos.revive(2);  // a replacement process took over replica 2's slot
+  EXPECT_EQ(chaos.tick(), 1u);
+  ASSERT_EQ(counting.killed.size(), 4u);
+  EXPECT_EQ(counting.killed.back(), 2u);
+  EXPECT_EQ(registry.counter_value("fleet_chaos_kills_total"), 4u);
+}
+
+TEST(ReplicaChaos, BrownoutFiresEveryTickWithDurationsInRange) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  CountingHooks counting;
+  ReplicaChaos chaos(fault::parse_fault_plan("brown:0:lat=100..400", 7),
+                     three_targets(), counting.hooks(), clock, registry);
+  chaos.arm();
+  for (int t = 0; t < 10; ++t) (void)chaos.tick();
+  // Latency phases pause throughout (matching ChaosAccess's per-call
+  // injection); only the duration is drawn.
+  EXPECT_EQ(counting.browned.size(), 30u);
+  for (const auto pause : counting.pauses) {
+    EXPECT_GE(pause, 100u);
+    EXPECT_LE(pause, 400u);
+  }
+  bool varied = false;
+  for (const auto pause : counting.pauses) varied |= pause != counting.pauses[0];
+  EXPECT_TRUE(varied) << "durations are drawn, not constant";
+  EXPECT_EQ(registry.counter_value("fleet_chaos_brownouts_total"), 30u);
+}
+
+TEST(ReplicaChaos, PhaseScheduleGatesTheDice) {
+  // 100ms of calm, then a permanent kill phase: nothing may fire before the
+  // plan says so.
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  CountingHooks counting;
+  ReplicaChaos chaos(fault::parse_fault_plan("calm:100;storm:0:fail=1", 7),
+                     three_targets(), counting.hooks(), clock, registry);
+  chaos.arm();
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(chaos.tick(), 0u) << "calm phase fires nothing";
+    clock.advance_us(10'000);
+  }
+  clock.advance_us(60'000);  // past the 100ms edge
+  EXPECT_EQ(chaos.tick(), 3u);
+  for (const auto& event : chaos.events()) {
+    EXPECT_EQ(event.phase, "storm");
+    EXPECT_GE(event.at_us, 100'000u);
+  }
+}
+
+TEST(ReplicaChaos, EventsAreLoggedEvenWithoutHooks) {
+  // The schedule is the contract; delivery is pluggable.  A drill report
+  // must narrate what *would* have been done even in observe-only mode.
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  ReplicaChaos chaos(fault::parse_fault_plan("storm:0:fail=1,corrupt=1", 7),
+                     three_targets(), ChaosHooks{}, clock, registry);
+  chaos.arm();
+  EXPECT_EQ(chaos.tick(), 6u) << "3 corruptions + 3 kills, hooks or not";
+  EXPECT_EQ(chaos.events().size(), 6u);
+}
+
+TEST(ReplicaChaos, TicksBeforeArmAreNoOps) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  ReplicaChaos chaos(fault::parse_fault_plan("storm:0:fail=1", 7),
+                     three_targets(), ChaosHooks{}, clock, registry);
+  EXPECT_EQ(chaos.tick(), 0u);
+  EXPECT_TRUE(chaos.events().empty());
+  chaos.arm();
+  EXPECT_GT(chaos.tick(), 0u);
+}
+
+TEST(ReplicaChaos, EmptyTargetListIsTyped) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  EXPECT_THROW(ReplicaChaos(fault::parse_fault_plan("s:0", 1), {},
+                            ChaosHooks{}, clock, registry),
+               std::invalid_argument);
+}
+
+TEST(ReplicaChaos, ActionNamesAreTotal) {
+  EXPECT_STREQ(chaos_action_name(ChaosAction::kKill), "kill");
+  EXPECT_STREQ(chaos_action_name(ChaosAction::kBrownout), "brownout");
+  EXPECT_STREQ(chaos_action_name(ChaosAction::kCorruptSnapshot),
+               "corrupt_snapshot");
+}
+
+}  // namespace
+}  // namespace lcaknap::fleet

@@ -1,0 +1,187 @@
+#include "fleet/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "oracle/access.h"
+#include "store/state_store.h"
+
+/// \file test_checker.cpp
+/// The consistency checker against real in-process replicas.  Two replicas
+/// sharing the seed must produce zero divergences over any probe set
+/// (Lemma 4.9); two replicas that *differ* in seed — a misconfigured fleet,
+/// exactly what the checker exists to catch — must produce a divergence
+/// with both conflicting observations attributed; a dead replica is counted
+/// unavailable, never inconsistent.
+
+namespace lcaknap::fleet {
+namespace {
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    instance_ = new knapsack::Instance(
+        knapsack::make_family(knapsack::Family::kNeedle, 2'000, 17));
+    access_ = new oracle::MaterializedAccess(*instance_);
+    core::LcaKpConfig config;
+    config.eps = 0.2;
+    config.seed = 0x5E;
+    config.quantile_samples = 20'000;
+    lca_ = new core::LcaKp(*access_, config);
+    // The imposter serves a *different* instance under the same tenant id —
+    // a misregistered fleet member, guaranteed to disagree somewhere.
+    imposter_instance_ = new knapsack::Instance(
+        knapsack::make_family(knapsack::Family::kUncorrelated, 2'000, 23));
+    imposter_access_ = new oracle::MaterializedAccess(*imposter_instance_);
+    config.seed = 0x6F;
+    imposter_ = new core::LcaKp(*imposter_access_, config);
+  }
+  static void TearDownTestSuite() {
+    delete imposter_;
+    delete imposter_access_;
+    delete imposter_instance_;
+    delete lca_;
+    delete access_;
+    delete instance_;
+    imposter_ = lca_ = nullptr;
+    imposter_access_ = access_ = nullptr;
+    imposter_instance_ = instance_ = nullptr;
+  }
+
+  static const knapsack::Instance* instance_;
+  static const knapsack::Instance* imposter_instance_;
+  static const oracle::MaterializedAccess* access_;
+  static const oracle::MaterializedAccess* imposter_access_;
+  static const core::LcaKp* lca_;
+  static const core::LcaKp* imposter_;
+};
+
+const knapsack::Instance* CheckerTest::instance_ = nullptr;
+const knapsack::Instance* CheckerTest::imposter_instance_ = nullptr;
+const oracle::MaterializedAccess* CheckerTest::access_ = nullptr;
+const oracle::MaterializedAccess* CheckerTest::imposter_access_ = nullptr;
+const core::LcaKp* CheckerTest::lca_ = nullptr;
+const core::LcaKp* CheckerTest::imposter_ = nullptr;
+
+struct Replica {
+  metrics::Registry registry;
+  store::StateStore store;
+  net::TenantRouter router;
+  std::unique_ptr<net::Server> server;
+
+  Replica(const core::LcaKp* lca, std::uint64_t replica_id)
+      : store({.capacity = 4}, registry), router(store, registry) {
+    net::TenantConfig tenant;
+    tenant.lca = lca;
+    tenant.engine.workers = 2;
+    router.register_tenant("alpha", tenant);
+    router.warm_all();
+    net::ServerConfig config;
+    config.replica_id = replica_id;
+    server = std::make_unique<net::Server>(router, config, registry);
+  }
+  ~Replica() {
+    if (server) server->stop();
+    router.drain();
+  }
+};
+
+TEST_F(CheckerTest, SharedSeedReplicasNeverDiverge) {
+  Replica a(lca_, 1);
+  Replica b(lca_, 2);
+  metrics::Registry registry;
+  ConsistencyChecker checker(
+      {{1, "127.0.0.1", a.server->port()}, {2, "127.0.0.1", b.server->port()}},
+      registry);
+  for (std::uint64_t item = 0; item < 200; ++item) {
+    EXPECT_TRUE(checker.check("alpha", item));
+  }
+  const auto& report = checker.report();
+  EXPECT_EQ(report.checks, 200u);
+  EXPECT_EQ(report.divergences, 0u);
+  EXPECT_EQ(report.unavailable, 0u);
+  EXPECT_GE(report.comparisons, 200u);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(registry.counter_value("fleet_checks_total"), 200u);
+  EXPECT_EQ(registry.counter_value("fleet_divergences_total"), 0u);
+}
+
+TEST_F(CheckerTest, MismatchedSeedIsCaughtAndAttributed) {
+  Replica a(lca_, 1);
+  Replica b(imposter_, 2);
+  metrics::Registry registry;
+  ConsistencyChecker checker(
+      {{1, "127.0.0.1", a.server->port()}, {2, "127.0.0.1", b.server->port()}},
+      registry);
+  for (std::uint64_t item = 0; item < 500; ++item) {
+    (void)checker.check("alpha", item);
+  }
+  const auto& report = checker.report();
+  // A needle instance and an uncorrelated instance cannot share a solution
+  // set over 500 probed items; the checker must notice.
+  ASSERT_GT(report.divergences, 0u);
+  EXPECT_FALSE(report.consistent());
+  ASSERT_FALSE(report.details.empty());
+  const auto& divergence = report.details.front();
+  EXPECT_EQ(divergence.tenant, "alpha");
+  ASSERT_EQ(divergence.observations.size(), 2u);
+  EXPECT_NE(divergence.observations[0].answer,
+            divergence.observations[1].answer);
+  EXPECT_NE(divergence.observations[0].replica_id,
+            divergence.observations[1].replica_id);
+  EXPECT_EQ(registry.counter_value("fleet_divergences_total"),
+            report.divergences);
+}
+
+TEST_F(CheckerTest, DeadReplicaIsUnavailableNotInconsistent) {
+  Replica a(lca_, 1);
+  auto b = std::make_unique<Replica>(lca_, 2);
+  metrics::Registry registry;
+  ConsistencyChecker checker(
+      {{1, "127.0.0.1", a.server->port()},
+       {2, "127.0.0.1", b->server->port()}},
+      registry);
+  EXPECT_TRUE(checker.check("alpha", 1));
+  b.reset();  // replica 2 dies mid-drill
+  EXPECT_TRUE(checker.check("alpha", 2)) << "one view left: nothing conflicts";
+  const auto& report = checker.report();
+  EXPECT_EQ(report.checks, 2u);
+  EXPECT_EQ(report.divergences, 0u);
+  EXPECT_GE(report.unavailable, 1u);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_EQ(registry.counter_value("fleet_check_unavailable_total"),
+            report.unavailable);
+}
+
+TEST_F(CheckerTest, RefusalsAreCountedNeverCompared) {
+  Replica a(lca_, 1);
+  Replica b(lca_, 2);
+  metrics::Registry registry;
+  ConsistencyChecker checker(
+      {{1, "127.0.0.1", a.server->port()}, {2, "127.0.0.1", b.server->port()}},
+      registry);
+  // An unknown tenant yields kUnknownTenant from both replicas: two typed
+  // refusals, zero comparisons, zero divergences.
+  EXPECT_TRUE(checker.check("ghost", 1));
+  const auto& report = checker.report();
+  EXPECT_EQ(report.non_ok, 2u);
+  EXPECT_EQ(report.divergences, 0u);
+}
+
+TEST_F(CheckerTest, FewerThanTwoEndpointsIsTyped) {
+  metrics::Registry registry;
+  EXPECT_THROW(ConsistencyChecker({}, registry), std::invalid_argument);
+  EXPECT_THROW(ConsistencyChecker({{1, "127.0.0.1", 1}}, registry),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcaknap::fleet

@@ -1,0 +1,241 @@
+#include "fleet/client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "oracle/access.h"
+#include "store/state_store.h"
+#include "util/virtual_clock.h"
+
+/// \file test_fleet_client.cpp
+/// The fleet front door against real in-process replicas: failover on a dead
+/// home replica returns the byte-identical answer (Lemma 4.9 is what makes
+/// the hop *correct*, not merely available), every offered query settles in
+/// exactly one disposition (fleet conservation), budgets settle kDeadline,
+/// and terminal statuses never burn failover hops.
+
+namespace lcaknap::fleet {
+namespace {
+
+class FleetClientTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    instance_ = new knapsack::Instance(
+        knapsack::make_family(knapsack::Family::kNeedle, 2'000, 17));
+    access_ = new oracle::MaterializedAccess(*instance_);
+    core::LcaKpConfig config;
+    config.eps = 0.2;
+    config.seed = 0x5E;
+    config.quantile_samples = 20'000;
+    lca_ = new core::LcaKp(*access_, config);
+  }
+  static void TearDownTestSuite() {
+    delete lca_;
+    delete access_;
+    delete instance_;
+    lca_ = nullptr;
+    access_ = nullptr;
+    instance_ = nullptr;
+  }
+
+  static const knapsack::Instance* instance_;
+  static const oracle::MaterializedAccess* access_;
+  static const core::LcaKp* lca_;
+};
+
+const knapsack::Instance* FleetClientTest::instance_ = nullptr;
+const oracle::MaterializedAccess* FleetClientTest::access_ = nullptr;
+const core::LcaKp* FleetClientTest::lca_ = nullptr;
+
+/// One in-process replica: store + router + server, replica_id stamped on
+/// every response (mirrors `lcaknap_cli serve --listen --replica-id`).
+struct Replica {
+  metrics::Registry registry;
+  store::StateStore store;
+  net::TenantRouter router;
+  std::unique_ptr<net::Server> server;
+
+  Replica(const core::LcaKp* lca, std::uint64_t replica_id)
+      : store({.capacity = 4}, registry), router(store, registry) {
+    net::TenantConfig tenant;
+    tenant.lca = lca;
+    tenant.engine.workers = 2;
+    tenant.engine.cache.capacity = 1'024;
+    router.register_tenant("alpha", tenant);
+    router.warm_all();
+    net::ServerConfig config;
+    config.replica_id = replica_id;
+    server = std::make_unique<net::Server>(router, config, registry);
+  }
+  ~Replica() {
+    if (server) server->stop();
+    router.drain();
+  }
+};
+
+FleetClientConfig two_replica_config(const Replica& a, const Replica& b) {
+  FleetClientConfig config;
+  config.replicas = {
+      {.replica_id = 1, .group = 0, .host = "127.0.0.1", .port = a.server->port()},
+      {.replica_id = 2, .group = 1, .host = "127.0.0.1", .port = b.server->port()},
+  };
+  return config;
+}
+
+TEST_F(FleetClientTest, HealthyFleetAnswersFromTheHomeReplica) {
+  Replica a(lca_, 1);
+  Replica b(lca_, 2);
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  FleetClient client(two_replica_config(a, b), clock, registry);
+
+  const auto home = client.map().group_of("alpha");
+  const std::uint64_t home_id = home == 0 ? 1 : 2;
+  const auto& run =
+      (home == 0 ? a : b).router.engine("alpha")->run();
+  for (std::uint64_t q = 0; q < 100; ++q) {
+    const auto result = client.query("alpha", q % 500);
+    ASSERT_EQ(result.disposition, Disposition::kOk);
+    ASSERT_EQ(result.status, net::WireStatus::kOk);
+    ASSERT_EQ(result.replica_id, home_id)
+        << "a healthy fleet serves from the home group (its cache stays hot)";
+    ASSERT_EQ(result.attempts, 1u);
+    ASSERT_EQ(result.answer, lca_->answer_from(run, q % 500));
+  }
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.offered, 100u);
+  EXPECT_TRUE(stats.conserved());
+  EXPECT_EQ(stats.by_disposition[static_cast<std::size_t>(Disposition::kOk)],
+            100u);
+  EXPECT_EQ(stats.failover_attempts, 0u);
+  EXPECT_EQ(registry.counter_value("fleet_queries_total",
+                                   {{"disposition", "ok"}}),
+            100u);
+}
+
+TEST_F(FleetClientTest, DeadHomeReplicaFailsOverWithIdenticalAnswers) {
+  Replica a(lca_, 1);
+  Replica b(lca_, 2);
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  FleetClient client(two_replica_config(a, b), clock, registry);
+
+  const auto home = client.map().group_of("alpha");
+  Replica& victim = home == 0 ? a : b;
+  Replica& survivor = home == 0 ? b : a;
+  const std::uint64_t survivor_id = home == 0 ? 2 : 1;
+
+  // Establish the home connection, then take the home replica down with the
+  // connection still cached — the client discovers the death mid-call.
+  for (std::uint64_t q = 0; q < 20; ++q) (void)client.query("alpha", q);
+  victim.server->stop();
+
+  const auto& run = survivor.router.engine("alpha")->run();
+  for (std::uint64_t q = 0; q < 80; ++q) {
+    const auto result = client.query("alpha", q % 500);
+    ASSERT_EQ(result.disposition, Disposition::kFailedOver);
+    ASSERT_EQ(result.status, net::WireStatus::kOk);
+    ASSERT_EQ(result.replica_id, survivor_id);
+    ASSERT_GE(result.attempts, 2u);
+    // Lemma 4.9: the sibling's answer is the answer, byte for byte.
+    ASSERT_EQ(result.answer, lca_->answer_from(run, q % 500));
+  }
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.offered, 100u);
+  EXPECT_TRUE(stats.conserved());
+  EXPECT_EQ(
+      stats.by_disposition[static_cast<std::size_t>(Disposition::kFailedOver)],
+      80u);
+  EXPECT_GE(stats.failover_attempts, 80u);
+  EXPECT_GT(stats.backoff_sleep_us, 0u) << "hops back off on the injected clock";
+  EXPECT_EQ(registry.counter_value("fleet_queries_total",
+                                   {{"disposition", "failed_over"}}),
+            80u);
+  EXPECT_EQ(registry.counter_value("fleet_failover_attempts_total"),
+            stats.failover_attempts);
+}
+
+TEST_F(FleetClientTest, SpentBudgetSettlesDeadlineNotASilentHang) {
+  // Both endpoints closed: grab real ports, then stop the servers.
+  auto a = std::make_unique<Replica>(lca_, 1);
+  auto b = std::make_unique<Replica>(lca_, 2);
+  auto config = two_replica_config(*a, *b);
+  a.reset();
+  b.reset();
+
+  config.attempt_budget_us = 100;  // far below one base backoff (200us)
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  FleetClient client(config, clock, registry);
+  const auto result = client.query("alpha", 7);
+  EXPECT_EQ(result.disposition, Disposition::kDeadline);
+  const auto stats = client.stats();
+  EXPECT_TRUE(stats.conserved());
+  EXPECT_EQ(
+      stats.by_disposition[static_cast<std::size_t>(Disposition::kDeadline)],
+      1u);
+  // The backoff was clamped to the budget edge, never past it.
+  EXPECT_LE(stats.backoff_sleep_us, 100u);
+  EXPECT_LE(clock.now_us(), 100u);
+}
+
+TEST_F(FleetClientTest, UnreachableFleetSettlesErrorAfterEveryCandidate) {
+  auto a = std::make_unique<Replica>(lca_, 1);
+  auto b = std::make_unique<Replica>(lca_, 2);
+  auto config = two_replica_config(*a, *b);
+  a.reset();
+  b.reset();
+
+  util::VirtualClock clock;  // unbudgeted: backoffs advance instantly
+  metrics::Registry registry;
+  FleetClient client(config, clock, registry);
+  const auto result = client.query("alpha", 7);
+  EXPECT_EQ(result.disposition, Disposition::kError);
+  EXPECT_EQ(result.replica_id, 0u) << "no replica answered";
+  EXPECT_EQ(result.attempts, 2u) << "every candidate was tried";
+  EXPECT_TRUE(client.stats().conserved());
+}
+
+TEST_F(FleetClientTest, TerminalStatusNeverBurnsFailoverHops) {
+  Replica a(lca_, 1);
+  Replica b(lca_, 2);
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  FleetClient client(two_replica_config(a, b), clock, registry);
+
+  // kUnknownTenant is deterministic across the fleet (same registration
+  // state); hopping to a sibling would return the same refusal.
+  const auto result = client.query("ghost", 1);
+  EXPECT_EQ(result.disposition, Disposition::kError);
+  EXPECT_EQ(result.status, net::WireStatus::kUnknownTenant);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(client.stats().failover_attempts, 0u);
+  EXPECT_TRUE(client.stats().conserved());
+}
+
+TEST_F(FleetClientTest, ConfigErrorsAreTyped) {
+  util::VirtualClock clock;
+  metrics::Registry registry;
+  EXPECT_THROW(FleetClient({}, clock, registry), std::invalid_argument);
+}
+
+TEST(FleetDisposition, NamesAreTotal) {
+  EXPECT_STREQ(disposition_name(Disposition::kOk), "ok");
+  EXPECT_STREQ(disposition_name(Disposition::kFailedOver), "failed_over");
+  EXPECT_STREQ(disposition_name(Disposition::kDegraded), "degraded");
+  EXPECT_STREQ(disposition_name(Disposition::kOverloaded), "overloaded");
+  EXPECT_STREQ(disposition_name(Disposition::kDeadline), "deadline");
+  EXPECT_STREQ(disposition_name(Disposition::kError), "error");
+}
+
+}  // namespace
+}  // namespace lcaknap::fleet

@@ -1,0 +1,161 @@
+#include "fleet/map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+/// \file test_map.cpp
+/// Pins the consistent-hash placement function.  The golden placements below
+/// are load-bearing: every process in a fleet (client, checker, drill
+/// orchestrator) computes placement independently from (seed, vnodes,
+/// groups), so a drift in the hash silently re-homes tenants across a
+/// version boundary.  If one of these values changes, the ring function
+/// changed — that is a wire-compatibility event, not a test to update
+/// casually (docs/FLEET.md).
+
+namespace lcaknap::fleet {
+namespace {
+
+FleetMap three_groups(metrics::Registry& registry) {
+  FleetMap map({}, registry);
+  map.add_group(0);
+  map.add_group(1);
+  map.add_group(2);
+  return map;
+}
+
+TEST(FleetMap, GoldenPlacementsAtDefaultSeed) {
+  metrics::Registry registry;
+  auto map = three_groups(registry);
+  // seed 0xF1EE7, 64 vnodes, groups {0, 1, 2}.
+  EXPECT_EQ(map.group_of("default"), 0u);
+  EXPECT_EQ(map.group_of("alpha"), 1u);
+  EXPECT_EQ(map.group_of("beta"), 2u);
+  EXPECT_EQ(map.group_of("gamma"), 1u);
+  EXPECT_EQ(map.group_of("delta"), 0u);
+  EXPECT_EQ(map.group_of("tenant-a"), 0u);
+}
+
+TEST(FleetMap, GoldenFailoverOrders) {
+  metrics::Registry registry;
+  auto map = three_groups(registry);
+  using Order = std::vector<std::uint64_t>;
+  EXPECT_EQ(map.preference_of("default"), (Order{0, 1, 2}));
+  EXPECT_EQ(map.preference_of("alpha"), (Order{1, 0, 2}));
+  EXPECT_EQ(map.preference_of("beta"), (Order{2, 0, 1}));
+  EXPECT_EQ(map.preference_of("gamma"), (Order{1, 2, 0}));
+  EXPECT_EQ(map.preference_of("delta"), (Order{0, 2, 1}));
+}
+
+TEST(FleetMap, TwoIndependentMapsAgreeOnEveryPlacement) {
+  // The coordination-free contract: two processes building the map from the
+  // same config agree everywhere, whatever order their groups were added in.
+  metrics::Registry ra;
+  metrics::Registry rb;
+  FleetMap a({}, ra);
+  FleetMap b({}, rb);
+  a.add_group(0);
+  a.add_group(1);
+  a.add_group(2);
+  b.add_group(2);  // reversed insertion order
+  b.add_group(1);
+  b.add_group(0);
+  for (int t = 0; t < 200; ++t) {
+    const auto tenant = "tenant-" + std::to_string(t);
+    EXPECT_EQ(a.group_of(tenant), b.group_of(tenant)) << tenant;
+    EXPECT_EQ(a.preference_of(tenant), b.preference_of(tenant)) << tenant;
+  }
+}
+
+TEST(FleetMap, AddingAGroupMovesOnlyTheTenantsWhoseArcsItClaims) {
+  metrics::Registry registry;
+  auto map = three_groups(registry);
+  map.track("default");  // home 0
+  map.track("alpha");    // home 1
+  map.track("beta");     // home 2
+  map.track("gamma");    // home 1
+
+  map.add_group(3);
+  // Pinned: group 3's vnodes claim alpha's and beta's arcs; default and
+  // gamma keep their homes — consistent hashing never reshuffles the rest.
+  EXPECT_EQ(map.group_of("default"), 0u);
+  EXPECT_EQ(map.group_of("alpha"), 3u);
+  EXPECT_EQ(map.group_of("beta"), 3u);
+  EXPECT_EQ(map.group_of("gamma"), 1u);
+  EXPECT_EQ(map.moves(), 2u);
+
+  // Removing it restores the original homes exactly (the ring is a pure
+  // function of the membership set).
+  map.remove_group(3);
+  EXPECT_EQ(map.group_of("alpha"), 1u);
+  EXPECT_EQ(map.group_of("beta"), 2u);
+  EXPECT_EQ(map.moves(), 4u);
+}
+
+TEST(FleetMap, RebalanceEventsNarrateEveryEffect) {
+  metrics::Registry registry;
+  FleetMap map({}, registry);
+  map.add_group(0);
+  map.add_group(1);
+  map.track("alpha");  // home 1 at two groups? — recompute below
+  const auto home = map.group_of("alpha");
+  map.add_group(2);
+
+  const auto& events = map.events();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, RebalanceEvent::Kind::kGroupAdded);
+  EXPECT_EQ(events[0].group, 0u);
+  EXPECT_EQ(events[1].kind, RebalanceEvent::Kind::kGroupAdded);
+  EXPECT_EQ(events[2].kind, RebalanceEvent::Kind::kTenantTracked);
+  EXPECT_EQ(events[2].tenant, "alpha");
+  EXPECT_EQ(events[2].to_group, home);
+  // Every kTenantMoved event carries a from/to pair that chains correctly.
+  std::uint64_t moved = 0;
+  std::uint64_t expected_home = home;
+  for (const auto& event : events) {
+    if (event.kind != RebalanceEvent::Kind::kTenantMoved) continue;
+    EXPECT_EQ(event.tenant, "alpha");
+    EXPECT_EQ(event.from_group, expected_home);
+    expected_home = event.to_group;
+    ++moved;
+  }
+  EXPECT_EQ(expected_home, map.group_of("alpha"));
+  EXPECT_EQ(moved, map.moves());
+  EXPECT_EQ(registry.counter_value("fleet_rebalance_moves_total"), map.moves());
+}
+
+TEST(FleetMap, MembershipErrorsAreTyped) {
+  metrics::Registry registry;
+  FleetMap map({}, registry);
+  EXPECT_THROW((void)map.group_of("anyone"), std::logic_error);
+  EXPECT_THROW((void)map.preference_of("anyone"), std::logic_error);
+  map.add_group(7);
+  EXPECT_THROW(map.add_group(7), std::invalid_argument);
+  EXPECT_THROW(map.remove_group(8), std::invalid_argument);
+  map.track("alpha");
+  // The last group cannot leave while tenants are tracked: they would have
+  // no home and group_of would start throwing mid-flight.
+  EXPECT_THROW(map.remove_group(7), std::invalid_argument);
+  EXPECT_THROW(FleetMap({.vnodes = 0}, registry), std::invalid_argument);
+}
+
+TEST(FleetMap, PreferenceOrderStartsAtHomeAndCoversEveryGroup) {
+  metrics::Registry registry;
+  auto map = three_groups(registry);
+  for (int t = 0; t < 100; ++t) {
+    const auto tenant = "t" + std::to_string(t);
+    const auto order = map.preference_of(tenant);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.front(), map.group_of(tenant));
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::uint64_t>{0, 1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace lcaknap::fleet

@@ -121,7 +121,7 @@ TEST(Cli, HelpListsEveryCommandAndFlag) {
       // network front-end
       "--listen", "--tenants", "--max-conns", "--conn-inflight",
       "--tenant-inflight", "--store-capacity", "--chaos-tenant",
-      "--allow-shutdown",
+      "--allow-shutdown", "--replica-id",
       // global
       "--metrics",
   };

@@ -56,6 +56,43 @@ TEST(Wire, ResponseRoundTripForEveryStatus) {
   }
 }
 
+TEST(Wire, ResponseRoundTripPreservesReplicaId) {
+  // replica_id is the fleet's attribution field (who answered): it must
+  // survive the wire bit-for-bit, 0 (unassigned) included.
+  for (const std::uint64_t id : {0ull, 1ull, 42ull, 0xFFFF'FFFF'FFFF'FFFFull}) {
+    ResponseFrame frame;
+    frame.request_id = 9;
+    frame.replica_id = id;
+    frame.status = WireStatus::kOk;
+    std::string bytes;
+    encode(frame, bytes);
+    ResponseFrame decoded;
+    ASSERT_EQ(decode(bytes, decoded), bytes.size());
+    EXPECT_EQ(decoded.replica_id, id);
+  }
+}
+
+TEST(Wire, HealthFlagRoundTripsAndCoexistsWithShutdown) {
+  // The readiness probe (kFlagHealth) is just a flag bit on an ordinary
+  // request frame: same encoder, same defenses, no separate frame kind.
+  RequestFrame frame = sample_request();
+  frame.flags = RequestFrame::kFlagHealth;
+  std::string bytes;
+  encode(frame, bytes);
+  RequestFrame decoded;
+  ASSERT_EQ(decode(bytes, decoded), bytes.size());
+  EXPECT_EQ(decoded.flags, RequestFrame::kFlagHealth);
+
+  // The two defined flags occupy distinct bits.
+  EXPECT_EQ(RequestFrame::kFlagShutdown & RequestFrame::kFlagHealth, 0);
+  frame.flags = RequestFrame::kFlagShutdown | RequestFrame::kFlagHealth;
+  bytes.clear();
+  encode(frame, bytes);
+  ASSERT_EQ(decode(bytes, decoded), bytes.size());
+  EXPECT_EQ(decoded.flags,
+            RequestFrame::kFlagShutdown | RequestFrame::kFlagHealth);
+}
+
 TEST(Wire, DecodeIsIncrementalAcrossABufferOfManyFrames) {
   // A TCP read boundary can land anywhere: several frames in one buffer
   // decode one by one, each consuming exactly its own bytes.

@@ -286,5 +286,141 @@ TEST(StateStoreConcurrency, EvictionChurnStaysConsistent) {
   EXPECT_EQ(store.size(), 2u);
 }
 
+TEST(StateStoreConcurrency, HydrationUnderEvictionChurnServesOnlyGoodState) {
+  // Disk-backed store with capacity below the id count: every re-entry of
+  // an evicted id races snapshot hydration against concurrent evictions.
+  // The answers must stay digest-stable whichever path (hydrate or live
+  // warm-up) wins, and the books must balance.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("lcaknap_state_store_churn_" +
+                    std::to_string(
+                        ::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 3'000, 5);
+  const oracle::MaterializedAccess access(inst);
+  constexpr std::size_t kIds = 4;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kGetsPerThread = 16;
+  std::vector<std::unique_ptr<core::LcaKp>> tenants;
+  std::vector<std::uint64_t> expected_digests;
+  for (std::size_t i = 0; i < kIds; ++i) {
+    tenants.push_back(std::make_unique<core::LcaKp>(
+        access, tenant_config(0.25, 0x3000 + i)));
+    expected_digests.push_back(
+        core::run_digest(tenants.back()->run_warmup(300 + i)));
+  }
+
+  metrics::Registry registry;
+  StateStore store({.capacity = 2, .snapshot_dir = dir.string()}, registry);
+  std::atomic<std::size_t> wrong_digests{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < kGetsPerThread; ++k) {
+        const std::size_t i = (t * 3 + k) % kIds;
+        const auto run =
+            store.get("tenant-" + std::to_string(i), *tenants[i], 300 + i);
+        if (core::run_digest(*run) != expected_digests[i]) {
+          wrong_digests.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_digests.load(), 0u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+            kThreads * kGetsPerThread);
+  // Disk-backed churn: after the first warm-up of each id, re-entries
+  // hydrate from the snapshot instead of re-warming.
+  EXPECT_EQ(stats.live_warmups, kIds);
+  EXPECT_EQ(stats.snapshot_hydrations, stats.misses - kIds);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.rejected_corrupt + stats.rejected_mismatch, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StateStoreConcurrency, SnapshotReplacedMidReadIsRejectedOrCleanNeverTorn) {
+  // The atomic-rename discipline (writer: temp + fsync + rename; also
+  // fleet::ship_snapshot) means a reader racing a replacement sees the
+  // complete old file or the complete new file.  A writer thread flips the
+  // snapshot between a valid copy and a corrupted copy while readers
+  // hydrate fresh stores: every read must end in exactly one of
+  // {clean hydration, typed rejection + live warm-up} — and the served
+  // digest is correct either way.  A torn read would surface as a wrong
+  // digest or an unhandled decode crash; neither may happen.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("lcaknap_state_store_rename_race_" +
+                    std::to_string(
+                        ::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto inst = knapsack::make_family(knapsack::Family::kUncorrelated, 3'000, 5);
+  const oracle::MaterializedAccess access(inst);
+  const core::LcaKp lca(access, tenant_config(0.25, 0x4001));
+  const auto expected = core::run_digest(lca.run_warmup(7));
+
+  std::filesystem::path snap_path;
+  {
+    metrics::Registry seed_registry;
+    StateStore seeder({.capacity = 2, .snapshot_dir = dir.string()},
+                      seed_registry);
+    (void)seeder.get("tenant-a", lca, 7);
+    snap_path = seeder.snapshot_path("tenant-a");
+  }
+  // Two immutable source images the writer alternates between.
+  const auto valid_copy = dir / "valid.bin";
+  const auto corrupt_copy = dir / "corrupt.bin";
+  std::filesystem::copy_file(snap_path, valid_copy);
+  std::filesystem::copy_file(snap_path, corrupt_copy);
+  {
+    std::fstream file(corrupt_copy, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(40);
+    char byte = 0;
+    file.seekg(40);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(40);
+    file.write(&byte, 1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    const auto temp = dir / "tenant-a.snap.replace.tmp";
+    bool corrupt = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::filesystem::copy_file(corrupt ? corrupt_copy : valid_copy, temp,
+                                 std::filesystem::copy_options::overwrite_existing);
+      std::filesystem::rename(temp, snap_path);  // atomic publish
+      corrupt = !corrupt;
+    }
+  });
+
+  std::size_t hydrated = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 12; ++round) {
+    metrics::Registry registry;
+    StateStore reader({.capacity = 2, .snapshot_dir = dir.string()}, registry);
+    const auto run = reader.get("tenant-a", lca, 7);
+    EXPECT_EQ(core::run_digest(*run), expected)
+        << "round " << round << ": a racing replacement leaked bad state";
+    const auto stats = reader.stats();
+    // Exactly one of the two legal paths, never a third state.
+    EXPECT_EQ(stats.snapshot_hydrations + stats.live_warmups, 1u);
+    EXPECT_EQ(stats.rejected_corrupt, stats.live_warmups);
+    hydrated += stats.snapshot_hydrations;
+    rejected += stats.rejected_corrupt;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(hydrated + rejected, 12u);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace lcaknap::store

@@ -348,6 +348,9 @@ int cmd_serve_listen(const Args& args) {
   server_config.max_inflight_per_connection =
       static_cast<std::size_t>(args.get_u64("conn-inflight", 128));
   server_config.allow_shutdown = args.get("allow-shutdown").has_value();
+  // Echoed on every response frame; the fleet orchestrator gives each
+  // replica a distinct id so the checker can attribute answers.
+  server_config.replica_id = args.get_u64("replica-id", 0);
   net::Server server(router, server_config, registry);
 
   // The machine-readable contract the loadgen and the two-process tests
@@ -823,7 +826,7 @@ void usage() {
       "           [--max-conns N] [--conn-inflight N] [--tenant-inflight N]\n"
       "           [--store-capacity N] [--snapshot-dir DIR] [--degrade]\n"
       "           [--chaos-tenant ID --chaos-plan SPEC] [--chaos-seed S]\n"
-      "           [--allow-shutdown]\n"
+      "           [--allow-shutdown] [--replica-id N]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
       "  snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]\n"
       "           [--tape T] [--warmup-threads K]\n"
@@ -861,8 +864,11 @@ void usage() {
       "routing by instance id through the StateStore, per-connection and\n"
       "per-tenant backpressure shedding kOverloaded, and an optional\n"
       "per-tenant chaos plan armed after warm-up.  --allow-shutdown honours\n"
-      "the gated remote-shutdown frame (tests; never production).  Drive it\n"
-      "with tools/lcaknap_loadgen.\n"
+      "the gated remote-shutdown frame (tests; never production).\n"
+      "--replica-id stamps every response frame with this replica's id so a\n"
+      "fleet client or the consistency checker can attribute answers\n"
+      "(docs/FLEET.md).  Drive it with tools/lcaknap_loadgen, or run a whole\n"
+      "replica fleet with tools/lcaknap_fleet.\n"
       "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
       "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }

@@ -1,10 +1,18 @@
 // lcaknap_loadgen — closed- and open-loop traffic driver for
 // `lcaknap_cli serve --listen` (docs/NETWORKING.md, experiment E20).
 //
-//   lcaknap_loadgen --port P [--host 127.0.0.1] [--tenant default]
-//     [--mode closed|open] [--connections C] [--window W]
+//   lcaknap_loadgen (--port P [--host 127.0.0.1] |
+//                    --targets host:port,host:port)
+//     [--tenant default] [--mode closed|open] [--connections C] [--window W]
 //     [--queries N] [--duration-ms D] [--qps R]
 //     [--items-max M] [--seed S] [--deadline-us D] [--json]
+//
+// Multi-endpoint mode (`--targets`) drives every replica of a fleet
+// concurrently with the same workload shape, splitting the query budget
+// evenly; the report gains a per-target status table and the conservation
+// exit check extends across targets: every target must individually satisfy
+// sent == received, so a violated replica cannot hide behind a sibling's
+// surplus.
 //
 // Closed loop (default): each of C connections keeps a window of W frames
 // in flight — send, wait, send — so offered load self-regulates to what the
@@ -259,12 +267,95 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// One endpoint's merged outcome (multi-target mode drives several).
+struct TargetOutcome {
+  std::string label;
+  ConnResult total;
+};
+
+/// Fans `config.connections` out against one endpoint and merges.
+TargetOutcome run_target(const RunConfig& config) {
+  const std::uint64_t per_conn =
+      (config.total_queries + config.connections - 1) / config.connections;
+  std::vector<ConnResult> results(config.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    const std::uint64_t conn_seed = config.seed * 0x9E3779B97F4A7C15ull + c;
+    if (config.open_loop) {
+      const double conn_qps =
+          config.qps / static_cast<double>(config.connections);
+      threads.emplace_back([&, c, conn_seed, conn_qps] {
+        run_open(config, conn_qps, per_conn, conn_seed, results[c]);
+      });
+    } else {
+      threads.emplace_back([&, c, conn_seed] {
+        run_closed(config, per_conn, conn_seed, results[c]);
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  TargetOutcome outcome;
+  outcome.label = config.host + ":" + std::to_string(config.port);
+  for (auto& r : results) {
+    outcome.total.sent += r.sent;
+    outcome.total.received += r.received;
+    for (std::size_t s = 0; s < outcome.total.by_status.size(); ++s) {
+      outcome.total.by_status[s] += r.by_status[s];
+    }
+    outcome.total.latencies_us.insert(outcome.total.latencies_us.end(),
+                                      r.latencies_us.begin(),
+                                      r.latencies_us.end());
+    if (outcome.total.error.empty() && !r.error.empty()) {
+      outcome.total.error = r.error;
+    }
+  }
+  return outcome;
+}
+
+std::string status_summary(const std::array<std::uint64_t, 8>& by_status) {
+  std::string summary;
+  for (std::size_t s = 0; s < by_status.size(); ++s) {
+    if (by_status[s] == 0) continue;
+    if (!summary.empty()) summary += ", ";
+    summary +=
+        std::string(net::wire_status_name(static_cast<net::WireStatus>(s))) +
+        "=" + std::to_string(by_status[s]);
+  }
+  return summary.empty() ? "(none)" : summary;
+}
+
 int run(const Args& args) {
   RunConfig config;
   config.host = args.get("host").value_or("127.0.0.1");
   config.port = static_cast<std::uint16_t>(
       std::stoul(args.get("port").value_or("0")));
-  if (config.port == 0) throw std::invalid_argument("--port is required");
+  // Multi-endpoint mode: "--targets host:port,host:port" drives every
+  // replica of a fleet concurrently with the same workload shape; the
+  // conservation law then has to hold per target AND across the fleet.
+  std::vector<std::pair<std::string, std::uint16_t>> targets;
+  if (const auto csv = args.get("targets")) {
+    std::stringstream ss(*csv);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (token.empty()) continue;
+      const auto colon = token.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        throw std::invalid_argument("--targets entries are host:port, got: " +
+                                    token);
+      }
+      targets.emplace_back(
+          token.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoul(token.substr(colon + 1))));
+    }
+    if (targets.empty()) throw std::invalid_argument("--targets list is empty");
+  } else {
+    if (config.port == 0) {
+      throw std::invalid_argument("--port or --targets is required");
+    }
+    targets.emplace_back(config.host, config.port);
+  }
   config.tenant = args.get("tenant").value_or("default");
   const std::string mode = args.get("mode").value_or("closed");
   if (mode != "closed" && mode != "open") {
@@ -284,32 +375,32 @@ int run(const Args& args) {
     throw std::invalid_argument("--mode open needs --qps");
   }
 
-  const std::uint64_t per_conn =
-      (config.total_queries + config.connections - 1) / config.connections;
-  std::vector<ConnResult> results(config.connections);
-  std::vector<std::thread> threads;
-  threads.reserve(config.connections);
+  // Each target gets an equal share of the query budget and its own set of
+  // connections; targets run concurrently (the fleet sees simultaneous
+  // load, as it would from a real front door).
+  const std::uint64_t per_target =
+      (config.total_queries + targets.size() - 1) / targets.size();
+  std::vector<TargetOutcome> outcomes(targets.size());
+  std::vector<std::thread> target_threads;
+  target_threads.reserve(targets.size());
   const auto t0 = Clock::now();
-  for (std::size_t c = 0; c < config.connections; ++c) {
-    const std::uint64_t conn_seed = config.seed * 0x9E3779B97F4A7C15ull + c;
-    if (config.open_loop) {
-      const double conn_qps =
-          config.qps / static_cast<double>(config.connections);
-      threads.emplace_back([&, c, conn_seed, conn_qps] {
-        run_open(config, conn_qps, per_conn, conn_seed, results[c]);
-      });
-    } else {
-      threads.emplace_back([&, c, conn_seed] {
-        run_closed(config, per_conn, conn_seed, results[c]);
-      });
-    }
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    RunConfig target_config = config;
+    target_config.host = targets[t].first;
+    target_config.port = targets[t].second;
+    target_config.total_queries = per_target;
+    target_config.seed = config.seed + t * 0x9E37ull;
+    target_threads.emplace_back([t, target_config, &outcomes] {
+      outcomes[t] = run_target(target_config);
+    });
   }
-  for (auto& t : threads) t.join();
+  for (auto& t : target_threads) t.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
   ConnResult total;
-  for (auto& r : results) {
+  for (auto& outcome : outcomes) {
+    auto& r = outcome.total;
     total.sent += r.sent;
     total.received += r.received;
     for (std::size_t s = 0; s < total.by_status.size(); ++s) {
@@ -327,7 +418,12 @@ int run(const Args& args) {
       elapsed_s > 0 ? static_cast<double>(total.received) / elapsed_s : 0.0;
   const std::uint64_t ok =
       total.by_status[static_cast<std::size_t>(net::WireStatus::kOk)];
-  const bool conserved = total.sent == total.received;
+  // Conservation must hold per target and therefore across them: a violated
+  // target cannot hide behind a surplus on a sibling.
+  bool conserved = total.sent == total.received;
+  for (const auto& outcome : outcomes) {
+    conserved = conserved && outcome.total.sent == outcome.total.received;
+  }
 
   if (args.get("json")) {
     std::ostringstream json;
@@ -341,7 +437,22 @@ int run(const Args& args) {
       json << ",\"" << net::wire_status_name(static_cast<net::WireStatus>(s))
            << "\":" << total.by_status[s];
     }
-    json << "}";
+    json << ",\"targets\":[";
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+      const auto& outcome = outcomes[t];
+      if (t > 0) json << ",";
+      json << "{\"target\":\"" << outcome.label
+           << "\",\"sent\":" << outcome.total.sent
+           << ",\"received\":" << outcome.total.received << ",\"conserved\":"
+           << (outcome.total.sent == outcome.total.received ? "true" : "false");
+      for (std::size_t s = 0; s < outcome.total.by_status.size(); ++s) {
+        json << ",\""
+             << net::wire_status_name(static_cast<net::WireStatus>(s))
+             << "\":" << outcome.total.by_status[s];
+      }
+      json << "}";
+    }
+    json << "]}";
     std::cout << json.str() << std::endl;
   } else {
     util::Table table({"metric", "value"});
@@ -352,16 +463,7 @@ int run(const Args& args) {
     table.row().cell("sent / received").cell(std::to_string(total.sent) +
                                              " / " +
                                              std::to_string(total.received));
-    std::string by_status;
-    for (std::size_t s = 0; s < total.by_status.size(); ++s) {
-      if (total.by_status[s] == 0) continue;
-      if (!by_status.empty()) by_status += ", ";
-      by_status +=
-          std::string(net::wire_status_name(static_cast<net::WireStatus>(s))) +
-          "=" + std::to_string(total.by_status[s]);
-    }
-    table.row().cell("by status").cell(by_status.empty() ? "(none)"
-                                                         : by_status);
+    table.row().cell("by status").cell(status_summary(total.by_status));
     table.row().cell("ok fraction").cell(
         total.received > 0
             ? static_cast<double>(ok) / static_cast<double>(total.received)
@@ -374,16 +476,32 @@ int run(const Args& args) {
     table.row().cell("wire conservation").cell(conserved ? "HOLDS"
                                                          : "VIOLATED");
     table.print(std::cout, "loadgen");
+    if (outcomes.size() > 1) {
+      util::Table per_target({"target", "sent / received", "by status",
+                              "conserved"});
+      for (const auto& outcome : outcomes) {
+        per_target.row()
+            .cell(outcome.label)
+            .cell(std::to_string(outcome.total.sent) + " / " +
+                  std::to_string(outcome.total.received))
+            .cell(status_summary(outcome.total.by_status))
+            .cell(outcome.total.sent == outcome.total.received ? "HOLDS"
+                                                               : "VIOLATED");
+      }
+      per_target.print(std::cout, "per target");
+    }
   }
   if (args.get("shutdown")) {
-    // Ask an --allow-shutdown server to exit (scripted runs / CI smoke).
-    net::Client client(config.host, config.port);
-    net::RequestFrame frame;
-    frame.flags = net::RequestFrame::kFlagShutdown;
-    frame.tenant = config.tenant;
-    const auto response = client.call(frame);
-    std::cerr << "shutdown -> " << net::wire_status_name(response.status)
-              << "\n";
+    // Ask every --allow-shutdown server to exit (scripted runs / CI smoke).
+    for (const auto& [host, port] : targets) {
+      net::Client client(host, port);
+      net::RequestFrame frame;
+      frame.flags = net::RequestFrame::kFlagShutdown;
+      frame.tenant = config.tenant;
+      const auto response = client.call(frame);
+      std::cerr << "shutdown " << host << ":" << port << " -> "
+                << net::wire_status_name(response.status) << "\n";
+    }
   }
   if (!total.error.empty()) {
     std::cerr << "error: " << total.error << "\n";
@@ -399,11 +517,16 @@ int main(int argc, char** argv) {
     return run(Args(argc, argv));
   } catch (const std::invalid_argument& e) {
     std::cerr << "usage error: " << e.what() << "\n"
-              << "usage: lcaknap_loadgen --port P [--host H] [--tenant ID]\n"
-                 "  [--mode closed|open] [--connections C] [--window W]\n"
-                 "  [--queries N] [--duration-ms D] [--qps R]\n"
+              << "usage: lcaknap_loadgen (--port P [--host H] |"
+                 " --targets host:port,host:port)\n"
+                 "  [--tenant ID] [--mode closed|open] [--connections C]\n"
+                 "  [--window W] [--queries N] [--duration-ms D] [--qps R]\n"
                  "  [--items-max M] [--seed S] [--deadline-us D] [--json]\n"
-                 "  [--shutdown]\n";
+                 "  [--shutdown]\n"
+                 "--targets drives every endpoint concurrently (the query\n"
+                 "budget splits evenly); the report adds a per-target status\n"
+                 "table and conservation must hold per target and across\n"
+                 "them (exit 2 otherwise).\n";
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
