@@ -1,0 +1,59 @@
+// AVX2 classify kernel (4 lanes of doubles per iteration).  Compiled with
+// -mavx2 under the LCAKNAP_NATIVE cmake gate; dispatched only after a runtime
+// __builtin_cpu_supports("avx2") check.
+//
+// Byte-equality argument (Lemma 4.9 extended to the vector unit): vdivpd and
+// vcmppd are IEEE-754 correctly-rounded / exact predicates, bit-identical to
+// the scalar `/` and `>`/`>=` the reference performs — no FMA contraction, no
+// reassociation, and the build does not enable -ffast-math.  Zero-weight
+// lanes are blended to +inf *before* the efficiency compare so the 0/0 lanes
+// the scalar path never divides cannot contribute a NaN.  The ragged tail
+// (n % 4 lanes) goes through classify_lane_scalar, the same code path the
+// reference uses.
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "core/batch_eval_kernels.h"
+
+namespace lcaknap::core::detail {
+
+void classify_avx2(const ClassifyArgs& args) noexcept {
+  const __m256d v_total_profit = _mm256_set1_pd(args.total_profit);
+  const __m256d v_total_weight = _mm256_set1_pd(args.total_weight);
+  const __m256d v_eps2 = _mm256_set1_pd(args.eps2);
+  const __m256d v_cutoff = _mm256_set1_pd(args.small_cutoff);
+  const __m256d v_inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256d v_zero = _mm256_setzero_pd();
+
+  std::size_t i = 0;
+  for (; i + 4 <= args.n; i += 4) {
+    const __m256d p = _mm256_loadu_pd(args.profit_d + i);
+    const __m256d w = _mm256_loadu_pd(args.weight_d + i);
+    const __m256d np = _mm256_div_pd(p, v_total_profit);
+    const __m256d large_m = _mm256_cmp_pd(np, v_eps2, _CMP_GT_OQ);
+    const __m256d nw = _mm256_div_pd(w, v_total_weight);
+    __m256d eff = _mm256_div_pd(np, nw);
+    const __m256d zero_w = _mm256_cmp_pd(w, v_zero, _CMP_EQ_OQ);
+    eff = _mm256_blendv_pd(eff, v_inf, zero_w);
+    __m256d small_ans = _mm256_cmp_pd(eff, v_cutoff, _CMP_GE_OQ);
+    if (!args.small_rule) small_ans = v_zero;  // all-false mask
+    // Large lanes answer 0 here; fixup_lanes resolves their membership.
+    const __m256d ans = _mm256_andnot_pd(large_m, small_ans);
+    const int lm = _mm256_movemask_pd(large_m);
+    const int am = _mm256_movemask_pd(ans);
+    for (int k = 0; k < 4; ++k) {
+      args.large[i + static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>((lm >> k) & 1);
+      args.answers[i + static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>((am >> k) & 1);
+    }
+  }
+  for (; i < args.n; ++i) {
+    classify_lane_scalar(args, i);
+  }
+}
+
+}  // namespace lcaknap::core::detail

@@ -1,0 +1,53 @@
+// AVX-512F classify kernel (8 lanes of doubles per iteration, mask
+// registers).  Compiled with -mavx512f under the LCAKNAP_NATIVE cmake gate;
+// dispatched only after a runtime __builtin_cpu_supports("avx512f") check.
+//
+// Same byte-equality argument as the AVX2 kernel: correctly-rounded vdivpd,
+// exact compare predicates, +inf blended over zero-weight lanes before the
+// efficiency compare, scalar ragged tail through classify_lane_scalar.
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "core/batch_eval_kernels.h"
+
+namespace lcaknap::core::detail {
+
+void classify_avx512(const ClassifyArgs& args) noexcept {
+  const __m512d v_total_profit = _mm512_set1_pd(args.total_profit);
+  const __m512d v_total_weight = _mm512_set1_pd(args.total_weight);
+  const __m512d v_eps2 = _mm512_set1_pd(args.eps2);
+  const __m512d v_cutoff = _mm512_set1_pd(args.small_cutoff);
+  const __m512d v_inf =
+      _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  const __m512d v_zero = _mm512_setzero_pd();
+
+  std::size_t i = 0;
+  for (; i + 8 <= args.n; i += 8) {
+    const __m512d p = _mm512_loadu_pd(args.profit_d + i);
+    const __m512d w = _mm512_loadu_pd(args.weight_d + i);
+    const __m512d np = _mm512_div_pd(p, v_total_profit);
+    const __mmask8 large_m = _mm512_cmp_pd_mask(np, v_eps2, _CMP_GT_OQ);
+    const __m512d nw = _mm512_div_pd(w, v_total_weight);
+    __m512d eff = _mm512_div_pd(np, nw);
+    const __mmask8 zero_w = _mm512_cmp_pd_mask(w, v_zero, _CMP_EQ_OQ);
+    eff = _mm512_mask_mov_pd(eff, zero_w, v_inf);
+    __mmask8 small_ans =
+        args.small_rule ? _mm512_cmp_pd_mask(eff, v_cutoff, _CMP_GE_OQ)
+                        : static_cast<__mmask8>(0);
+    // Large lanes answer 0 here; fixup_lanes resolves their membership.
+    const __mmask8 ans = static_cast<__mmask8>(small_ans & ~large_m);
+    for (int k = 0; k < 8; ++k) {
+      args.large[i + static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>((large_m >> k) & 1);
+      args.answers[i + static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>((ans >> k) & 1);
+    }
+  }
+  for (; i < args.n; ++i) {
+    classify_lane_scalar(args, i);
+  }
+}
+
+}  // namespace lcaknap::core::detail

@@ -1,0 +1,48 @@
+#ifndef LCAKNAP_CORE_BATCH_EVAL_KERNELS_H
+#define LCAKNAP_CORE_BATCH_EVAL_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file batch_eval_kernels.h
+/// Internal contract between `BatchEval` and its vector classify kernels.
+/// The kernel TUs (`batch_eval_avx2.cpp`, `batch_eval_avx512.cpp`) are only
+/// compiled under the `LCAKNAP_NATIVE` cmake gate on x86-64; callers must
+/// check CPU support at runtime before invoking (the TUs are built with
+/// `-mavx2`/`-mavx512f` and may not run on the host otherwise).
+///
+/// A kernel fills `large` and `answers` for every lane from the gathered
+/// double columns only.  Large lanes get `answers = 0` — membership in
+/// L(Ĩ) is resolved by `BatchEval::fixup_lanes`, which also zeroes lanes
+/// whose gather failed.  The output must be byte-identical to
+/// `BatchEval::classify_scalar` on the same columns (the differential fuzz
+/// suite enforces this).
+
+namespace lcaknap::core::detail {
+
+struct ClassifyArgs {
+  const double* profit_d = nullptr;  ///< (double)profit per lane
+  const double* weight_d = nullptr;  ///< (double)weight per lane
+  std::uint8_t* large = nullptr;     ///< out: 1 = norm_profit > eps²
+  std::uint8_t* answers = nullptr;   ///< out: small-branch decision (large lanes 0)
+  std::size_t n = 0;
+  double total_profit = 1.0;
+  double total_weight = 1.0;
+  double eps2 = 0.0;
+  bool small_rule = false;    ///< run.e_small_grid >= 0
+  double small_cutoff = 0.0;  ///< efficiency >= cutoff ⇔ to_grid >= e_small_grid
+};
+
+/// Scalar classification of one lane; shared by the reference path and the
+/// vector kernels' ragged tails so every lane goes through the exact same
+/// double operations in the same order as `LcaKp::answer_with_witness`:
+/// np = p/P; large = np > eps²; eff = (w == 0 ? +inf : np / (w/W));
+/// small answer = small_rule && eff >= cutoff.
+void classify_lane_scalar(const ClassifyArgs& args, std::size_t lane) noexcept;
+
+void classify_avx2(const ClassifyArgs& args) noexcept;
+void classify_avx512(const ClassifyArgs& args) noexcept;
+
+}  // namespace lcaknap::core::detail
+
+#endif  // LCAKNAP_CORE_BATCH_EVAL_KERNELS_H

@@ -7,6 +7,7 @@
 #include "metrics/metrics.h"
 #include "oracle/access.h"
 #include "oracle/instrumented.h"
+#include "util/request_trace.h"
 #include "util/rng.h"
 
 namespace lcaknap::core {
@@ -44,6 +45,24 @@ std::vector<std::size_t> generate_workload(std::size_t n_items,
         const auto rank = static_cast<std::size_t>(it - cdf.begin());
         trace.push_back(static_cast<std::size_t>(
             shuffle.word(0, static_cast<std::uint64_t>(rank)) % n_items));
+      }
+      break;
+    }
+    case WorkloadConfig::Shape::kTrace: {
+      if (config.trace_path.empty()) {
+        throw std::invalid_argument("generate_workload: trace shape needs a path");
+      }
+      const auto records = util::load_trace_file(config.trace_path);
+      if (records.empty()) {
+        throw std::invalid_argument("generate_workload: empty trace: " +
+                                    config.trace_path);
+      }
+      // Replay in recorded order; truncate or wrap to exactly `queries`
+      // entries so trace workloads compose with the synthetic shapes.
+      const std::size_t count = config.queries > 0 ? config.queries : records.size();
+      for (std::size_t q = 0; q < count; ++q) {
+        trace.push_back(static_cast<std::size_t>(
+            records[q % records.size()].item % n_items));
       }
       break;
     }

@@ -88,6 +88,24 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
              "1 when the engine adopted a restored warm state instead of "
              "running the warm-up pipeline")
       .set(config_.warm_state != nullptr ? 1.0 : 0.0);
+  if (config_.batch_eval) {
+    // Built after `run_` is final (warm-up or snapshot): the evaluator
+    // precomputes its SoA constants from the warm state and picks the best
+    // kernel this binary AND this CPU support.
+    batch_eval_ = std::make_unique<core::BatchEval>(lca, run_);
+  }
+  batch_eval_us_ = &registry.histogram(
+      "serve_batch_eval_us",
+      "Wall time of one BatchEval gather+classify over a dispatch group's "
+      "cache misses, in microseconds",
+      metrics::Histogram::exponential_buckets(0.5, 2.0, 20));
+  batch_eval_kernel_gauge_ = &registry.gauge(
+      "batch_eval_kernel",
+      "Active batch-eval classify kernel (0 scalar, 1 avx2, 2 avx512; -1 "
+      "batch path disabled)");
+  batch_eval_kernel_gauge_->set(
+      batch_eval_ != nullptr ? static_cast<double>(batch_eval_->kernel())
+                             : -1.0);
   if (config_.certify) {
     // The log header embeds the snapshot fingerprint of THIS serving
     // context (instance + shared seed + resolved params + tape-seed echo),
@@ -274,7 +292,11 @@ void ServeEngine::dispatch_ready(std::vector<Batch>& ready) {
     boxed->reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) boxed->push_back(std::move(ready[i]));
     pool_.submit([this, boxed] {
-      for (auto& batch : *boxed) execute_batch(std::move(batch));
+      if (batch_eval_ != nullptr) {
+        execute_batch_group(*boxed);
+      } else {
+        for (auto& batch : *boxed) execute_batch(std::move(batch));
+      }
     });
   }
   ready.clear();
@@ -373,6 +395,144 @@ void ServeEngine::execute_batch(Batch batch) {
   }
 }
 
+void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
+  if (group.empty()) return;
+  batch_eval_groups_.fetch_add(1, std::memory_order_relaxed);
+
+  // One lane per batch (a batch is one distinct item plus its requests).
+  std::vector<std::size_t> items;
+  items.reserve(group.size());
+  for (auto& batch : group) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch.requests.size(),
+                                std::memory_order_relaxed);
+    batch_size_->observe(static_cast<double>(batch.requests.size()));
+    items.push_back(batch.item);
+  }
+
+  // Stage 1: one shard-grouped cache lookup for the whole group.
+  std::vector<std::optional<AnswerCache::Hit>> cached;
+  cache_.get_batch(items, cached);
+
+  std::vector<Response> responses(group.size());
+  // Witness per lane for certification (cache entry or fresh evaluation).
+  struct LaneWitness {
+    bool has = false;
+    bool large = false;
+    std::int64_t profit = 0;
+    std::int64_t weight = 0;
+  };
+  std::vector<LaneWitness> witnesses(group.size());
+
+  // Stage 2: hit lanes finish from the cache (zero oracle reads), with the
+  // same paranoia recheck-and-repair the per-request path performs.
+  std::vector<std::size_t> miss_lanes;
+  miss_lanes.reserve(group.size());
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    if (!cached[lane].has_value()) {
+      miss_lanes.push_back(lane);
+      continue;
+    }
+    const AnswerCache::Hit& hit = *cached[lane];
+    Response& response = responses[lane];
+    response.outcome = Outcome::kOk;
+    response.answer = hit.answer;
+    response.cache_hit = true;
+    witnesses[lane] = LaneWitness{hit.has_witness, hit.large, hit.profit,
+                                  hit.weight};
+    if (hit.paranoia_due) {
+      try {
+        core::LcaKp::AnswerWitness fresh;
+        const bool fresh_answer =
+            lca_->answer_with_witness(run_, items[lane], fresh);
+        cache_.record_paranoia(fresh_answer == hit.answer);
+        cache_.put(items[lane],
+                   AnswerCache::Entry{fresh.answer, true, fresh.large,
+                                      fresh.profit, fresh.weight});
+        response.answer = fresh_answer;
+        witnesses[lane] =
+            LaneWitness{true, fresh.large, fresh.profit, fresh.weight};
+      } catch (...) {
+        // Best-effort recheck, exactly as in execute_batch.
+      }
+    }
+  }
+
+  // Stage 3: all miss lanes go through one SoA gather+classify.
+  if (!miss_lanes.empty()) {
+    std::vector<std::size_t> miss_items;
+    miss_items.reserve(miss_lanes.size());
+    for (const auto lane : miss_lanes) miss_items.push_back(items[lane]);
+
+    static thread_local core::BatchScratch scratch;
+    const auto eval_start = Clock::now();
+    batch_eval_->evaluate(miss_items, scratch);
+    batch_eval_us_->observe(std::chrono::duration<double, std::micro>(
+                                Clock::now() - eval_start)
+                                .count());
+
+    std::vector<AnswerCache::PutItem> puts;
+    puts.reserve(miss_lanes.size());
+    for (std::size_t j = 0; j < miss_lanes.size(); ++j) {
+      const std::size_t lane = miss_lanes[j];
+      Response& response = responses[lane];
+      switch (scratch.status[j]) {
+        case core::LaneStatus::kOk: {
+          const bool answer = scratch.answers[j] != 0;
+          const bool large = scratch.large[j] != 0;
+          response.outcome = Outcome::kOk;
+          response.answer = answer;
+          witnesses[lane] = LaneWitness{true, large, scratch.profits[j],
+                                        scratch.weights[j]};
+          puts.push_back(AnswerCache::PutItem{
+              items[lane], AnswerCache::Entry{answer, true, large,
+                                              scratch.profits[j],
+                                              scratch.weights[j]}});
+          break;
+        }
+        case core::LaneStatus::kUnavailable:
+          // Lane-isolated oracle failure: same degrade-or-error choice as
+          // the per-request path, and degraded answers are never cached.
+          if (config_.degrade) {
+            response.outcome = Outcome::kDegraded;
+            response.answer = degraded_answer(items[lane]);
+          } else {
+            response.outcome = Outcome::kError;
+          }
+          break;
+        case core::LaneStatus::kError:
+          response.outcome = Outcome::kError;
+          break;
+      }
+    }
+    cache_.put_batch(puts);
+  }
+
+  // Stage 4: certify and finish, per batch, same semantics as execute_batch.
+  const std::uint64_t now_us = clock_->now_us();
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    const Response& response = responses[lane];
+    if (cert_log_ != nullptr && response.outcome == Outcome::kOk) {
+      const LaneWitness& w = witnesses[lane];
+      if (w.has) {
+        certify_answer(items[lane], w.large, w.profit, w.weight,
+                       response.answer);
+      } else {
+        cert_log_->skip();
+      }
+    }
+    for (auto& request : group[lane].requests) {
+      if (response.outcome == Outcome::kOk && request.expired(now_us)) {
+        Response shed;
+        shed.outcome = Outcome::kDeadlineExceeded;
+        finish(request, shed);
+      } else {
+        finish(request, response);
+      }
+    }
+  }
+}
+
 void ServeEngine::certify_answer(std::size_t item, bool large,
                                  std::int64_t profit, std::int64_t weight,
                                  bool answer) noexcept {
@@ -417,6 +577,7 @@ EngineStats ServeEngine::stats() const {
   stats.errors = errors_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  stats.batch_eval_groups = batch_eval_groups_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.cache_evictions = cache_.evictions();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cert/cert_log.h"
+#include "core/batch_eval.h"
 #include "core/lca_kp.h"
 #include "metrics/metrics.h"
 #include "serve/answer_cache.h"
@@ -112,6 +113,16 @@ struct EngineConfig {
   /// Records per certificate segment before atomic rotation; 0 = library
   /// default (`cert::CertLogConfig`).
   std::uint64_t cert_segment_records = 0;
+  /// Vectorized batch answer path (core::BatchEval): workers evaluate the
+  /// cache misses of a whole dispatch group through struct-of-arrays
+  /// scratch buffers and the best available SIMD kernel, instead of one
+  /// `answer_with_witness` call per batch.  Answers, witnesses, cache
+  /// counters, certificates, and outcome accounting are byte-identical to
+  /// the per-request path (the batch kernels are pinned to the scalar
+  /// reference); `false` restores the per-request evaluation, which benches
+  /// use as the baseline.  Observability: `serve_batch_eval_us` histogram +
+  /// `batch_eval_kernel` gauge.
+  bool batch_eval = true;
 };
 
 /// Point-in-time readout of the engine's own counters plus its cache's.
@@ -126,6 +137,7 @@ struct EngineStats {
   std::uint64_t errors = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched_requests = 0;  ///< requests that went through batches
+  std::uint64_t batch_eval_groups = 0;  ///< dispatch groups answered by BatchEval
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -176,6 +188,11 @@ class ServeEngine {
   void drain();
 
   [[nodiscard]] EngineStats stats() const;
+  /// The active batch-eval kernel; kScalar when the batch path is disabled.
+  [[nodiscard]] core::BatchKernel batch_kernel() const noexcept {
+    return batch_eval_ != nullptr ? batch_eval_->kernel()
+                                  : core::BatchKernel::kScalar;
+  }
   /// The shared membership rule every worker answers from.
   [[nodiscard]] const core::LcaKpRun& run() const noexcept { return run_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
@@ -204,6 +221,11 @@ class ServeEngine {
   /// keeping one-batch tasks when it is shallow (preserves parallelism).
   void dispatch_ready(std::vector<Batch>& ready);
   void execute_batch(Batch batch);
+  /// The vectorized answer path: evaluates a whole dispatch group's cache
+  /// misses through `core::BatchEval` SoA scratch (one `get_batch`, one
+  /// gather+classify, one `put_batch`), then finishes every request with
+  /// the same outcome semantics as `execute_batch`.
+  void execute_batch_group(std::vector<Batch>& group);
   void finish(Request& request, const Response& response);
   /// The O(1) degraded-mode membership rule: no oracle access, answers from
   /// the warm run state alone.
@@ -218,6 +240,9 @@ class ServeEngine {
   EngineConfig config_;
   util::Clock* clock_;
   core::LcaKpRun run_;
+  /// SoA batch evaluator over `run_` (null when `config.batch_eval` is off);
+  /// read-only after construction, shared by every worker.
+  std::unique_ptr<core::BatchEval> batch_eval_;
   std::unique_ptr<cert::CertLog> cert_log_;
   /// Index of the active small-item threshold in the run's EPS payload,
   /// computed once at construction (a property of the warm state).
@@ -231,6 +256,8 @@ class ServeEngine {
   metrics::Histogram* batch_size_;
   metrics::Histogram* latency_us_;
   metrics::Gauge* queue_depth_gauge_;
+  metrics::Histogram* batch_eval_us_ = nullptr;
+  metrics::Gauge* batch_eval_kernel_gauge_ = nullptr;
 
   RequestQueue queue_;
   AnswerCache cache_;
@@ -244,6 +271,7 @@ class ServeEngine {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> batch_eval_groups_{0};
   std::once_flag drain_once_;
   std::thread dispatcher_;
 };

@@ -1,0 +1,307 @@
+#include "core/batch_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "knapsack/generators.h"
+#include "oracle/access.h"
+#include "util/rng.h"
+
+/// \file test_batch_eval.cpp
+/// The batch answer path against its one correctness criterion: every lane —
+/// answer AND witness fields — byte-identical to the per-request
+/// `LcaKp::answer_with_witness`, for the scalar reference and for every
+/// vector kernel the binary + CPU can run (Lemma 4.9 extended to the vector
+/// unit).  Plus the grid-cutoff boundary exactness the vector compare relies
+/// on, and per-lane fault isolation.
+
+namespace lcaknap::core {
+namespace {
+
+LcaKpConfig test_config(double eps = 0.25) {
+  LcaKpConfig config;
+  config.eps = eps;
+  config.seed = 0xABCD;
+  config.quantile_samples = 30'000;
+  return config;
+}
+
+std::vector<BatchKernel> available_kernels() {
+  std::vector<BatchKernel> kernels;
+  for (const auto k : {BatchKernel::kScalar, BatchKernel::kAvx2,
+                       BatchKernel::kAvx512}) {
+    if (BatchEval::kernel_available(k)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+/// Access decorator that throws OracleUnavailable for a chosen item set;
+/// everything else forwards.  Models a partially dead input service so the
+/// batch path's per-lane isolation is testable deterministically.
+class FailingAccess final : public oracle::InstanceAccess {
+ public:
+  explicit FailingAccess(const oracle::InstanceAccess& inner)
+      : inner_(&inner) {}
+
+  std::unordered_set<std::size_t> fail_items;
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return inner_->size();
+  }
+  [[nodiscard]] std::int64_t capacity() const noexcept override {
+    return inner_->capacity();
+  }
+  [[nodiscard]] std::int64_t total_profit() const noexcept override {
+    return inner_->total_profit();
+  }
+  [[nodiscard]] std::int64_t total_weight() const noexcept override {
+    return inner_->total_weight();
+  }
+
+ protected:
+  [[nodiscard]] knapsack::Item do_query(std::size_t i) const override {
+    if (fail_items.contains(i)) throw oracle::OracleUnavailable();
+    return inner_->query(i);
+  }
+  [[nodiscard]] oracle::WeightedDraw do_sample(
+      util::Xoshiro256& rng) const override {
+    return inner_->weighted_sample(rng);
+  }
+
+ private:
+  const oracle::InstanceAccess* inner_;
+};
+
+TEST(BatchEval, ScalarMatchesPerRequestWitnesses) {
+  const auto instance =
+      knapsack::make_family(knapsack::Family::kNeedle, 1'500, 17);
+  const oracle::MaterializedAccess access(instance);
+  const LcaKp lca(access, test_config());
+  const LcaKpRun run = lca.run_warmup(7, 1);
+
+  BatchEval eval(lca, run);
+  eval.set_kernel(BatchKernel::kScalar);
+
+  std::vector<std::size_t> items(instance.size());
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  BatchScratch scratch;
+  eval.evaluate(items, scratch);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    LcaKp::AnswerWitness witness;
+    const bool answer = lca.answer_with_witness(run, i, witness);
+    ASSERT_EQ(scratch.status[i], LaneStatus::kOk);
+    ASSERT_EQ(scratch.answers[i] != 0, answer) << "item " << i;
+    ASSERT_EQ(scratch.large[i] != 0, witness.large) << "item " << i;
+    ASSERT_EQ(scratch.profits[i], witness.profit) << "item " << i;
+    ASSERT_EQ(scratch.weights[i], witness.weight) << "item " << i;
+  }
+}
+
+// The exhaustive differential gate: randomized instances x batch sizes
+// (ragged tails, batch of 1, duplicates) x every kernel this binary + CPU
+// can run, each pinned byte-for-byte to the scalar reference.  In the
+// default build only kScalar is compiled and the vector loop is empty; the
+// LCAKNAP_NATIVE CI leg runs the AVX2/AVX-512 comparisons.
+TEST(BatchEval, DifferentialFuzzKernelsMatchScalar) {
+  const auto kernels = available_kernels();
+  const std::vector<std::size_t> batch_sizes = {1,  2,  3,  4,  5,   7,
+                                                8,  16, 31, 32, 33,  64,
+                                                127, 257};
+  for (const auto family :
+       {knapsack::Family::kNeedle, knapsack::Family::kUncorrelated,
+        knapsack::Family::kSubsetSum}) {
+    const auto instance = knapsack::make_family(family, 1'000, 29);
+    const oracle::MaterializedAccess access(instance);
+    const LcaKp lca(access, test_config(0.2));
+    const LcaKpRun run = lca.run_warmup(11, 1);
+    BatchEval eval(lca, run);
+
+    util::Xoshiro256 rng(0xF00D ^ static_cast<std::uint64_t>(family));
+    for (const auto batch : batch_sizes) {
+      // Random items WITH duplicates (next_below can repeat), the shape the
+      // serving batcher actually produces.
+      std::vector<std::size_t> items(batch);
+      for (auto& item : items) {
+        item = static_cast<std::size_t>(rng.next_below(instance.size()));
+      }
+
+      BatchScratch reference;
+      eval.set_kernel(BatchKernel::kScalar);
+      eval.evaluate(items, reference);
+
+      // The scalar reference itself is pinned to the per-request path on a
+      // sampled lane (the full pin is ScalarMatchesPerRequestWitnesses).
+      {
+        LcaKp::AnswerWitness witness;
+        const bool answer = lca.answer_with_witness(run, items[0], witness);
+        ASSERT_EQ(reference.answers[0] != 0, answer);
+        ASSERT_EQ(reference.large[0] != 0, witness.large);
+      }
+
+      for (const auto kernel : kernels) {
+        if (kernel == BatchKernel::kScalar) continue;
+        BatchScratch vec;
+        eval.set_kernel(kernel);
+        eval.evaluate(items, vec);
+        for (std::size_t l = 0; l < batch; ++l) {
+          ASSERT_EQ(vec.answers[l], reference.answers[l])
+              << batch_kernel_name(kernel) << " family "
+              << knapsack::family_name(family) << " batch " << batch
+              << " lane " << l << " item " << items[l];
+          ASSERT_EQ(vec.large[l], reference.large[l])
+              << batch_kernel_name(kernel) << " lane " << l;
+          ASSERT_EQ(vec.profits[l], reference.profits[l]);
+          ASSERT_EQ(vec.weights[l], reference.weights[l]);
+          ASSERT_EQ(vec.status[l], reference.status[l]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEval, GridLowerBoundIsTheExactBoundary) {
+  const iky::EfficiencyDomain domain(12);
+  for (const std::int64_t cell :
+       {std::int64_t{1}, std::int64_t{5}, domain.size() / 2,
+        domain.size() - 1}) {
+    const double bound = BatchEval::grid_lower_bound(domain, cell);
+    ASSERT_TRUE(std::isfinite(bound)) << "cell " << cell;
+    EXPECT_GE(domain.to_grid(bound), cell);
+    const double pred =
+        std::bit_cast<double>(std::bit_cast<std::uint64_t>(bound) - 1);
+    EXPECT_LT(domain.to_grid(pred), cell)
+        << "bound is not the SMALLEST double reaching cell " << cell;
+  }
+  // Cell 0 admits everything the answer path can produce.
+  EXPECT_EQ(BatchEval::grid_lower_bound(domain, 0),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(BatchEval::grid_lower_bound(domain, -3),
+            -std::numeric_limits<double>::infinity());
+  // Beyond the grid there is no boundary.
+  EXPECT_THROW((void)BatchEval::grid_lower_bound(domain, domain.size()),
+               std::invalid_argument);
+}
+
+// The algebraic identity the vector compare rests on:
+// to_grid(e) >= g  <=>  e >= grid_lower_bound(g), over the efficiencies the
+// answer path can produce (non-negative doubles and +inf).
+TEST(BatchEval, CutoffCompareEquivalentToGridCompare) {
+  const iky::EfficiencyDomain domain(10);
+  util::Xoshiro256 rng(0xC0FFEE);
+  for (const std::int64_t g :
+       {std::int64_t{1}, std::int64_t{37}, domain.size() - 1}) {
+    const double cutoff = BatchEval::grid_lower_bound(domain, g);
+    const auto check = [&](double e) {
+      ASSERT_EQ(domain.to_grid(e) >= g, e >= cutoff)
+          << "g=" << g << " e=" << e;
+    };
+    check(0.0);
+    check(std::numeric_limits<double>::infinity());
+    check(std::numeric_limits<double>::denorm_min());
+    check(cutoff);
+    check(std::bit_cast<double>(std::bit_cast<std::uint64_t>(cutoff) - 1));
+    for (int i = 0; i < 2'000; ++i) {
+      // Log-uniform over ~the grid's dynamic range, plus far outside it.
+      const double exponent = -40.0 + 80.0 * rng.next_double();
+      check(std::exp2(exponent) * (0.5 + rng.next_double()));
+    }
+  }
+}
+
+TEST(BatchEval, LaneFaultIsolation) {
+  const auto instance =
+      knapsack::make_family(knapsack::Family::kUncorrelated, 800, 31);
+  const oracle::MaterializedAccess inner(instance);
+  FailingAccess access(inner);
+  const LcaKp lca(access, test_config());
+  const LcaKpRun run = lca.run_warmup(3, 1);  // warm while healthy
+  const LcaKp clean_lca(inner, test_config());
+
+  for (std::size_t i = 1; i < 64; i += 2) access.fail_items.insert(i);
+  std::vector<std::size_t> items(64);
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+
+  BatchEval eval(lca, run);
+  BatchScratch scratch;
+  eval.evaluate(items, scratch);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(scratch.status[i], LaneStatus::kUnavailable);
+      EXPECT_EQ(scratch.answers[i], 0) << "failed lane must not claim yes";
+      EXPECT_EQ(scratch.large[i], 0);
+    } else {
+      // Healthy siblings of a dead lane still get exact answers.
+      LcaKp::AnswerWitness witness;
+      const bool answer = clean_lca.answer_with_witness(run, i, witness);
+      ASSERT_EQ(scratch.status[i], LaneStatus::kOk);
+      EXPECT_EQ(scratch.answers[i] != 0, answer) << "item " << i;
+      EXPECT_EQ(scratch.profits[i], witness.profit);
+      EXPECT_EQ(scratch.weights[i], witness.weight);
+    }
+  }
+}
+
+TEST(BatchEval, KernelDispatchAndNames) {
+  EXPECT_STREQ(batch_kernel_name(BatchKernel::kScalar), "scalar");
+  EXPECT_STREQ(batch_kernel_name(BatchKernel::kAvx2), "avx2");
+  EXPECT_STREQ(batch_kernel_name(BatchKernel::kAvx512), "avx512");
+  EXPECT_TRUE(BatchEval::kernel_available(BatchKernel::kScalar));
+  EXPECT_TRUE(BatchEval::kernel_available(BatchEval::best_kernel()));
+
+  const auto instance =
+      knapsack::make_family(knapsack::Family::kNeedle, 300, 5);
+  const oracle::MaterializedAccess access(instance);
+  const LcaKp lca(access, test_config());
+  const LcaKpRun run = lca.run_warmup(1, 1);
+  BatchEval eval(lca, run);
+  EXPECT_EQ(eval.kernel(), BatchEval::best_kernel())
+      << "constructor starts on the best runtime-supported kernel";
+  eval.set_kernel(BatchKernel::kScalar);
+  EXPECT_EQ(eval.kernel(), BatchKernel::kScalar);
+  for (const auto k : {BatchKernel::kAvx2, BatchKernel::kAvx512}) {
+    if (!BatchEval::kernel_available(k)) {
+      EXPECT_THROW(eval.set_kernel(k), std::invalid_argument);
+    }
+  }
+}
+
+TEST(BatchEval, EmptyBatchAndScratchReuse) {
+  const auto instance =
+      knapsack::make_family(knapsack::Family::kNeedle, 400, 13);
+  const oracle::MaterializedAccess access(instance);
+  const LcaKp lca(access, test_config());
+  const LcaKpRun run = lca.run_warmup(5, 1);
+  BatchEval eval(lca, run);
+
+  BatchScratch scratch;
+  eval.evaluate(std::vector<std::size_t>{}, scratch);
+  EXPECT_EQ(scratch.size, 0u);
+
+  // Large batch, then a small one reusing the same scratch: no stale lane
+  // may leak into the shorter batch's results.
+  std::vector<std::size_t> big(200);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  eval.evaluate(big, scratch);
+  const std::vector<std::size_t> small = {7, 7, 399};
+  eval.evaluate(small, scratch);
+  EXPECT_EQ(scratch.size, small.size());
+  for (std::size_t l = 0; l < small.size(); ++l) {
+    LcaKp::AnswerWitness witness;
+    const bool answer = lca.answer_with_witness(run, small[l], witness);
+    EXPECT_EQ(scratch.answers[l] != 0, answer);
+    EXPECT_EQ(scratch.profits[l], witness.profit);
+  }
+  EXPECT_EQ(scratch.answers[0], scratch.answers[1])
+      << "duplicate lanes answer identically";
+}
+
+}  // namespace
+}  // namespace lcaknap::core

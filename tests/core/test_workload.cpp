@@ -8,8 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <map>
+#include <stdexcept>
 #include <vector>
+
+#include "util/request_trace.h"
 
 namespace lcaknap::core {
 namespace {
@@ -102,6 +107,68 @@ TEST(Workload, HotspotSetIsStablePerSeed) {
   for (const auto& [item, count] : short_freq) {
     EXPECT_TRUE(long_freq.count(item) > 0) << "hot item " << item << " drifted";
   }
+}
+
+/// Writes `items` as a minimal valid trace file and returns its path.
+std::string write_items_trace(const std::vector<std::size_t>& items,
+                              const std::string& name) {
+  std::vector<util::TraceRecord> records;
+  for (std::size_t q = 0; q < items.size(); ++q) {
+    records.push_back(util::TraceRecord{q, items[q], "default"});
+  }
+  const auto path = (std::filesystem::temp_directory_path() / name).string();
+  util::save_trace_file(records, path);
+  return path;
+}
+
+TEST(Workload, TraceShapeReplaysRecordedItemsInOrder) {
+  const auto path = write_items_trace({5, 17, 5, 900, 3},
+                                      "lcaknap_workload_replay.trace");
+  WorkloadConfig config;
+  config.shape = WorkloadConfig::Shape::kTrace;
+  config.trace_path = path;
+  config.queries = 5;
+  const std::vector<std::size_t> want = {5, 17, 5, 900, 3};
+  EXPECT_EQ(generate_workload(1'000, config), want);
+  // Items beyond the instance wrap by modulo, like every other shape.
+  const std::vector<std::size_t> want_mod10 = {5, 7, 5, 0, 3};
+  EXPECT_EQ(generate_workload(10, config), want_mod10);
+  std::remove(path.c_str());
+}
+
+TEST(Workload, TraceShapeTruncatesAndWrapsToQueryCount) {
+  const auto path =
+      write_items_trace({1, 2, 3}, "lcaknap_workload_wrap.trace");
+  WorkloadConfig config;
+  config.shape = WorkloadConfig::Shape::kTrace;
+  config.trace_path = path;
+  // Shorter than the trace: truncate.
+  config.queries = 2;
+  EXPECT_EQ(generate_workload(100, config), (std::vector<std::size_t>{1, 2}));
+  // Longer than the trace: wrap around so load factors stay composable.
+  config.queries = 7;
+  EXPECT_EQ(generate_workload(100, config),
+            (std::vector<std::size_t>{1, 2, 3, 1, 2, 3, 1}));
+  // queries == 0 means "the natural length of the trace".
+  config.queries = 0;
+  EXPECT_EQ(generate_workload(100, config), (std::vector<std::size_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(Workload, TraceShapeRejectsMissingOrEmptyInputs) {
+  WorkloadConfig config;
+  config.shape = WorkloadConfig::Shape::kTrace;
+  config.queries = 10;
+  // No path configured.
+  EXPECT_THROW((void)generate_workload(100, config), std::invalid_argument);
+  // Path configured but no such file.
+  config.trace_path = "/nonexistent/lcaknap.trace";
+  EXPECT_THROW((void)generate_workload(100, config), std::runtime_error);
+  // A valid but empty trace cannot drive a workload.
+  const auto path = write_items_trace({}, "lcaknap_workload_empty.trace");
+  config.trace_path = path;
+  EXPECT_THROW((void)generate_workload(100, config), std::invalid_argument);
+  std::remove(path.c_str());
 }
 
 TEST(Workload, HotspotClampsHotSetToInstanceSize) {

@@ -1,0 +1,156 @@
+// Drives the lcaknap_loadgen binary end-to-end through std::system against
+// an in-process server: record a run to a trace file, validate the artifact,
+// replay it, and check wire conservation both ways.  The binary path is
+// injected by CMake as LCAKNAP_LOADGEN_PATH.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/lca_kp.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "oracle/access.h"
+#include "store/state_store.h"
+#include "util/request_trace.h"
+
+namespace lcaknap {
+namespace {
+
+#ifndef LCAKNAP_LOADGEN_PATH
+#error "LCAKNAP_LOADGEN_PATH must be defined by the build"
+#endif
+
+const std::string kLoadgen = LCAKNAP_LOADGEN_PATH;
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult run_loadgen(const std::string& args) {
+  const std::string out_file = ::testing::TempDir() + "loadgen_out.txt";
+  const std::string command =
+      kLoadgen + " " + args + " > " + out_file + " 2>&1";
+  const int status = std::system(command.c_str());
+  std::ifstream in(out_file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return {WEXITSTATUS(status), buffer.str()};
+}
+
+/// One warm single-tenant serving stack on an ephemeral loopback port.
+class LoadgenTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = std::make_unique<knapsack::Instance>(
+        knapsack::make_family(knapsack::Family::kNeedle, 1'000, 17));
+    access_ = std::make_unique<oracle::MaterializedAccess>(*instance_);
+    core::LcaKpConfig config;
+    config.eps = 0.2;
+    config.seed = 0x5E;
+    config.quantile_samples = 20'000;
+    lca_ = std::make_unique<core::LcaKp>(*access_, config);
+
+    store_ = std::make_unique<store::StateStore>(
+        store::StateStoreConfig{.capacity = 4}, registry_);
+    router_ = std::make_unique<net::TenantRouter>(*store_, registry_);
+    net::TenantConfig tenant;
+    tenant.lca = lca_.get();
+    tenant.engine.workers = 2;
+    tenant.engine.queue_capacity = 4'096;
+    tenant.engine.batcher.max_batch_size = 16;
+    tenant.engine.batcher.max_linger = std::chrono::microseconds(100);
+    tenant.engine.cache.capacity = 1'024;
+    tenant.engine.cache.shards = 4;
+    router_->register_tenant("default", tenant);
+    router_->warm_all();
+    server_ = std::make_unique<net::Server>(*router_, net::ServerConfig{},
+                                            registry_);
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    if (router_) router_->drain();
+  }
+
+  std::string port_arg() const {
+    return "--port " + std::to_string(server_->port());
+  }
+
+  metrics::Registry registry_;
+  std::unique_ptr<knapsack::Instance> instance_;
+  std::unique_ptr<oracle::MaterializedAccess> access_;
+  std::unique_ptr<core::LcaKp> lca_;
+  std::unique_ptr<store::StateStore> store_;
+  std::unique_ptr<net::TenantRouter> router_;
+  std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(LoadgenTraceTest, RecordThenReplayRoundTrips) {
+  const std::string trace_path = ::testing::TempDir() + "loadgen_rt.trace";
+
+  // Phase 1: record a closed-loop run.  Every sent frame lands in the trace.
+  const auto record = run_loadgen(port_arg() +
+                                  " --queries 200 --connections 2 --window 4"
+                                  " --items-max 500 --seed 9 --json"
+                                  " --trace-record " + trace_path);
+  ASSERT_EQ(record.exit_code, 0) << record.output;
+  EXPECT_NE(record.output.find("\"sent\":200"), std::string::npos)
+      << record.output;
+  EXPECT_NE(record.output.find("\"conserved\":true"), std::string::npos);
+
+  // The artifact is a valid trace: the strict parser enforces the header,
+  // the tenant alphabet, and non-decreasing timestamps.
+  const auto records = util::load_trace_file(trace_path);
+  ASSERT_EQ(records.size(), 200u);
+  for (const auto& record_entry : records) {
+    EXPECT_LT(record_entry.item, 500u);
+    EXPECT_EQ(record_entry.tenant, "default");
+  }
+
+  // Phase 2: replay the trace.  Each record is sent exactly once.
+  const auto replay =
+      run_loadgen(port_arg() + " --json --trace-replay " + trace_path);
+  ASSERT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("\"sent\":200"), std::string::npos)
+      << replay.output;
+  EXPECT_NE(replay.output.find("\"conserved\":true"), std::string::npos);
+
+  // Phase 3: --queries caps the replay prefix.
+  const auto capped = run_loadgen(port_arg() + " --queries 50 --json"
+                                  " --trace-replay " + trace_path);
+  ASSERT_EQ(capped.exit_code, 0) << capped.output;
+  EXPECT_NE(capped.output.find("\"sent\":50"), std::string::npos)
+      << capped.output;
+
+  // The server saw every frame of all three runs.
+  EXPECT_EQ(server_->stats().frames_in, 200u + 200u + 50u);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(LoadgenTraceTest, ReplayUsageErrors) {
+  // Replaying a file that does not exist is a runtime failure (exit 2), not
+  // a crash or a silent empty run.
+  const auto missing = run_loadgen(
+      port_arg() + " --trace-replay /nonexistent/lcaknap.trace");
+  EXPECT_EQ(missing.exit_code, 2) << missing.output;
+
+  // An empty (but well-formed) trace cannot drive a run.
+  const std::string empty_path = ::testing::TempDir() + "loadgen_empty.trace";
+  util::save_trace_file({}, empty_path);
+  const auto empty = run_loadgen(port_arg() + " --trace-replay " + empty_path);
+  EXPECT_EQ(empty.exit_code, 1) << empty.output;
+  std::remove(empty_path.c_str());
+}
+
+}  // namespace
+}  // namespace lcaknap

@@ -6,6 +6,17 @@
 //     [--tenant default] [--mode closed|open] [--connections C] [--window W]
 //     [--queries N] [--duration-ms D] [--qps R]
 //     [--items-max M] [--seed S] [--deadline-us D] [--json]
+//     [--trace-record FILE] [--trace-replay FILE]
+//
+// Trace record/replay (util/request_trace.h, "lcaknap-trace 1" format):
+// `--trace-record FILE` writes every sent frame — timestamp relative to run
+// start, item, tenant — merged across connections in timestamp order, so a
+// synthetic run (or a tcpdump-shaped production log converted to the same
+// format) becomes a replayable artifact.  `--trace-replay FILE` drives item
+// and tenant selection from a recorded log instead of the RNG: the trace is
+// split into contiguous per-connection slices (record order preserved within
+// each) and each record is sent exactly once (`--queries` caps it); pacing
+// stays the mode's own (window or --qps).  Replay targets a single endpoint.
 //
 // Multi-endpoint mode (`--targets`) drives every replica of a fleet
 // concurrently with the same workload shape, splitting the query budget
@@ -49,6 +60,7 @@
 
 #include "net/client.h"
 #include "net/wire.h"
+#include "util/request_trace.h"
 #include "util/table.h"
 
 namespace {
@@ -99,6 +111,7 @@ struct ConnResult {
   std::uint64_t received = 0;
   std::array<std::uint64_t, 8> by_status{};
   std::vector<double> latencies_us;
+  std::vector<util::TraceRecord> trace;  ///< sent frames (--trace-record)
   std::string error;  ///< first socket failure, if any
 };
 
@@ -115,6 +128,12 @@ struct RunConfig {
   std::uint64_t items_max = 1'000;
   std::uint64_t seed = 1;
   std::uint64_t deadline_us = 0;
+  /// Record every sent frame into ConnResult::trace (--trace-record).
+  bool record_trace = false;
+  /// Timestamp origin for recorded frames (the run's start).
+  Clock::time_point epoch{};
+  /// Replay source (--trace-replay); null = synthetic RNG workload.
+  const std::vector<util::TraceRecord>* replay = nullptr;
 };
 
 void record(ConnResult& result, const net::ResponseFrame& response,
@@ -125,10 +144,40 @@ void record(ConnResult& result, const net::ResponseFrame& response,
   result.latencies_us.push_back(latency_us);
 }
 
+/// Fills the workload fields of a frame (synthetic RNG pick, or the next
+/// record of this connection's replay slice) and records it when asked.
+/// Shared by both loop modes so record/replay behave identically in each.
+template <typename Rng, typename Pick>
+void fill_frame(net::RequestFrame& frame, const RunConfig& config,
+                const std::vector<util::TraceRecord>& slice,
+                std::size_t& replay_pos, Rng& rng, Pick& pick,
+                ConnResult& result) {
+  if (!slice.empty()) {
+    const auto& record = slice[replay_pos % slice.size()];
+    ++replay_pos;
+    frame.item = record.item;
+    frame.tenant = record.tenant;
+  } else {
+    frame.item = pick(rng);
+    frame.tenant = config.tenant;
+  }
+  frame.deadline_us = config.deadline_us;
+  if (config.record_trace) {
+    const auto now_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              config.epoch)
+            .count());
+    result.trace.push_back(
+        util::TraceRecord{now_us, frame.item, frame.tenant});
+  }
+}
+
 /// Closed loop: keep `window` frames outstanding until the quota or the
 /// deadline; every sent frame is drained before the connection closes.
 void run_closed(const RunConfig& config, std::uint64_t quota,
-                std::uint64_t conn_seed, ConnResult& result) {
+                std::uint64_t conn_seed,
+                const std::vector<util::TraceRecord>& slice,
+                ConnResult& result) {
   try {
     net::Client client(config.host, config.port);
     std::mt19937_64 rng(conn_seed);
@@ -141,12 +190,11 @@ void run_closed(const RunConfig& config, std::uint64_t quota,
             ? start + std::chrono::milliseconds(config.duration_ms)
             : Clock::time_point::max();
     std::uint64_t next_id = 1;
+    std::size_t replay_pos = 0;
     const auto send_one = [&] {
       net::RequestFrame frame;
       frame.request_id = next_id++;
-      frame.item = pick(rng);
-      frame.deadline_us = config.deadline_us;
-      frame.tenant = config.tenant;
+      fill_frame(frame, config, slice, replay_pos, rng, pick, result);
       outstanding.emplace(frame.request_id, Clock::now());
       client.send(frame);
       result.sent += 1;
@@ -187,7 +235,9 @@ void run_closed(const RunConfig& config, std::uint64_t quota,
 /// Open loop: a paced sender and a drainer thread share the connection;
 /// offered load never backs off.
 void run_open(const RunConfig& config, double conn_qps, std::uint64_t quota,
-              std::uint64_t conn_seed, ConnResult& result) {
+              std::uint64_t conn_seed,
+              const std::vector<util::TraceRecord>& slice,
+              ConnResult& result) {
   try {
     net::Client client(config.host, config.port);
     std::mutex mutex;
@@ -236,6 +286,7 @@ void run_open(const RunConfig& config, double conn_qps, std::uint64_t quota,
         std::chrono::duration<double>(conn_qps > 0 ? 1.0 / conn_qps : 0.0));
     auto next_send = start;
     std::uint64_t next_id = 1;
+    std::size_t replay_pos = 0;
     while (Clock::now() < end && result.sent < quota) {
       if (gap.count() > 0) {
         std::this_thread::sleep_until(next_send);
@@ -243,9 +294,7 @@ void run_open(const RunConfig& config, double conn_qps, std::uint64_t quota,
       }
       net::RequestFrame frame;
       frame.request_id = next_id++;
-      frame.item = pick(rng);
-      frame.deadline_us = config.deadline_us;
-      frame.tenant = config.tenant;
+      fill_frame(frame, config, slice, replay_pos, rng, pick, result);
       {
         std::lock_guard<std::mutex> lock(mutex);
         outstanding.emplace(frame.request_id, Clock::now());
@@ -277,20 +326,37 @@ struct TargetOutcome {
 TargetOutcome run_target(const RunConfig& config) {
   const std::uint64_t per_conn =
       (config.total_queries + config.connections - 1) / config.connections;
+  // Replay: contiguous per-connection slices preserve record order (and the
+  // non-decreasing timestamps) within each connection; every record is sent
+  // exactly once, so each connection's quota is its slice size.
+  std::vector<std::vector<util::TraceRecord>> slices(config.connections);
+  if (config.replay != nullptr) {
+    const auto& records = *config.replay;
+    const std::size_t chunk =
+        (records.size() + config.connections - 1) / config.connections;
+    for (std::size_t c = 0; c < config.connections; ++c) {
+      const std::size_t begin = std::min(c * chunk, records.size());
+      const std::size_t end = std::min(begin + chunk, records.size());
+      slices[c].assign(records.begin() + static_cast<std::ptrdiff_t>(begin),
+                       records.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
   std::vector<ConnResult> results(config.connections);
   std::vector<std::thread> threads;
   threads.reserve(config.connections);
   for (std::size_t c = 0; c < config.connections; ++c) {
     const std::uint64_t conn_seed = config.seed * 0x9E3779B97F4A7C15ull + c;
+    const std::uint64_t quota =
+        config.replay != nullptr ? slices[c].size() : per_conn;
     if (config.open_loop) {
       const double conn_qps =
           config.qps / static_cast<double>(config.connections);
-      threads.emplace_back([&, c, conn_seed, conn_qps] {
-        run_open(config, conn_qps, per_conn, conn_seed, results[c]);
+      threads.emplace_back([&, c, conn_seed, conn_qps, quota] {
+        run_open(config, conn_qps, quota, conn_seed, slices[c], results[c]);
       });
     } else {
-      threads.emplace_back([&, c, conn_seed] {
-        run_closed(config, per_conn, conn_seed, results[c]);
+      threads.emplace_back([&, c, conn_seed, quota] {
+        run_closed(config, quota, conn_seed, slices[c], results[c]);
       });
     }
   }
@@ -307,6 +373,8 @@ TargetOutcome run_target(const RunConfig& config) {
     outcome.total.latencies_us.insert(outcome.total.latencies_us.end(),
                                       r.latencies_us.begin(),
                                       r.latencies_us.end());
+    outcome.total.trace.insert(outcome.total.trace.end(), r.trace.begin(),
+                               r.trace.end());
     if (outcome.total.error.empty() && !r.error.empty()) {
       outcome.total.error = r.error;
     }
@@ -375,6 +443,28 @@ int run(const Args& args) {
     throw std::invalid_argument("--mode open needs --qps");
   }
 
+  // Trace record/replay (see the header comment for semantics).
+  const auto trace_record = args.get("trace-record");
+  const auto trace_replay = args.get("trace-replay");
+  config.record_trace = trace_record.has_value();
+  std::vector<util::TraceRecord> replay_records;
+  if (trace_replay) {
+    if (targets.size() > 1) {
+      throw std::invalid_argument("--trace-replay drives a single target");
+    }
+    replay_records = util::load_trace_file(*trace_replay);
+    if (replay_records.empty()) {
+      throw std::invalid_argument("--trace-replay: trace has no records");
+    }
+    // --queries caps the replay; otherwise the whole log is sent once.
+    if (args.get("queries")) {
+      const auto cap = args.get_u64("queries", replay_records.size());
+      if (cap < replay_records.size()) replay_records.resize(cap);
+    }
+    config.total_queries = replay_records.size();
+    config.replay = &replay_records;
+  }
+
   // Each target gets an equal share of the query budget and its own set of
   // connections; targets run concurrently (the fleet sees simultaneous
   // load, as it would from a real front door).
@@ -384,6 +474,7 @@ int run(const Args& args) {
   std::vector<std::thread> target_threads;
   target_threads.reserve(targets.size());
   const auto t0 = Clock::now();
+  config.epoch = t0;
   for (std::size_t t = 0; t < targets.size(); ++t) {
     RunConfig target_config = config;
     target_config.host = targets[t].first;
@@ -408,7 +499,19 @@ int run(const Args& args) {
     }
     total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
                               r.latencies_us.end());
+    total.trace.insert(total.trace.end(), r.trace.begin(), r.trace.end());
     if (total.error.empty() && !r.error.empty()) total.error = r.error;
+  }
+  if (config.record_trace) {
+    // Merge across connections/targets into one timestamp-ordered log
+    // (stable: same-instant frames keep their merge order).
+    std::stable_sort(total.trace.begin(), total.trace.end(),
+                     [](const util::TraceRecord& a, const util::TraceRecord& b) {
+                       return a.timestamp_us < b.timestamp_us;
+                     });
+    util::save_trace_file(total.trace, *trace_record);
+    std::cerr << "recorded " << total.trace.size() << " requests to "
+              << *trace_record << "\n";
   }
   std::sort(total.latencies_us.begin(), total.latencies_us.end());
   const double p50 = percentile(total.latencies_us, 0.50);
@@ -522,7 +625,7 @@ int main(int argc, char** argv) {
                  "  [--tenant ID] [--mode closed|open] [--connections C]\n"
                  "  [--window W] [--queries N] [--duration-ms D] [--qps R]\n"
                  "  [--items-max M] [--seed S] [--deadline-us D] [--json]\n"
-                 "  [--shutdown]\n"
+                 "  [--shutdown] [--trace-record FILE] [--trace-replay FILE]\n"
                  "--targets drives every endpoint concurrently (the query\n"
                  "budget splits evenly); the report adds a per-target status\n"
                  "table and conservation must hold per target and across\n"
