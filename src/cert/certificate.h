@@ -107,7 +107,10 @@ struct CertRecord {
 };
 
 inline constexpr char kCertMagic[8] = {'L', 'C', 'A', 'K', 'C', 'E', 'R', 'T'};
-inline constexpr std::uint32_t kCertVersion = 1;
+/// Version 2: the embedded fingerprint block grew an epoch id (snapshot
+/// format v2); version-1 segments have a shorter header and are rejected by
+/// the version check, never misparsed.
+inline constexpr std::uint32_t kCertVersion = 2;
 
 /// seq + item + profit + weight + (case, answer, 2 reserved) + threshold_idx
 /// + record CRC.

@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "iky/partition.h"
 #include "iky/value_approx.h"
@@ -186,7 +187,7 @@ LcaKpRun LcaKp::run_pipeline(util::Xoshiro256& sample_rng) const {
 }
 
 LcaKpRun LcaKp::run_warmup(std::uint64_t tape_seed, std::size_t threads,
-                           util::ThreadPool* pool) const {
+                           util::ThreadPool* pool, WarmupTrace* trace) const {
   const double eps = config_.eps;
   const double eps2 = eps * eps;
   if (threads == 0) threads = config_.warmup_threads;
@@ -245,12 +246,22 @@ LcaKpRun LcaKp::run_warmup(std::uint64_t tape_seed, std::size_t threads,
   std::vector<iky::NormLargeItem> large;
   extract_large(found, large, run.large_mass);
   std::uint64_t samples_used = params_.large_samples;
+  if (trace != nullptr) {
+    trace->tape_seed = tape_seed;
+    trace->large_drawn.clear();
+    trace->large_drawn.reserve(large.size());
+    for (const auto& rec : large) trace->large_drawn.push_back(rec.index);
+    trace->quantile_swept = false;
+    trace->quantile_draws.clear();
+  }
 
   // ---- Step 2 (lines 4-17): sharded quantile draw, then EPS. -------------
   if (1.0 - run.large_mass >= eps) {
     run.q = (eps + eps2 / 2.0) / (1.0 - run.large_mass);
     run.t = static_cast<int>(std::floor(1.0 / run.q));
     std::vector<std::vector<std::int64_t>> shard_effs(shards);
+    std::vector<std::vector<std::size_t>> shard_trace_idx(
+        trace != nullptr ? shards : 0);
     for_each_shard([&](std::size_t s) {
       util::Xoshiro256 rng(tape.word(kQuantileSweepStream, s));
       const std::size_t quota = shard_quota(params_.quantile_samples, s, shards);
@@ -260,8 +271,18 @@ LcaKpRun LcaKp::run_warmup(std::uint64_t tape_seed, std::size_t threads,
         const auto draw = access_->weighted_sample(rng);
         if (norm.norm_profit(draw.item) > eps2) continue;  // line 7
         effs.push_back(domain_.to_grid(norm.efficiency(draw.item)));
+        if (trace != nullptr) shard_trace_idx[s].push_back(draw.index);
       }
     });
+    if (trace != nullptr) {
+      trace->quantile_swept = true;
+      std::unordered_map<std::size_t, std::uint64_t> counts;
+      for (const auto& idxs : shard_trace_idx) {
+        for (const auto i : idxs) ++counts[i];
+      }
+      trace->quantile_draws.assign(counts.begin(), counts.end());
+      std::sort(trace->quantile_draws.begin(), trace->quantile_draws.end());
+    }
     std::size_t kept = 0;
     for (const auto& effs : shard_effs) kept += effs.size();
     std::vector<std::int64_t> efficiencies;
@@ -278,6 +299,47 @@ LcaKpRun LcaKp::run_warmup(std::uint64_t tape_seed, std::size_t threads,
   return run;
 }
 
+LcaKpRun LcaKp::complete_run_from_sweeps(
+    std::span<const iky::NormLargeItem> large, double large_mass,
+    std::span<const std::int64_t> efficiencies) const {
+  const double eps = config_.eps;
+  const double eps2 = eps * eps;
+  LcaKpRun run;
+  run.large_mass = large_mass;
+  std::uint64_t samples_used = params_.large_samples;
+  if (1.0 - run.large_mass >= eps) {
+    run.q = (eps + eps2 / 2.0) / (1.0 - run.large_mass);
+    run.t = static_cast<int>(std::floor(1.0 / run.q));
+    compute_thresholds(run, efficiencies);
+    samples_used += params_.quantile_samples;
+  }
+  finalize_run(run, large);
+  run.samples_used = samples_used;
+  return run;
+}
+
+LcaKpRun LcaKp::complete_run_from_sweeps(
+    std::span<const iky::NormLargeItem> large, double large_mass,
+    std::span<const util::WeightedValue> weighted_efficiencies) const {
+  const double eps = config_.eps;
+  const double eps2 = eps * eps;
+  LcaKpRun run;
+  run.large_mass = large_mass;
+  std::uint64_t samples_used = params_.large_samples;
+  if (1.0 - run.large_mass >= eps) {
+    run.q = (eps + eps2 / 2.0) / (1.0 - run.large_mass);
+    run.t = static_cast<int>(std::floor(1.0 / run.q));
+    if (!weighted_efficiencies.empty() && run.t >= 1) {
+      const util::EmpiricalCdfInt ecdf(weighted_efficiencies, domain_.size());
+      if (ecdf.size() > 0) compute_thresholds_from_cdf(run, ecdf);
+    }
+    samples_used += params_.quantile_samples;
+  }
+  finalize_run(run, large);
+  run.samples_used = samples_used;
+  return run;
+}
+
 void LcaKp::compute_thresholds(LcaKpRun& run,
                                std::span<const std::int64_t> efficiencies) const {
   if (efficiencies.empty() || run.t < 1) return;
@@ -285,6 +347,11 @@ void LcaKp::compute_thresholds(LcaKpRun& run,
   // builds by counting sort: O(n + |X|) against the former O(n log n) full
   // sort of the multiset.
   const util::EmpiricalCdfInt ecdf(efficiencies, domain_.size());
+  compute_thresholds_from_cdf(run, ecdf);
+}
+
+void LcaKp::compute_thresholds_from_cdf(LcaKpRun& run,
+                                        const util::EmpiricalCdfInt& ecdf) const {
   reproducible::RQuantileParams rq;
   rq.domain_size = domain_.size();
   rq.tau = params_.tau;

@@ -12,6 +12,7 @@
 #include "iky/efficiency_domain.h"
 #include "oracle/access.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace lcaknap::util {
 class ThreadPool;
@@ -95,6 +96,28 @@ struct LcaKpParams {
   int t_max = 0;  ///< upper bound floor(1/q) used for query-id layout
 };
 
+/// Sufficient statistics of one warm-up's sample outcome, recorded when
+/// `run_warmup` is handed a trace out-param.  The key fact (src/dyn relies
+/// on it): both sweeps draw indices profit-proportionally, the step-1 filter
+/// keeps an index iff norm_profit > eps^2, and the step-2 ECDF is built by
+/// counting sort — so the *multiset of drawn indices* determines the run.
+/// A mutation batch that provably leaves the profit vector (and n) unchanged
+/// leaves every PRF-substream draw sequence and both filters unchanged, and
+/// the run for the mutated instance can be replayed from this trace by
+/// re-reading only the distinct drawn indices (see dyn::replay_delta) —
+/// O(distinct indices) instead of O(samples) weighted draws.
+struct WarmupTrace {
+  std::uint64_t tape_seed = 0;
+  /// Distinct step-1 draws classified large (norm_profit > eps^2), sorted by
+  /// index — exactly the post-merge contents of the large-sweep dedup table.
+  std::vector<std::size_t> large_drawn;
+  /// Whether step 2 ran (the small-mass gate `1 - large_mass >= eps` passed).
+  bool quantile_swept = false;
+  /// Step-2 draws that passed the line-7 small filter, as sorted
+  /// (index, draw count) pairs.  Counts suffice: the ECDF is order-blind.
+  std::vector<std::pair<std::size_t, std::uint64_t>> quantile_draws;
+};
+
 /// The outcome of one pipeline execution.  `answer_from` evaluates the
 /// membership rule; everything else is diagnostics for the harnesses.
 struct LcaKpRun {
@@ -148,7 +171,32 @@ class LcaKp final : public Lca {
   /// shared the tape.
   [[nodiscard]] LcaKpRun run_warmup(std::uint64_t tape_seed,
                                     std::size_t threads = 0,
-                                    util::ThreadPool* pool = nullptr) const;
+                                    util::ThreadPool* pool = nullptr,
+                                    WarmupTrace* trace = nullptr) const;
+
+  /// Completes a run from already-collected sweep results: applies the
+  /// step-2 small-mass gate, derives q/t, computes the EPS thresholds from
+  /// the grid-mapped small efficiencies, and finalizes (steps 3-4).  This is
+  /// the exact tail of `run_warmup` after its two sample sweeps, exposed so
+  /// the delta-warm-up replay (src/dyn) reuses the same arithmetic instead
+  /// of re-implementing it — any drift would break the digest-equality
+  /// contract.  `large` must be sorted by index with `large_mass` its
+  /// accumulated norm-profit mass (in that order); `efficiencies` is the
+  /// grid-mapped multiset from the quantile sweep (order irrelevant), empty
+  /// when the sweep did not run.
+  [[nodiscard]] LcaKpRun complete_run_from_sweeps(
+      std::span<const iky::NormLargeItem> large, double large_mass,
+      std::span<const std::int64_t> efficiencies) const;
+
+  /// Same tail from a pre-aggregated efficiency multiset: (grid value,
+  /// count) cells instead of one entry per observation, feeding the ECDF's
+  /// histogram constructor directly.  Produces the identical run — the ECDF
+  /// readouts are representation-independent — at O(cells + domain) instead
+  /// of O(samples), which is what keeps the delta warm-up replay's cost
+  /// bounded by the *trace* size, not the sample budget (src/dyn/delta.h).
+  [[nodiscard]] LcaKpRun complete_run_from_sweeps(
+      std::span<const iky::NormLargeItem> large, double large_mass,
+      std::span<const util::WeightedValue> weighted_efficiencies) const;
 
   /// Answers "is item i in C?" from a finished run.  Costs exactly one query
   /// to the instance (lines 20-24 read item i).
@@ -185,6 +233,9 @@ class LcaKp final : public Lca {
  private:
   /// Step 2's tail: reproducible EPS thresholds from the grid-mapped small
   /// efficiencies (expects run.q / run.t already set).
+  /// The shared threshold loop over an already-built ECDF (lines 8-14).
+  void compute_thresholds_from_cdf(LcaKpRun& run,
+                                   const util::EmpiricalCdfInt& ecdf) const;
   void compute_thresholds(LcaKpRun& run,
                           std::span<const std::int64_t> efficiencies) const;
   /// Steps 3-4: construct Ĩ and convert its greedy into the membership rule.

@@ -39,12 +39,14 @@ void TenantRouter::register_tenant(const std::string& id,
 void TenantRouter::complete(Tenant& tenant, std::uint64_t request_id,
                             WireStatus status,
                             const std::function<void(const ResponseFrame&)>& cb,
-                            bool answer, bool cache_hit) {
+                            bool answer, bool cache_hit,
+                            std::uint64_t epoch_id) {
   ResponseFrame response;
   response.request_id = request_id;
   response.status = status;
   response.answer = answer;
   response.cache_hit = cache_hit;
+  response.epoch_id = epoch_id;
   tenant.inflight.fetch_sub(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   cb(response);
@@ -58,7 +60,7 @@ void TenantRouter::submit_to_engine(
   auto on_done = [this, &tenant, request_id,
                   cb = std::move(cb)](const serve::Response& r) {
     complete(tenant, request_id, wire_status_of(r.outcome), cb, r.answer,
-             r.cache_hit);
+             r.cache_hit, r.epoch_id);
   };
   if (deadline_us == 0) {
     tenant.engine->submit(static_cast<std::size_t>(item), std::move(on_done));
@@ -258,6 +260,14 @@ TenantReadiness TenantRouter::readiness(const std::string& id) const {
 }
 
 const serve::ServeEngine* TenantRouter::engine(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) return nullptr;
+  std::lock_guard<std::mutex> tlock(it->second->mutex);
+  return it->second->engine.get();
+}
+
+serve::ServeEngine* TenantRouter::engine_mut(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = tenants_.find(id);
   if (it == tenants_.end()) return nullptr;

@@ -125,6 +125,10 @@ class TenantRouter {
   [[nodiscard]] TenantReadiness readiness(const std::string& id) const;
   /// The tenant's engine, or nullptr while cold/hydrating (test hook).
   [[nodiscard]] const serve::ServeEngine* engine(const std::string& id) const;
+  /// Mutable engine access for the update-applier path (`serve --updates`):
+  /// the applier thread calls `advance_epoch` on it between request bursts.
+  /// nullptr while cold/hydrating — the applier must wait for warmth.
+  [[nodiscard]] serve::ServeEngine* engine_mut(const std::string& id);
 
  private:
   struct Parked {
@@ -150,7 +154,8 @@ class TenantRouter {
                         std::function<void(const ResponseFrame&)> cb);
   void complete(Tenant& tenant, std::uint64_t request_id, WireStatus status,
                 const std::function<void(const ResponseFrame&)>& cb,
-                bool answer = false, bool cache_hit = false);
+                bool answer = false, bool cache_hit = false,
+                std::uint64_t epoch_id = 0);
 
   store::StateStore* store_;
   metrics::Registry* registry_;

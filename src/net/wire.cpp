@@ -9,8 +9,9 @@ namespace {
 
 // Bytes after the length prefix, excluding the variable tenant id.
 constexpr std::size_t kRequestFixed = 4 + 2 + 2 + 8 + 8 + 8 + 2 + 8;
-// Responses are fixed-layout (version 2 added the replica_id u64).
-constexpr std::size_t kResponseLen = 4 + 2 + 2 + 8 + 8 + 1 + 1 + 8;
+// Responses are fixed-layout (version 2 added the replica_id u64, version 3
+// the epoch_id u64).
+constexpr std::size_t kResponseLen = 4 + 2 + 2 + 8 + 8 + 8 + 1 + 1 + 8;
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
@@ -117,6 +118,7 @@ void encode(const ResponseFrame& frame, std::string& out) {
   put_u16(out, static_cast<std::uint16_t>(frame.status));
   put_u64(out, frame.request_id);
   put_u64(out, frame.replica_id);
+  put_u64(out, frame.epoch_id);
   put_u8(out, frame.answer ? 1 : 0);
   put_u8(out, frame.cache_hit ? 1 : 0);
   seal(out, frame_start);
@@ -180,6 +182,7 @@ std::size_t decode(std::string_view buffer, ResponseFrame& frame) {
   frame.status = static_cast<WireStatus>(status);
   frame.request_id = get_u64(buffer, at);
   frame.replica_id = get_u64(buffer, at);
+  frame.epoch_id = get_u64(buffer, at);
   frame.answer = get_u8(buffer, at) != 0;
   frame.cache_hit = get_u8(buffer, at) != 0;
   check_crc(buffer, len);

@@ -25,7 +25,8 @@
 ///               request_id:u64 item:u64 deadline_us:u64
 ///               tenant_len:u16 tenant:bytes crc:u64
 ///   response := len:u32 magic:u32('LKRS') version:u16 status:u16
-///               request_id:u64 replica_id:u64 answer:u8 cache_hit:u8 crc:u64
+///               request_id:u64 replica_id:u64 epoch_id:u64
+///               answer:u8 cache_hit:u8 crc:u64
 ///
 /// Version 2 added `replica_id` (echoed on every response) and the health
 /// flag: a request with `kFlagHealth` set is a readiness probe for its
@@ -33,6 +34,12 @@
 /// `answer` = 1 iff the tenant's warm state is hydrated and serving.  The
 /// fleet layer (src/fleet/, docs/FLEET.md) gates snapshot-shipped bootstrap
 /// on it and attributes every answer to the replica that produced it.
+///
+/// Version 3 added `epoch_id`: the instance epoch the answer was derived
+/// under (0 for static instances; see docs/DYNAMIC.md).  Under live updates
+/// a client observing an epoch flip mid-stream is seeing an advance, not an
+/// inconsistency — answers are consistent *within* an epoch, and the frame
+/// says which one.
 ///
 /// `len` counts every byte after the length field itself.  The trailing CRC
 /// (CRC-64/XZ, same polynomial as the snapshot format) covers the *whole*
@@ -52,7 +59,7 @@ namespace lcaknap::net {
 
 inline constexpr std::uint32_t kRequestMagic = 0x5152'4B4Cu;   // "LKRQ"
 inline constexpr std::uint32_t kResponseMagic = 0x5352'4B4Cu;  // "LKRS"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Tenant ids are StateStore instance ids: `[A-Za-z0-9._-]+`, bounded.
 inline constexpr std::size_t kMaxTenantBytes = 64;
 /// Hard cap on `len` for either frame kind; anything larger is kBadLength
@@ -125,6 +132,9 @@ struct ResponseFrame {
   /// on every frame).  The fleet's failover bookkeeping and the consistency
   /// checker attribute answers by it; 0 = unassigned (single-process use).
   std::uint64_t replica_id = 0;
+  /// Instance epoch the answer was derived under (`serve::Response::
+  /// epoch_id`); 0 for static instances and non-answer statuses.
+  std::uint64_t epoch_id = 0;
   WireStatus status = WireStatus::kError;
   bool answer = false;
   bool cache_hit = false;

@@ -30,7 +30,11 @@ AnswerCache::AnswerCache(const AnswerCacheConfig& config,
       paranoia_violations_total_(&registry.counter(
           "serve_cache_paranoia_violations_total",
           "Paranoia re-evaluations that disagreed with the cached answer "
-          "(must stay 0; Definition 2.3 as an SLO)")) {
+          "(must stay 0; Definition 2.3 as an SLO)")),
+      invalidations_total_(&registry.counter(
+          "serve_cache_invalidations_total",
+          "Whole-cache invalidation events (generation bumps, e.g. epoch "
+          "advances); O(1) each, stale entries die lazily")) {
   std::size_t n_shards =
       round_up_pow2(std::max<std::size_t>(1, config.shards));
   if (config.capacity > 0) {
@@ -60,11 +64,21 @@ std::optional<AnswerCache::Hit> AnswerCache::get(std::size_t item) {
     return std::nullopt;
   }
   Shard& shard = shard_for(item);
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
   Entry entry;
   {
     const std::lock_guard lock(shard.mutex);
     const auto it = shard.index.find(item);
     if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_total_->inc();
+      return std::nullopt;
+    }
+    if (it->second->second.generation != current) {
+      // Stale epoch: the entry answers a question the instance no longer
+      // asks.  Drop it and report a miss — never a stale answer.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
       misses_.fetch_add(1, std::memory_order_relaxed);
       misses_total_->inc();
       return std::nullopt;
@@ -82,11 +96,15 @@ std::optional<AnswerCache::Hit> AnswerCache::get(std::size_t item) {
   hit.large = entry.large;
   hit.profit = entry.profit;
   hit.weight = entry.weight;
+  hit.generation = entry.generation;
   return hit;
 }
 
 void AnswerCache::put(std::size_t item, const Entry& entry) {
   if (config_.capacity == 0) return;
+  if (entry.generation != generation_.load(std::memory_order_acquire)) {
+    return;  // a writer from a superseded epoch must not poison the cache
+  }
   Shard& shard = shard_for(item);
   bool evicted = false;
   {
@@ -137,6 +155,7 @@ void AnswerCache::get_batch(std::span<const std::size_t> items,
   std::vector<std::pair<std::size_t, Entry>> hit_lanes;
   hit_lanes.reserve(items.size());
   std::size_t miss_count = 0;
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
 
   std::size_t g = 0;
   while (g < by_shard.size()) {
@@ -147,6 +166,12 @@ void AnswerCache::get_batch(std::span<const std::size_t> items,
       const std::size_t lane = by_shard[g].second;
       const auto it = shard.index.find(items[lane]);
       if (it == shard.index.end()) {
+        ++miss_count;
+        continue;
+      }
+      if (it->second->second.generation != current) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
         ++miss_count;
         continue;
       }
@@ -175,6 +200,7 @@ void AnswerCache::get_batch(std::span<const std::size_t> items,
       hit.large = entry.large;
       hit.profit = entry.profit;
       hit.weight = entry.weight;
+      hit.generation = entry.generation;
       out[lane] = hit;
     }
   }
@@ -182,13 +208,16 @@ void AnswerCache::get_batch(std::span<const std::size_t> items,
 
 void AnswerCache::put_batch(std::span<const PutItem> puts) {
   if (config_.capacity == 0 || puts.empty()) return;
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
   std::vector<std::pair<std::size_t, std::size_t>> by_shard;  // (shard, idx)
   by_shard.reserve(puts.size());
   const std::size_t mask = shards_.size() - 1;
   for (std::size_t i = 0; i < puts.size(); ++i) {
+    if (puts[i].entry.generation != current) continue;  // superseded epoch
     by_shard.emplace_back(
         util::mix64(static_cast<std::uint64_t>(puts[i].item)) & mask, i);
   }
+  if (by_shard.empty()) return;
   std::stable_sort(by_shard.begin(), by_shard.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
@@ -245,6 +274,28 @@ std::uint64_t AnswerCache::paranoia_checks() const noexcept {
 }
 std::uint64_t AnswerCache::paranoia_violations() const noexcept {
   return paranoia_violations_.load(std::memory_order_relaxed);
+}
+
+bool AnswerCache::bump_generation(std::uint64_t generation) {
+  std::uint64_t current = generation_.load(std::memory_order_relaxed);
+  while (current < generation) {
+    if (generation_.compare_exchange_weak(current, generation,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_total_->inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t AnswerCache::generation() const noexcept {
+  return generation_.load(std::memory_order_acquire);
+}
+
+std::uint64_t AnswerCache::invalidations() const noexcept {
+  return invalidations_.load(std::memory_order_relaxed);
 }
 
 std::size_t AnswerCache::size() const {

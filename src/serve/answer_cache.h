@@ -31,6 +31,17 @@
 /// a mutex-guarded LRU list + index, items routed by a mixed hash of the
 /// index.  Counters (hits/misses/evictions/paranoia) are relaxed atomics
 /// mirrored into the metrics registry.
+///
+/// **Generations (epoch-scoped invalidation, src/dyn).**  Definition 2.3's
+/// "never stale" holds only *within* one instance epoch; an epoch advance
+/// changes the function being cached.  Rather than scanning every shard on
+/// advance, the cache carries a monotone generation: entries are stamped
+/// with the generation they were derived under, `bump_generation(epoch)` is
+/// O(1), a get that finds an older-generation entry drops it and reports a
+/// miss (never a stale answer), and a put stamped with an older generation
+/// is discarded (a worker still finishing epoch-N work after the advance
+/// must not poison the epoch-N+1 cache).  `serve_cache_invalidations_total`
+/// counts bumps.
 
 namespace lcaknap::serve {
 
@@ -64,6 +75,10 @@ class AnswerCache {
     bool large = false;          ///< witness: norm_profit > eps^2 branch
     std::int64_t profit = 0;     ///< witness: raw item profit
     std::int64_t weight = 0;     ///< witness: raw item weight
+    /// Generation (= epoch) this answer was derived under.  Puts carrying a
+    /// generation older than the cache's current one are dropped; entries
+    /// found with an older generation on get are dropped as misses.
+    std::uint64_t generation = 0;
   };
 
   struct Hit {
@@ -76,15 +91,23 @@ class AnswerCache {
     bool large = false;
     std::int64_t profit = 0;
     std::int64_t weight = 0;
+    /// Generation the entry was stored under; always the cache's current
+    /// generation at read time (older entries never hit).
+    std::uint64_t generation = 0;
   };
 
   /// Looks `item` up, refreshing its LRU position on a hit.
   [[nodiscard]] std::optional<Hit> get(std::size_t item);
 
   /// Inserts or refreshes `item`, evicting the shard's LRU tail when full.
+  /// Dropped entirely when `entry.generation` is older than the cache's
+  /// current generation.
   void put(std::size_t item, const Entry& entry);
-  /// Witness-free insert (non-certifying callers).
-  void put(std::size_t item, bool answer) { put(item, Entry{.answer = answer}); }
+  /// Witness-free insert (non-certifying callers), stamped with the current
+  /// generation.
+  void put(std::size_t item, bool answer) {
+    put(item, Entry{.answer = answer, .generation = generation()});
+  }
 
   /// One insert of a `put_batch`.
   struct PutItem {
@@ -111,6 +134,19 @@ class AnswerCache {
   /// Reports the result of a paranoia re-evaluation (`consistent` = the
   /// recomputed answer matched the cached one).
   void record_paranoia(bool consistent);
+
+  // --- epoch-scoped invalidation -----------------------------------------
+  /// Raises the current generation to `generation` (monotone; lower or equal
+  /// values are ignored and return false).  O(1): no shard is touched —
+  /// entries of older generations die lazily on their next lookup or
+  /// eviction.  Counts one invalidation event when the generation moves.
+  bool bump_generation(std::uint64_t generation);
+  /// Invalidates everything currently cached: bumps the generation by one.
+  void clear() { (void)bump_generation(generation() + 1); }
+  [[nodiscard]] std::uint64_t generation() const noexcept;
+  /// Invalidation events (generation bumps), mirrored as
+  /// `serve_cache_invalidations_total`.
+  [[nodiscard]] std::uint64_t invalidations() const noexcept;
 
   // Counter readouts (also exported as `serve_cache_*` registry families).
   [[nodiscard]] std::uint64_t hits() const noexcept;
@@ -145,12 +181,15 @@ class AnswerCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> paranoia_checks_{0};
   std::atomic<std::uint64_t> paranoia_violations_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 
   metrics::Counter* hits_total_;
   metrics::Counter* misses_total_;
   metrics::Counter* evictions_total_;
   metrics::Counter* paranoia_checks_total_;
   metrics::Counter* paranoia_violations_total_;
+  metrics::Counter* invalidations_total_;
 };
 
 }  // namespace lcaknap::serve

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "store/snapshot.h"
@@ -25,6 +28,7 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
     : lca_(&lca),
       config_(config),
       clock_(config.clock != nullptr ? config.clock : &util::system_clock()),
+      registry_(&registry),
       requests_ok_(&registry.counter("serve_requests_total",
                                      "Requests finished by the serving engine",
                                      {{"outcome", "ok"}})),
@@ -65,11 +69,13 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
     warmup_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   const auto warmup_start = Clock::now();
+  std::shared_ptr<const core::LcaKpRun> run;
   if (config_.warm_state != nullptr) {
-    run_ = *config_.warm_state;
+    run = config_.warm_state;
     warmup_threads = 0;  // no warm-up ran; the gauge reflects that
   } else {
-    run_ = lca_->run_warmup(config.warmup_tape_seed, warmup_threads);
+    run = std::make_shared<core::LcaKpRun>(
+        lca_->run_warmup(config.warmup_tape_seed, warmup_threads));
   }
   const auto warmup_us = std::chrono::duration<double, std::micro>(
                              Clock::now() - warmup_start)
@@ -88,12 +94,6 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
              "1 when the engine adopted a restored warm state instead of "
              "running the warm-up pipeline")
       .set(config_.warm_state != nullptr ? 1.0 : 0.0);
-  if (config_.batch_eval) {
-    // Built after `run_` is final (warm-up or snapshot): the evaluator
-    // precomputes its SoA constants from the warm state and picks the best
-    // kernel this binary AND this CPU support.
-    batch_eval_ = std::make_unique<core::BatchEval>(lca, run_);
-  }
   batch_eval_us_ = &registry.histogram(
       "serve_batch_eval_us",
       "Wall time of one BatchEval gather+classify over a dispatch group's "
@@ -103,24 +103,113 @@ ServeEngine::ServeEngine(const core::LcaKp& lca, const EngineConfig& config,
       "batch_eval_kernel",
       "Active batch-eval classify kernel (0 scalar, 1 avx2, 2 avx512; -1 "
       "batch path disabled)");
+  epoch_gauge_ = &registry.gauge(
+      "serve_epoch", "Current instance epoch served (0 = static instance)");
+  // Epoch 0: the static-instance snapshot every engine starts on.  Its
+  // certificate log lives directly in `cert_dir`; later epochs get
+  // `cert_dir/epoch-<id>/` subdirectories.
+  epochs_.push_back(
+      make_epoch(0, lca, std::move(run), nullptr, config_.cert_dir, registry));
   batch_eval_kernel_gauge_->set(
-      batch_eval_ != nullptr ? static_cast<double>(batch_eval_->kernel())
-                             : -1.0);
+      epochs_.back()->batch_eval != nullptr
+          ? static_cast<double>(epochs_.back()->batch_eval->kernel())
+          : -1.0);
+  epoch_gauge_->set(0.0);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+std::shared_ptr<const ServeEngine::Epoch> ServeEngine::make_epoch(
+    std::uint64_t epoch_id, const core::LcaKp& lca,
+    std::shared_ptr<const core::LcaKpRun> run,
+    std::shared_ptr<const void> keepalive, const std::string& cert_dir,
+    metrics::Registry& registry) {
+  auto epoch = std::make_shared<Epoch>();
+  epoch->epoch_id = epoch_id;
+  epoch->lca = &lca;
+  epoch->run = std::move(run);
+  epoch->keepalive = std::move(keepalive);
+  if (config_.batch_eval) {
+    // Built after the run is final (warm-up, snapshot, or delta warm-up):
+    // the evaluator precomputes its SoA constants from the warm state and
+    // picks the best kernel this binary AND this CPU support.
+    epoch->batch_eval = std::make_shared<core::BatchEval>(lca, *epoch->run);
+  }
   if (config_.certify) {
     // The log header embeds the snapshot fingerprint of THIS serving
-    // context (instance + shared seed + resolved params + tape-seed echo),
-    // so the log can only ever be audited against the matching snapshot.
+    // context (instance + shared seed + resolved params + tape-seed echo +
+    // epoch), so the log can only ever be audited against the matching
+    // epoch's snapshot.
     cert::CertLogConfig cert_config;
-    cert_config.directory = config_.cert_dir;
+    cert_config.directory = cert_dir;
     if (config_.cert_segment_records > 0) {
       cert_config.max_records_per_segment = config_.cert_segment_records;
     }
-    cert_log_ = std::make_unique<cert::CertLog>(
-        cert_config, store::fingerprint_of(lca, config_.warmup_tape_seed),
+    epoch->cert_log = std::make_shared<cert::CertLog>(
+        cert_config,
+        store::fingerprint_of(lca, config_.warmup_tape_seed, epoch_id),
         registry);
-    cert_threshold_idx_ = cert::active_threshold_index(run_);
+    epoch->cert_threshold_idx = cert::active_threshold_index(*epoch->run);
   }
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  return epoch;
+}
+
+std::shared_ptr<const ServeEngine::Epoch> ServeEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return epochs_.back();
+}
+
+void ServeEngine::advance_epoch(std::uint64_t epoch_id, const core::LcaKp& lca,
+                                std::shared_ptr<const core::LcaKpRun> run,
+                                std::shared_ptr<const void> keepalive) {
+  if (run == nullptr) {
+    throw std::invalid_argument("ServeEngine::advance_epoch: run is null");
+  }
+  std::lock_guard<std::mutex> advance_lock(advance_mutex_);
+  const std::uint64_t current = snapshot()->epoch_id;
+  if (epoch_id <= current) {
+    throw std::invalid_argument(
+        "ServeEngine::advance_epoch: epoch " + std::to_string(epoch_id) +
+        " is not after current epoch " + std::to_string(current));
+  }
+  std::string cert_dir = config_.cert_dir;
+  if (config_.certify) {
+    cert_dir += "/epoch-" + std::to_string(epoch_id);
+    std::filesystem::create_directories(cert_dir);
+  }
+  // Build the new snapshot before touching anything the request path sees:
+  // traffic keeps flowing under the old epoch while BatchEval rebuilds and
+  // the new certificate log opens.
+  auto next = make_epoch(epoch_id, lca, std::move(run), std::move(keepalive),
+                         cert_dir, *registry_);
+  // Bump the cache generation BEFORE publishing the snapshot.  In the window
+  // between the two, old-epoch workers miss (their entries are stale) and
+  // new-generation puts from nobody-yet are impossible — conservative, never
+  // stale.  The reverse order would let an old-generation hit answer for the
+  // already-published new epoch.
+  cache_.bump_generation(epoch_id);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    epochs_.push_back(std::move(next));
+  }
+  epoch_gauge_->set(static_cast<double>(epoch_id));
+  batch_eval_kernel_gauge_->set(
+      snapshot()->batch_eval != nullptr
+          ? static_cast<double>(snapshot()->batch_eval->kernel())
+          : -1.0);
+}
+
+std::uint64_t ServeEngine::epoch() const { return snapshot()->epoch_id; }
+
+const core::LcaKpRun& ServeEngine::run() const { return *snapshot()->run; }
+
+const cert::CertLog* ServeEngine::cert_log() const {
+  return snapshot()->cert_log.get();
+}
+
+core::BatchKernel ServeEngine::batch_kernel() const {
+  const auto snap = snapshot();
+  return snap->batch_eval != nullptr ? snap->batch_eval->kernel()
+                                     : core::BatchKernel::kScalar;
 }
 
 ServeEngine::~ServeEngine() { drain(); }
@@ -292,17 +381,22 @@ void ServeEngine::dispatch_ready(std::vector<Batch>& ready) {
     boxed->reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) boxed->push_back(std::move(ready[i]));
     pool_.submit([this, boxed] {
-      if (batch_eval_ != nullptr) {
-        execute_batch_group(*boxed);
+      // Capture the epoch snapshot ONCE per dispatch group: every request in
+      // the group evaluates against exactly one epoch's warm state, batch
+      // evaluator, and certificate log, even if advance_epoch runs mid-group.
+      const auto snap = snapshot();
+      if (snap->batch_eval != nullptr) {
+        execute_batch_group(*boxed, snap);
       } else {
-        for (auto& batch : *boxed) execute_batch(std::move(batch));
+        for (auto& batch : *boxed) execute_batch(std::move(batch), snap);
       }
     });
   }
   ready.clear();
 }
 
-void ServeEngine::execute_batch(Batch batch) {
+void ServeEngine::execute_batch(Batch batch,
+                                const std::shared_ptr<const Epoch>& snap) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(batch.requests.size(), std::memory_order_relaxed);
   batch_size_->observe(static_cast<double>(batch.requests.size()));
@@ -317,25 +411,33 @@ void ServeEngine::execute_batch(Batch batch) {
     response.outcome = Outcome::kOk;
     response.answer = cached->answer;
     response.cache_hit = true;
+    // A hit is always current-generation, which may be *ahead* of this
+    // worker's snapshot if an advance landed between capture and lookup;
+    // attribute the epoch the answer actually came from.
+    response.epoch_id = cached->generation;
     // Witness for the certificate record: from the cache entry (zero oracle
     // reads), refreshed by a paranoia re-evaluation when one runs.
     bool has_witness = cached->has_witness;
     bool witness_large = cached->large;
     std::int64_t witness_profit = cached->profit;
     std::int64_t witness_weight = cached->weight;
-    if (cached->paranoia_due) {
+    if (cached->paranoia_due && cached->generation == snap->epoch_id) {
       // Live consistency SLO: recompute and compare.  A mismatch is a
       // reproducibility bug, not staleness; repair the cache and count it.
+      // (Skipped when the hit's generation is not this worker's epoch —
+      // re-deriving an epoch-N+1 answer against the epoch-N run would
+      // manufacture false violations.)
       try {
         core::LcaKp::AnswerWitness fresh;
         const bool fresh_answer =
-            lca_->answer_with_witness(run_, batch.item, fresh);
+            snap->lca->answer_with_witness(*snap->run, batch.item, fresh);
         cache_.record_paranoia(fresh_answer == cached->answer);
         // Re-store with the fresh witness: repairs a violation and upgrades
         // witness-free entries that predate certification.
         cache_.put(batch.item,
                    AnswerCache::Entry{fresh.answer, true, fresh.large,
-                                      fresh.profit, fresh.weight});
+                                      fresh.profit, fresh.weight,
+                                      snap->epoch_id});
         response.answer = fresh_answer;
         has_witness = true;
         witness_large = fresh.large;
@@ -346,24 +448,27 @@ void ServeEngine::execute_batch(Batch batch) {
         // down an answer we already hold.
       }
     }
-    if (cert_log_ != nullptr) {
+    if (snap->cert_log != nullptr) {
       if (has_witness) {
-        certify_answer(batch.item, witness_large, witness_profit,
+        certify_answer(*snap, batch.item, witness_large, witness_profit,
                        witness_weight, response.answer);
       } else {
-        cert_log_->skip();
+        snap->cert_log->skip();
       }
     }
   } else {
     try {
       core::LcaKp::AnswerWitness witness;
-      response.answer = lca_->answer_with_witness(run_, batch.item, witness);
+      response.answer =
+          snap->lca->answer_with_witness(*snap->run, batch.item, witness);
       response.outcome = Outcome::kOk;
+      response.epoch_id = snap->epoch_id;
       cache_.put(batch.item,
                  AnswerCache::Entry{witness.answer, true, witness.large,
-                                    witness.profit, witness.weight});
-      if (cert_log_ != nullptr) {
-        certify_answer(batch.item, witness.large, witness.profit,
+                                    witness.profit, witness.weight,
+                                    snap->epoch_id});
+      if (snap->cert_log != nullptr) {
+        certify_answer(*snap, batch.item, witness.large, witness.profit,
                        witness.weight, witness.answer);
       }
     } catch (const oracle::OracleUnavailable&) {
@@ -374,7 +479,8 @@ void ServeEngine::execute_batch(Batch batch) {
       // and the cache must only ever hold Definition 2.3 answers.
       if (config_.degrade) {
         response.outcome = Outcome::kDegraded;
-        response.answer = degraded_answer(batch.item);
+        response.answer = degraded_answer(*snap, batch.item);
+        response.epoch_id = snap->epoch_id;
       } else {
         response.outcome = Outcome::kError;
       }
@@ -395,7 +501,8 @@ void ServeEngine::execute_batch(Batch batch) {
   }
 }
 
-void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
+void ServeEngine::execute_batch_group(std::vector<Batch>& group,
+                                      const std::shared_ptr<const Epoch>& snap) {
   if (group.empty()) return;
   batch_eval_groups_.fetch_add(1, std::memory_order_relaxed);
 
@@ -438,17 +545,19 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
     response.outcome = Outcome::kOk;
     response.answer = hit.answer;
     response.cache_hit = true;
+    response.epoch_id = hit.generation;  // the epoch the answer came from
     witnesses[lane] = LaneWitness{hit.has_witness, hit.large, hit.profit,
                                   hit.weight};
-    if (hit.paranoia_due) {
+    if (hit.paranoia_due && hit.generation == snap->epoch_id) {
       try {
         core::LcaKp::AnswerWitness fresh;
         const bool fresh_answer =
-            lca_->answer_with_witness(run_, items[lane], fresh);
+            snap->lca->answer_with_witness(*snap->run, items[lane], fresh);
         cache_.record_paranoia(fresh_answer == hit.answer);
         cache_.put(items[lane],
                    AnswerCache::Entry{fresh.answer, true, fresh.large,
-                                      fresh.profit, fresh.weight});
+                                      fresh.profit, fresh.weight,
+                                      snap->epoch_id});
         response.answer = fresh_answer;
         witnesses[lane] =
             LaneWitness{true, fresh.large, fresh.profit, fresh.weight};
@@ -466,7 +575,7 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
 
     static thread_local core::BatchScratch scratch;
     const auto eval_start = Clock::now();
-    batch_eval_->evaluate(miss_items, scratch);
+    snap->batch_eval->evaluate(miss_items, scratch);
     batch_eval_us_->observe(std::chrono::duration<double, std::micro>(
                                 Clock::now() - eval_start)
                                 .count());
@@ -482,12 +591,14 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
           const bool large = scratch.large[j] != 0;
           response.outcome = Outcome::kOk;
           response.answer = answer;
+          response.epoch_id = snap->epoch_id;
           witnesses[lane] = LaneWitness{true, large, scratch.profits[j],
                                         scratch.weights[j]};
           puts.push_back(AnswerCache::PutItem{
               items[lane], AnswerCache::Entry{answer, true, large,
                                               scratch.profits[j],
-                                              scratch.weights[j]}});
+                                              scratch.weights[j],
+                                              snap->epoch_id}});
           break;
         }
         case core::LaneStatus::kUnavailable:
@@ -495,7 +606,8 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
           // the per-request path, and degraded answers are never cached.
           if (config_.degrade) {
             response.outcome = Outcome::kDegraded;
-            response.answer = degraded_answer(items[lane]);
+            response.answer = degraded_answer(*snap, items[lane]);
+            response.epoch_id = snap->epoch_id;
           } else {
             response.outcome = Outcome::kError;
           }
@@ -512,13 +624,13 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
   const std::uint64_t now_us = clock_->now_us();
   for (std::size_t lane = 0; lane < group.size(); ++lane) {
     const Response& response = responses[lane];
-    if (cert_log_ != nullptr && response.outcome == Outcome::kOk) {
+    if (snap->cert_log != nullptr && response.outcome == Outcome::kOk) {
       const LaneWitness& w = witnesses[lane];
       if (w.has) {
-        certify_answer(items[lane], w.large, w.profit, w.weight,
+        certify_answer(*snap, items[lane], w.large, w.profit, w.weight,
                        response.answer);
       } else {
-        cert_log_->skip();
+        snap->cert_log->skip();
       }
     }
     for (auto& request : group[lane].requests) {
@@ -533,9 +645,9 @@ void ServeEngine::execute_batch_group(std::vector<Batch>& group) {
   }
 }
 
-void ServeEngine::certify_answer(std::size_t item, bool large,
-                                 std::int64_t profit, std::int64_t weight,
-                                 bool answer) noexcept {
+void ServeEngine::certify_answer(const Epoch& snap, std::size_t item,
+                                 bool large, std::int64_t profit,
+                                 std::int64_t weight, bool answer) noexcept {
   cert::CertRecord record;
   record.item = item;
   record.profit = profit;
@@ -543,16 +655,17 @@ void ServeEngine::certify_answer(std::size_t item, bool large,
   record.case_tag = cert::case_of(
       core::LcaKp::AnswerWitness{profit, weight, large, answer});
   record.answer = answer;
-  record.threshold_idx = large ? -1 : cert_threshold_idx_;
-  (void)cert_log_->append(record);  // never throws; failures are counted
+  record.threshold_idx = large ? -1 : snap.cert_threshold_idx;
+  (void)snap.cert_log->append(record);  // never throws; failures are counted
 }
 
-bool ServeEngine::degraded_answer(std::size_t item) const noexcept {
+bool ServeEngine::degraded_answer(const Epoch& snap,
+                                  std::size_t item) noexcept {
   // Zero-oracle fallback: the warm-up run already materialized the large-item
   // set L(Ĩ), so membership there is answerable from memory; everything else
   // gets the trivial-LCA "no" (Definition 2.4's floor).  Deterministic per
   // (seed, item), so degraded answers are still replica-consistent.
-  return run_.index_large.contains(item);
+  return snap.run->index_large.contains(item);
 }
 
 void ServeEngine::drain() {
@@ -560,9 +673,13 @@ void ServeEngine::drain() {
     queue_.close();
     if (dispatcher_.joinable()) dispatcher_.join();
     pool_.wait_idle();
-    // All workers are idle: seal the active certificate segment atomically
-    // so an auditor sees a complete, renamed `.seg` for everything served.
-    if (cert_log_ != nullptr) cert_log_->seal();
+    // All workers are idle: seal EVERY epoch's active certificate segment
+    // atomically, not just the current one — an advance mid-run must not
+    // orphan the previous epoch's tail records.
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    for (const auto& epoch : epochs_) {
+      if (epoch->cert_log != nullptr) epoch->cert_log->seal();
+    }
     queue_depth_gauge_->set(0.0);
   });
 }
@@ -581,13 +698,21 @@ EngineStats ServeEngine::stats() const {
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.cache_evictions = cache_.evictions();
+  stats.cache_invalidations = cache_.invalidations();
   stats.paranoia_checks = cache_.paranoia_checks();
   stats.paranoia_violations = cache_.paranoia_violations();
-  if (cert_log_ != nullptr) {
-    stats.cert_records = cert_log_->records_written();
-    stats.cert_skipped = cert_log_->records_skipped();
-    stats.cert_bytes = cert_log_->bytes_written();
-    stats.cert_segments = cert_log_->segments_sealed();
+  {
+    // Certificate counters aggregate across every epoch's log: an advance
+    // must never make already-written records disappear from the readout.
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    stats.epoch = epochs_.back()->epoch_id;
+    for (const auto& epoch : epochs_) {
+      if (epoch->cert_log == nullptr) continue;
+      stats.cert_records += epoch->cert_log->records_written();
+      stats.cert_skipped += epoch->cert_log->records_skipped();
+      stats.cert_bytes += epoch->cert_log->bytes_written();
+      stats.cert_segments += epoch->cert_log->segments_sealed();
+    }
   }
   return stats;
 }

@@ -45,9 +45,21 @@
 ///
 /// Metrics (see docs/OBSERVABILITY.md): `serve_requests_total{outcome}`,
 /// `serve_batch_size`, `serve_request_latency_us`, `serve_queue_depth`,
-/// `warmup_duration_us`, `warmup_threads`, the `serve_cache_*` families
-/// owned by `AnswerCache`, and — with `certify` on — the `cert_*` writer
-/// families owned by `cert::CertLog`.
+/// `warmup_duration_us`, `warmup_threads`, `serve_epoch`, the
+/// `serve_cache_*` families owned by `AnswerCache`, and — with `certify` on
+/// — the `cert_*` writer families owned by `cert::CertLog`.
+///
+/// **Epochs (dynamic instances, src/dyn).**  The warm state, the batch
+/// evaluator built over it, and the certificate log it certifies against
+/// form one immutable *epoch snapshot*.  Workers capture the snapshot once
+/// per dispatch group (a `shared_ptr` load; readers never block), so an
+/// `advance_epoch` concurrent with traffic is linearizable per request: a
+/// request evaluates entirely under epoch N or entirely under N+1, never a
+/// mix, and `Response::epoch_id` attributes which.  The answer cache is
+/// epoch-scoped by generation (= epoch id): an advance bumps the generation
+/// in O(1), a worker still finishing epoch-N work cannot poison the N+1
+/// cache, and a stale-generation entry is dropped as a miss — a stale-epoch
+/// answer is never served from the cache.
 
 namespace lcaknap::serve {
 
@@ -141,8 +153,12 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;  ///< generation bumps (epoch advances)
   std::uint64_t paranoia_checks = 0;
   std::uint64_t paranoia_violations = 0;
+  std::uint64_t epoch = 0;          ///< current instance epoch (0 = static)
+  // Certificate counters aggregate across every epoch's log (one log
+  // directory per epoch; see advance_epoch).
   std::uint64_t cert_records = 0;   ///< certificate records written
   std::uint64_t cert_skipped = 0;   ///< kOk answers served uncertified
   std::uint64_t cert_bytes = 0;     ///< certificate log bytes written
@@ -187,23 +203,63 @@ class ServeEngine {
   /// dispatcher.  Subsequent submits are rejected kOverloaded.  Idempotent.
   void drain();
 
+  /// Epoch advance (dynamic instances, src/dyn): atomically replaces the
+  /// warm state every subsequent evaluation answers from.  `epoch_id` must
+  /// be strictly greater than the current epoch (throws
+  /// `std::invalid_argument` otherwise); `lca` is the algorithm over the
+  /// *new* instance and `run` its warm state (typically
+  /// `dyn::EpochedState::advance`'s output); `keepalive` pins whatever owns
+  /// `lca` (instance + oracle access) for as long as any in-flight worker
+  /// may still hold the snapshot.  Effects, in order: the answer-cache
+  /// generation is bumped to `epoch_id` (O(1); epoch-N entries die lazily,
+  /// epoch-N puts are dropped), a fresh `core::BatchEval` is built over the
+  /// new run, and — with `certify` on — a new certificate log opens under
+  /// `cert_dir/epoch-<id>/` with the epoch-stamped fingerprint, the previous
+  /// epoch's log staying owned (and sealed at drain) so no record is lost.
+  /// In-flight requests that captured the old snapshot finish under it and
+  /// report the old `Response::epoch_id`; requests dispatched afterwards see
+  /// only the new epoch.  Thread-safe against submit/worker traffic;
+  /// concurrent advance calls serialize.
+  void advance_epoch(std::uint64_t epoch_id, const core::LcaKp& lca,
+                     std::shared_ptr<const core::LcaKpRun> run,
+                     std::shared_ptr<const void> keepalive = nullptr);
+  /// The current instance epoch (0 until the first advance).
+  [[nodiscard]] std::uint64_t epoch() const;
+
   [[nodiscard]] EngineStats stats() const;
   /// The active batch-eval kernel; kScalar when the batch path is disabled.
-  [[nodiscard]] core::BatchKernel batch_kernel() const noexcept {
-    return batch_eval_ != nullptr ? batch_eval_->kernel()
-                                  : core::BatchKernel::kScalar;
-  }
-  /// The shared membership rule every worker answers from.
-  [[nodiscard]] const core::LcaKpRun& run() const noexcept { return run_; }
+  [[nodiscard]] core::BatchKernel batch_kernel() const;
+  /// The shared membership rule every worker answers from (the *current*
+  /// epoch's).  The reference stays valid for the engine's lifetime — past
+  /// epochs are retained, not freed — but is a point-in-time read under
+  /// concurrent advances.
+  [[nodiscard]] const core::LcaKpRun& run() const;
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const AnswerCache& cache() const noexcept { return cache_; }
-  /// The certificate log writer, or nullptr when `certify` is off.
-  [[nodiscard]] const cert::CertLog* cert_log() const noexcept {
-    return cert_log_.get();
-  }
+  /// The current epoch's certificate log writer, or nullptr when `certify`
+  /// is off.
+  [[nodiscard]] const cert::CertLog* cert_log() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
 
  private:
+  /// Everything an evaluation consults, frozen per epoch.  Workers capture
+  /// one `shared_ptr<const Epoch>` per dispatch group and never re-read it
+  /// mid-request, so an advance can never split a request across epochs.
+  struct Epoch {
+    std::uint64_t epoch_id = 0;
+    const core::LcaKp* lca = nullptr;
+    std::shared_ptr<const core::LcaKpRun> run;
+    /// SoA batch evaluator over `run` (null when `batch_eval` is off).
+    std::shared_ptr<core::BatchEval> batch_eval;
+    /// This epoch's certificate log (null unless `certify`); kept alive —
+    /// and sealed at drain — even after the epoch is superseded.
+    std::shared_ptr<cert::CertLog> cert_log;
+    /// Index of the active small-item threshold in `run`'s EPS payload.
+    std::int32_t cert_threshold_idx = -1;
+    /// Pins the objects `lca` points into (instance, oracle access).
+    std::shared_ptr<const void> keepalive;
+  };
+
   /// Absolute deadline instant on `clock_` for a relative `deadline`;
   /// negative values land at "now" (already expired).
   [[nodiscard]] std::uint64_t deadline_from(
@@ -220,33 +276,38 @@ class ServeEngine {
   /// task when the backlog is deep (amortizes per-task overhead) while
   /// keeping one-batch tasks when it is shallow (preserves parallelism).
   void dispatch_ready(std::vector<Batch>& ready);
-  void execute_batch(Batch batch);
+  void execute_batch(Batch batch, const std::shared_ptr<const Epoch>& snap);
   /// The vectorized answer path: evaluates a whole dispatch group's cache
   /// misses through `core::BatchEval` SoA scratch (one `get_batch`, one
   /// gather+classify, one `put_batch`), then finishes every request with
   /// the same outcome semantics as `execute_batch`.
-  void execute_batch_group(std::vector<Batch>& group);
+  void execute_batch_group(std::vector<Batch>& group,
+                           const std::shared_ptr<const Epoch>& snap);
   void finish(Request& request, const Response& response);
   /// The O(1) degraded-mode membership rule: no oracle access, answers from
-  /// the warm run state alone.
-  [[nodiscard]] bool degraded_answer(std::size_t item) const noexcept;
+  /// the snapshot's warm run state alone.
+  [[nodiscard]] static bool degraded_answer(const Epoch& snap,
+                                            std::size_t item) noexcept;
   /// Appends one certificate record for an evaluated kOk answer (no-op
-  /// unless `certify`); the witness comes from the evaluation or the cache
-  /// entry, never from an extra oracle read.
-  void certify_answer(std::size_t item, bool large, std::int64_t profit,
-                      std::int64_t weight, bool answer) noexcept;
+  /// unless the snapshot certifies); the witness comes from the evaluation
+  /// or the cache entry, never from an extra oracle read.
+  static void certify_answer(const Epoch& snap, std::size_t item, bool large,
+                             std::int64_t profit, std::int64_t weight,
+                             bool answer) noexcept;
+  /// The current epoch snapshot (one mutex-guarded shared_ptr copy).
+  [[nodiscard]] std::shared_ptr<const Epoch> snapshot() const;
+  /// Builds the per-epoch derived state (BatchEval, certificate log) over an
+  /// adopted warm run; shared by the constructor and advance_epoch.
+  [[nodiscard]] std::shared_ptr<const Epoch> make_epoch(
+      std::uint64_t epoch_id, const core::LcaKp& lca,
+      std::shared_ptr<const core::LcaKpRun> run,
+      std::shared_ptr<const void> keepalive, const std::string& cert_dir,
+      metrics::Registry& registry);
 
   const core::LcaKp* lca_;
   EngineConfig config_;
   util::Clock* clock_;
-  core::LcaKpRun run_;
-  /// SoA batch evaluator over `run_` (null when `config.batch_eval` is off);
-  /// read-only after construction, shared by every worker.
-  std::unique_ptr<core::BatchEval> batch_eval_;
-  std::unique_ptr<cert::CertLog> cert_log_;
-  /// Index of the active small-item threshold in the run's EPS payload,
-  /// computed once at construction (a property of the warm state).
-  std::int32_t cert_threshold_idx_ = -1;
+  metrics::Registry* registry_;
 
   metrics::Counter* requests_ok_;
   metrics::Counter* requests_overloaded_;
@@ -258,6 +319,18 @@ class ServeEngine {
   metrics::Gauge* queue_depth_gauge_;
   metrics::Histogram* batch_eval_us_ = nullptr;
   metrics::Gauge* batch_eval_kernel_gauge_ = nullptr;
+  metrics::Gauge* epoch_gauge_ = nullptr;
+
+  /// Serializes advance_epoch calls (epoch construction is slow: BatchEval
+  /// rebuild + certificate-log open); never held by the request path.
+  std::mutex advance_mutex_;
+  /// Guards `epochs_`; held for a shared_ptr copy on capture, never across
+  /// an evaluation.
+  mutable std::mutex epoch_mutex_;
+  /// Every epoch this engine has served, oldest first; back() is current.
+  /// Past epochs are retained so `run()` references stay valid and every
+  /// epoch's certificate log is sealed at drain.
+  std::vector<std::shared_ptr<const Epoch>> epochs_;
 
   RequestQueue queue_;
   AnswerCache cache_;

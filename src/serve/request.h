@@ -68,6 +68,12 @@ struct Response {
                            ///< kDegraded (degraded answers are best-effort:
                            ///< consistent but possibly below LCA quality)
   bool cache_hit = false;  ///< answered from the sharded cache
+  /// Instance epoch the answer was derived under (0 for static instances).
+  /// Under live updates (src/dyn), a request admitted under epoch N may
+  /// legally complete with either epoch's answer across an advance — but
+  /// the epoch actually served must be attributed here and in the
+  /// certificate record.
+  std::uint64_t epoch_id = 0;
 };
 
 /// How a completed request reaches its submitter on the callback path.  May

@@ -111,6 +111,7 @@ void put_fingerprint(std::string& out, const SnapshotFingerprint& fp) {
   put_u32(out, fp.warmup_shards);
   put_u32(out, (fp.reproducible_quantiles ? 1u : 0u) |
                    (fp.paper_constants ? 2u : 0u));
+  put_u64(out, fp.epoch_id);
 }
 
 SnapshotFingerprint get_fingerprint(ByteReader& in) {
@@ -136,6 +137,7 @@ SnapshotFingerprint get_fingerprint(ByteReader& in) {
   if ((flags & ~3u) != 0) {
     throw SnapshotCorrupt("snapshot: unknown fingerprint flags");
   }
+  fp.epoch_id = in.u64();
   return fp;
 }
 
@@ -161,11 +163,12 @@ bool SnapshotFingerprint::equals(const SnapshotFingerprint& other) const noexcep
          quantile_samples == other.quantile_samples &&
          tape_seed == other.tape_seed && warmup_shards == other.warmup_shards &&
          reproducible_quantiles == other.reproducible_quantiles &&
-         paper_constants == other.paper_constants;
+         paper_constants == other.paper_constants && epoch_id == other.epoch_id;
 }
 
 SnapshotFingerprint fingerprint_of(const core::LcaKp& lca,
-                                   std::uint64_t tape_seed) {
+                                   std::uint64_t tape_seed,
+                                   std::uint64_t epoch_id) {
   const auto& access = lca.access();
   const auto& config = lca.config();
   const auto& params = lca.params();
@@ -187,6 +190,7 @@ SnapshotFingerprint fingerprint_of(const core::LcaKp& lca,
   fp.warmup_shards = static_cast<std::uint32_t>(core::LcaKp::kWarmupShards);
   fp.reproducible_quantiles = config.reproducible_quantiles;
   fp.paper_constants = config.paper_constants;
+  fp.epoch_id = epoch_id;
   return fp;
 }
 

@@ -67,6 +67,13 @@ struct SnapshotFingerprint {
   std::uint32_t warmup_shards = 0;
   bool reproducible_quantiles = true;
   bool paper_constants = false;
+  // --- instance version (src/dyn) ------------------------------------------
+  /// Epoch of the evolving instance this warm state was derived from; 0 for
+  /// static instances.  Two epochs of one tenant share every field above
+  /// when a batch only re-weights items, so the epoch id is part of the
+  /// identity: a stale-epoch snapshot must be a SnapshotMismatch, not a
+  /// silently-served answer from the past.
+  std::uint64_t epoch_id = 0;
 
   /// Field-wise equality; doubles compare by bit pattern (a fingerprint is
   /// an identity, not a measurement, so -0.0 vs 0.0 must not unify).
@@ -78,7 +85,8 @@ struct SnapshotFingerprint {
 /// *resolved* sampling parameters (not the raw config, whose auto fields
 /// could resolve differently across versions), and the fixed shard layout.
 [[nodiscard]] SnapshotFingerprint fingerprint_of(const core::LcaKp& lca,
-                                                 std::uint64_t tape_seed);
+                                                 std::uint64_t tape_seed,
+                                                 std::uint64_t epoch_id = 0);
 
 // --- error taxonomy ---------------------------------------------------------
 
@@ -111,7 +119,7 @@ class SnapshotIoError final : public SnapshotError {
 
 inline constexpr char kSnapshotMagic[8] = {'L', 'C', 'A', 'K',
                                            'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// CRC-64/XZ (the reflected form of the ECMA-182 polynomial,
 /// 0x42F0E1EBA9EA3693), the trailer checksum.  Exposed so tests can craft
@@ -124,7 +132,7 @@ inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// fingerprint encoding is shared with the certificate log header
 /// (docs/CERTIFICATES.md), which embeds the block verbatim so a certificate
 /// log and the snapshot it audits against are pinned by the same identity.
-inline constexpr std::size_t kFingerprintBytes = 112;
+inline constexpr std::size_t kFingerprintBytes = 120;
 
 /// Appends the canonical fixed-width little-endian encoding of `fp`
 /// (exactly `kFingerprintBytes` bytes) to `out`.

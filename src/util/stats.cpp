@@ -47,7 +47,7 @@ double EmpiricalCdf::quantile(double p) const noexcept {
 }
 
 EmpiricalCdfInt::EmpiricalCdfInt(std::span<const std::int64_t> data)
-    : sorted_(data.begin(), data.end()) {
+    : sorted_(data.begin(), data.end()), n_(data.size()) {
   std::sort(sorted_.begin(), sorted_.end());
 }
 
@@ -56,33 +56,62 @@ EmpiricalCdfInt::EmpiricalCdfInt(std::span<const std::int64_t> data,
   if (domain_size <= 0) {
     throw std::invalid_argument("EmpiricalCdfInt: domain_size must be positive");
   }
-  std::vector<std::size_t> counts(static_cast<std::size_t>(domain_size), 0);
+  cum_.assign(static_cast<std::size_t>(domain_size), 0);
   for (const auto v : data) {
     if (v < 0 || v >= domain_size) {
       throw std::invalid_argument("EmpiricalCdfInt: value outside [0, domain_size)");
     }
-    ++counts[static_cast<std::size_t>(v)];
+    ++cum_[static_cast<std::size_t>(v)];
   }
-  sorted_.reserve(data.size());
-  for (std::size_t value = 0; value < counts.size(); ++value) {
-    sorted_.insert(sorted_.end(), counts[value], static_cast<std::int64_t>(value));
+  for (std::size_t value = 1; value < cum_.size(); ++value) {
+    cum_[value] += cum_[value - 1];
   }
+  n_ = cum_.empty() ? 0 : cum_.back();
+}
+
+EmpiricalCdfInt::EmpiricalCdfInt(std::span<const WeightedValue> weighted,
+                                 std::int64_t domain_size) {
+  if (domain_size <= 0) {
+    throw std::invalid_argument("EmpiricalCdfInt: domain_size must be positive");
+  }
+  cum_.assign(static_cast<std::size_t>(domain_size), 0);
+  for (const auto& [value, count] : weighted) {
+    if (value < 0 || value >= domain_size) {
+      throw std::invalid_argument("EmpiricalCdfInt: value outside [0, domain_size)");
+    }
+    cum_[static_cast<std::size_t>(value)] += count;
+  }
+  for (std::size_t value = 1; value < cum_.size(); ++value) {
+    cum_[value] += cum_[value - 1];
+  }
+  n_ = cum_.empty() ? 0 : cum_.back();
 }
 
 double EmpiricalCdfInt::at(std::int64_t x) const noexcept {
-  if (sorted_.empty()) return 0.0;
+  if (n_ == 0) return 0.0;
+  if (!cum_.empty()) {
+    if (x < 0) return 0.0;
+    const auto idx = std::min(static_cast<std::size_t>(x), cum_.size() - 1);
+    return static_cast<double>(cum_[idx]) / static_cast<double>(n_);
+  }
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /
-         static_cast<double>(sorted_.size());
+         static_cast<double>(n_);
 }
 
 std::int64_t EmpiricalCdfInt::quantile(double p, std::int64_t fallback) const noexcept {
-  if (sorted_.empty()) return fallback;
+  if (n_ == 0) return fallback;
   const double clamped = std::clamp(p, 0.0, 1.0);
-  const auto n = static_cast<double>(sorted_.size());
-  auto idx = static_cast<std::size_t>(std::ceil(clamped * n));
+  auto idx = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(n_)));
   if (idx > 0) --idx;
-  idx = std::min(idx, sorted_.size() - 1);
+  idx = std::min(idx, n_ - 1);
+  if (!cum_.empty()) {
+    // The idx-th order statistic: the smallest value v with cum_[v] > idx —
+    // exactly sorted_[idx] of the expanded representation.
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), idx);
+    return static_cast<std::int64_t>(it - cum_.begin());
+  }
   return sorted_[idx];
 }
 

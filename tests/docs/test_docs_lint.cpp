@@ -12,6 +12,7 @@
 #include "cert/verifier.h"
 #include "core/lca_kp.h"
 #include "core/serving_sim.h"
+#include "dyn/epoch_state.h"
 #include "fault/chaos.h"
 #include "fault/circuit_breaker.h"
 #include "fault/plan.h"
@@ -154,6 +155,15 @@ TEST(DocsLint, EveryExportedMetricFamilyHasACatalogueRow) {
     fleet::ConsistencyChecker checker(
         {{1, "127.0.0.1", 1}, {2, "127.0.0.1", 1}}, registry);
     (void)checker.check("lint", 1);
+  }
+  {
+    // Dynamic instances (src/dyn/, docs/DYNAMIC.md): every dyn_* family
+    // registers at EpochedState construction.
+    dyn::EpochConfig dyn_config;
+    dyn_config.lca = lca_config;
+    const dyn::EpochedState epoched(
+        knapsack::make_family(knapsack::Family::kUncorrelated, 200, 5),
+        dyn_config, registry);
   }
   {
     core::ServingConfig serving;

@@ -1,0 +1,213 @@
+#include "dyn/epoch_state.h"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace lcaknap::dyn {
+namespace {
+
+constexpr std::uint64_t kTapeSeed = 23;
+
+EpochConfig test_config(bool verify_digest = false) {
+  EpochConfig config;
+  config.lca.eps = 0.25;
+  config.lca.seed = 0xE50C;
+  config.lca.large_samples = 1'500;
+  config.lca.quantile_samples = 6'144;
+  config.tape_seed = kTapeSeed;
+  config.verify_digest = verify_digest;
+  return config;
+}
+
+knapsack::Instance base_instance(std::size_t n = 800) {
+  return knapsack::make_family(knapsack::Family::kUncorrelated, n, 31);
+}
+
+UpdateBatch batch_of(std::uint64_t epoch_id) {
+  UpdateBatch batch;
+  batch.epoch_id = epoch_id;
+  return batch;
+}
+
+UpdateBatch weight_batch(std::uint64_t epoch_id,
+                         const knapsack::Instance& inst, std::size_t count,
+                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  UpdateBatch batch;
+  batch.epoch_id = epoch_id;
+  std::vector<bool> used(inst.size(), false);
+  while (batch.mutations.size() < count) {
+    const auto index = static_cast<std::size_t>(rng.next_below(inst.size()));
+    if (used[index]) continue;
+    used[index] = true;
+    const auto weight = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(inst.capacity())) + 1);
+    batch.mutations.push_back({MutationKind::kWeightUpdate, index, 0, weight});
+  }
+  return batch;
+}
+
+TEST(EpochedState, WarmsEpochZeroWithADigest) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(), test_config(), registry);
+  const auto epoch = state.current();
+  EXPECT_EQ(epoch->epoch_id, 0u);
+  EXPECT_EQ(state.current_epoch_id(), 0u);
+  ASSERT_NE(epoch->run, nullptr);
+  EXPECT_EQ(epoch->digest, core::run_digest(*epoch->run));
+  EXPECT_NE(epoch->digest, 0u);
+}
+
+TEST(EpochedState, WeightOnlyAdvanceTakesTheDeltaPath) {
+  metrics::Registry registry;
+  // verify_digest makes the advance itself prove delta == fresh (the
+  // Lemma 4.9 contract checked live) — a mismatch would throw.
+  EpochedState state(base_instance(), test_config(/*verify_digest=*/true),
+                     registry);
+  const auto base = state.current();
+  const auto report =
+      state.advance(weight_batch(1, *base->instance, 40, 1'001));
+  EXPECT_TRUE(report.delta);
+  EXPECT_EQ(report.reason, "weight-only");
+  EXPECT_EQ(report.epoch_id, 1u);
+  EXPECT_EQ(report.mutations, 40u);
+  EXPECT_EQ(state.current_epoch_id(), 1u);
+  EXPECT_EQ(state.current()->digest, report.digest);
+  EXPECT_EQ(
+      registry.counter_value("dyn_epoch_advances_total", {{"path", "delta"}}),
+      1u);
+  EXPECT_EQ(
+      registry.counter_value("dyn_epoch_advances_total", {{"path", "rewarm"}}),
+      0u);
+  EXPECT_EQ(registry.counter_value("dyn_update_mutations_total",
+                                   {{"kind", "weight"}}),
+            40u);
+}
+
+TEST(EpochedState, EveryIneligibleMutationKindFallsBackToRewarm) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(), test_config(), registry);
+
+  UpdateBatch insert = batch_of(1);
+  insert.mutations.push_back({MutationKind::kInsert, 0, 500, 3});
+  auto report = state.advance(insert);
+  EXPECT_FALSE(report.delta);
+  EXPECT_EQ(report.reason, "insert changes n and the profit vector");
+
+  UpdateBatch tombstone = batch_of(2);
+  tombstone.mutations.push_back({MutationKind::kDelete, 5, 0, 0});
+  report = state.advance(tombstone);
+  EXPECT_FALSE(report.delta);
+  EXPECT_EQ(report.reason, "delete tombstones a profit");
+
+  UpdateBatch reprice = batch_of(3);
+  reprice.mutations.push_back(
+      {MutationKind::kProfitUpdate, 6,
+       state.current()->instance->item(6).profit + 7, 0});
+  report = state.advance(reprice);
+  EXPECT_FALSE(report.delta);
+  EXPECT_EQ(report.reason, "profit update re-weights the sampling distribution");
+
+  EXPECT_EQ(
+      registry.counter_value("dyn_epoch_advances_total", {{"path", "rewarm"}}),
+      3u);
+  EXPECT_EQ(
+      registry.counter_value("dyn_epoch_advances_total", {{"path", "delta"}}),
+      0u);
+  EXPECT_EQ(registry.counter_value("dyn_update_mutations_total",
+                                   {{"kind", "insert"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value("dyn_update_mutations_total",
+                                   {{"kind", "delete"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value("dyn_update_mutations_total",
+                                   {{"kind", "profit"}}),
+            1u);
+}
+
+TEST(EpochedState, ChainedDeltasStayDigestVerified) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(), test_config(/*verify_digest=*/true),
+                     registry);
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    const auto report = state.advance(
+        weight_batch(epoch, *state.current()->instance, 25, 2'000 + epoch));
+    EXPECT_TRUE(report.delta) << "epoch " << epoch << ": " << report.reason;
+  }
+  EXPECT_EQ(state.current_epoch_id(), 3u);
+  EXPECT_EQ(
+      registry.counter_value("dyn_epoch_advances_total", {{"path", "delta"}}),
+      3u);
+}
+
+TEST(EpochedState, DeltaChainsOffTheReRecordedTraceAfterARewarm) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(), test_config(/*verify_digest=*/true),
+                     registry);
+  // A rewarm re-records the trace over the mutated instance...
+  UpdateBatch insert = batch_of(1);
+  insert.mutations.push_back({MutationKind::kInsert, 0, 400, 2});
+  EXPECT_FALSE(state.advance(insert).delta);
+  // ...so the next weight-only batch replays against the *new* base and the
+  // verify_digest gate proves the replay sound.
+  const auto report = state.advance(
+      weight_batch(2, *state.current()->instance, 30, 3'000));
+  EXPECT_TRUE(report.delta) << report.reason;
+  EXPECT_EQ(state.current_epoch_id(), 2u);
+}
+
+TEST(EpochedState, EmptyBatchAdvancesByReplayWithoutChangingTheRun) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(500), test_config(), registry);
+  const auto digest0 = state.current()->digest;
+  const auto report = state.advance(batch_of(1));
+  EXPECT_TRUE(report.delta);
+  EXPECT_EQ(report.reason, "empty-batch");
+  EXPECT_EQ(report.digest, digest0);
+}
+
+TEST(EpochedState, RejectsNonMonotoneEpochIds) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(500), test_config(), registry);
+  (void)state.advance(weight_batch(2, *state.current()->instance, 5, 4'000));
+  EXPECT_THROW((void)state.advance(batch_of(2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)state.advance(batch_of(0)),
+               std::invalid_argument);
+  // Gaps are fine: ids must be strictly increasing, not dense.
+  EXPECT_NO_THROW((void)state.advance(batch_of(10)));
+  EXPECT_EQ(state.current_epoch_id(), 10u);
+}
+
+TEST(EpochedState, HeldEpochSurvivesTheAdvance) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(500), test_config(), registry);
+  const auto epoch0 = state.current();
+  (void)state.advance(weight_batch(1, *epoch0->instance, 10, 5'000));
+  // A reader that captured epoch 0 keeps a fully usable bundle: the
+  // instance, the LCA, and the run all stay alive and answerable — this is
+  // what lets in-flight requests legally complete under the old epoch.
+  EXPECT_EQ(epoch0->epoch_id, 0u);
+  core::LcaKp::AnswerWitness witness;
+  (void)epoch0->lca->answer_with_witness(*epoch0->run, 3, witness);
+  EXPECT_EQ(witness.profit, epoch0->instance->item(3).profit);
+  EXPECT_NE(state.current(), epoch0);
+}
+
+TEST(EpochedState, InvalidBatchLeavesTheCurrentEpochUntouched) {
+  metrics::Registry registry;
+  EpochedState state(base_instance(500), test_config(), registry);
+  UpdateBatch bad = batch_of(1);
+  bad.mutations.push_back({MutationKind::kDelete, 9'999, 0, 0});
+  EXPECT_THROW((void)state.advance(bad), std::invalid_argument);
+  EXPECT_EQ(state.current_epoch_id(), 0u);
+  // The failed advance still permits a later, valid one.
+  EXPECT_NO_THROW(
+      (void)state.advance(weight_batch(1, *state.current()->instance, 5, 6'000)));
+}
+
+}  // namespace
+}  // namespace lcaknap::dyn

@@ -122,6 +122,8 @@ TEST(Cli, HelpListsEveryCommandAndFlag) {
       "--listen", "--tenants", "--max-conns", "--conn-inflight",
       "--tenant-inflight", "--store-capacity", "--chaos-tenant",
       "--allow-shutdown", "--replica-id",
+      // dynamic instances
+      "--updates", "--update-interval-ms", "--verify-epochs",
       // global
       "--metrics",
   };
@@ -407,6 +409,51 @@ TEST(Cli, ServeEngineRestoresFromSnapshotDir) {
                          output.find_first_not_of("0123456789", start) - start);
   };
   EXPECT_EQ(digest_of(cold.output), digest_of(restart.output));
+}
+
+TEST(Cli, ServeEngineReplaysAnEpochLog) {
+  const std::string path = temp_instance();
+  const std::string log = ::testing::TempDir() + "cli_updates.log";
+  ASSERT_EQ(run("generate --family uncorrelated --n 2000 --seed 8 --out " +
+                path).exit_code, 0);
+  {
+    // Hand-authored log using the documented `seal auto` escape hatch: one
+    // delta-eligible weight-only batch, one insert that must fall back.
+    std::ofstream out(log);
+    out << "# two epochs of churn\n"
+        << "epoch 1\n"
+        << "weight 3 5\n"
+        << "weight 40 2\n"
+        << "seal auto\n"
+        << "epoch 2\n"
+        << "insert 17 4\n"
+        << "seal auto\n";
+  }
+
+  const auto replay = run("serve-engine --in " + path +
+                          " --eps 0.25 --queries 2000 --workers 2"
+                          " --verify-epochs --updates " + log);
+  ASSERT_EQ(replay.exit_code, 0) << replay.output;
+  // One delta advance, one re-warm, and the engine ends on epoch 2.
+  EXPECT_NE(replay.output.find("2 (1 / 1)"), std::string::npos)
+      << replay.output;
+  EXPECT_NE(replay.output.find("ok answers by served epoch"),
+            std::string::npos);
+  const auto final_epoch = replay.output.find("final epoch");
+  ASSERT_NE(final_epoch, std::string::npos);
+  EXPECT_NE(replay.output.find("2", final_epoch), std::string::npos);
+
+  // A corrupted seal is a typed parse failure with a pinned location
+  // (EpochLogParseError is an invalid_argument, so it exits 1 like every
+  // other malformed-input error), never a served run.
+  {
+    std::ofstream out(log);
+    out << "epoch 1\nweight 3 5\nseal 0000000000000000\n";
+  }
+  const auto bad = run("serve-engine --in " + path + " --updates " + log);
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("epoch log:"), std::string::npos) << bad.output;
+  std::remove(log.c_str());
 }
 
 }  // namespace

@@ -152,5 +152,30 @@ TEST_F(LoadgenTraceTest, ReplayUsageErrors) {
   std::remove(empty_path.c_str());
 }
 
+TEST_F(LoadgenTraceTest, DiurnalShapeModulatesTheOpenLoopAndConserves) {
+  // The diurnal shape is an offered-rate modulation, so it only exists in
+  // open-loop mode; accounting must conserve exactly as with --shape flat.
+  const auto run = run_loadgen(port_arg() +
+                               " --mode open --shape diurnal --period-ms 200"
+                               " --qps 2000 --duration-ms 600 --connections 2"
+                               " --items-max 500 --seed 11 --json");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"shape\":\"diurnal\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"conserved\":true"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"ok_by_epoch\""), std::string::npos)
+      << run.output;
+  // Static instance: every answer attributes epoch 0.
+  EXPECT_NE(run.output.find("\"ok_by_epoch\":{\"0\":"), std::string::npos)
+      << run.output;
+
+  // The shape flag is rejected outside open-loop mode: closed loops have no
+  // offered rate to modulate.
+  const auto closed = run_loadgen(port_arg() +
+                                  " --queries 10 --shape diurnal --json");
+  EXPECT_NE(closed.exit_code, 0);
+}
+
 }  // namespace
 }  // namespace lcaknap

@@ -313,5 +313,133 @@ TEST(AnswerCache, ConcurrentBatchAndSingleTrafficConserves) {
   }
 }
 
+// --- generations (epoch-scoped invalidation; ISSUE 10) ---------------------
+
+TEST(AnswerCacheGeneration, BumpIsMonotoneAndCounted) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 16;
+  AnswerCache cache(config, registry);
+  EXPECT_EQ(cache.generation(), 0u);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  EXPECT_TRUE(cache.bump_generation(3));
+  EXPECT_EQ(cache.generation(), 3u);
+  // Equal or lower targets are ignored — the generation never moves back.
+  EXPECT_FALSE(cache.bump_generation(3));
+  EXPECT_FALSE(cache.bump_generation(1));
+  EXPECT_EQ(cache.generation(), 3u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(registry.counter_value("serve_cache_invalidations_total"), 1u);
+}
+
+TEST(AnswerCacheGeneration, StaleEntryDropsAsAMissNeverAStaleAnswer) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 16;
+  AnswerCache cache(config, registry);
+  cache.put(7, true);
+  ASSERT_TRUE(cache.get(7).has_value());
+
+  EXPECT_TRUE(cache.bump_generation(1));
+  // The epoch-0 answer must never surface after the advance: the lookup
+  // reports a miss and erases the entry.
+  EXPECT_FALSE(cache.get(7).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(AnswerCacheGeneration, InvalidationIsLazyEntriesDieOnLookup) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 64;
+  AnswerCache cache(config, registry);
+  for (std::size_t item = 0; item < 32; ++item) cache.put(item, true);
+  ASSERT_EQ(cache.size(), 32u);
+
+  // O(1) advance: no shard is scanned, the stale entries are still resident…
+  EXPECT_TRUE(cache.bump_generation(1));
+  EXPECT_EQ(cache.size(), 32u);
+  // …and every subsequent lookup misses and reaps its entry.
+  for (std::size_t item = 0; item < 32; ++item) {
+    EXPECT_FALSE(cache.get(item).has_value());
+  }
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnswerCacheGeneration, StaleGenerationPutIsDropped) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 16;
+  AnswerCache cache(config, registry);
+  EXPECT_TRUE(cache.bump_generation(2));
+  // A worker still finishing epoch-1 work after the advance must not poison
+  // the epoch-2 cache.
+  cache.put(9, AnswerCache::Entry{.answer = true, .generation = 1});
+  EXPECT_FALSE(cache.get(9).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A current-generation put lands and reports its generation on the hit.
+  cache.put(9, AnswerCache::Entry{.answer = true, .generation = 2});
+  const auto hit = cache.get(9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->generation, 2u);
+}
+
+TEST(AnswerCacheGeneration, ConveniencePutStampsTheCurrentGeneration) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 16;
+  AnswerCache cache(config, registry);
+  EXPECT_TRUE(cache.bump_generation(5));
+  cache.put(3, true);
+  const auto hit = cache.get(3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->generation, 5u);
+}
+
+TEST(AnswerCacheGeneration, ClearInvalidatesEverythingViaOneBump) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 16;
+  AnswerCache cache(config, registry);
+  cache.put(1, true);
+  cache.put(2, false);
+  cache.clear();
+  EXPECT_EQ(cache.generation(), 1u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(registry.counter_value("serve_cache_invalidations_total"), 1u);
+}
+
+TEST(AnswerCacheGeneration, BatchPathHonoursGenerations) {
+  metrics::Registry registry;
+  AnswerCacheConfig config;
+  config.capacity = 64;
+  AnswerCache cache(config, registry);
+  const std::vector<std::size_t> keys = {1, 2, 3};
+  std::vector<AnswerCache::PutItem> puts;
+  for (const auto key : keys) {
+    puts.push_back({key, AnswerCache::Entry{.answer = true,
+                                            .generation = cache.generation()}});
+  }
+  cache.put_batch(puts);
+  EXPECT_TRUE(cache.bump_generation(1));
+
+  // get_batch must drop every stale entry, exactly like per-item gets.
+  std::vector<std::optional<AnswerCache::Hit>> hits;
+  cache.get_batch(keys, hits);
+  for (const auto& hit : hits) EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // …and put_batch must drop stale-generation inserts.
+  cache.put_batch(puts);  // still stamped generation 0
+  cache.get_batch(keys, hits);
+  for (const auto& hit : hits) EXPECT_FALSE(hit.has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace lcaknap::serve

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cert/verifier.h"
+#include "dyn/epoch_state.h"
+#include "knapsack/generators.h"
+#include "metrics/metrics.h"
+#include "serve/engine.h"
+#include "store/snapshot.h"
+#include "util/rng.h"
+
+/// Engine-level epoch tests (ISSUE 10): an `advance_epoch` concurrent with
+/// traffic must be linearizable per request — every answer is derived
+/// entirely under one epoch, attributes that epoch, and is consistent with
+/// it.  The dyn::EpochedState feeding the advances is exercised exactly the
+/// way `lcaknap serve` wires it.
+
+namespace lcaknap::serve {
+namespace {
+
+constexpr std::uint64_t kTapeSeed = 29;
+
+dyn::EpochConfig epoch_config() {
+  dyn::EpochConfig config;
+  config.lca.eps = 0.25;
+  config.lca.seed = 0xEE0C;
+  config.lca.large_samples = 1'500;
+  config.lca.quantile_samples = 6'144;
+  config.tape_seed = kTapeSeed;
+  return config;
+}
+
+knapsack::Instance base_instance(std::size_t n = 600) {
+  return knapsack::make_family(knapsack::Family::kUncorrelated, n, 53);
+}
+
+dyn::UpdateBatch weight_batch(std::uint64_t epoch_id,
+                              const knapsack::Instance& inst,
+                              std::size_t count, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  dyn::UpdateBatch batch;
+  batch.epoch_id = epoch_id;
+  std::vector<bool> used(inst.size(), false);
+  while (batch.mutations.size() < count) {
+    const auto index = static_cast<std::size_t>(rng.next_below(inst.size()));
+    if (used[index]) continue;
+    used[index] = true;
+    const auto weight = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(inst.capacity())) + 1);
+    batch.mutations.push_back(
+        {dyn::MutationKind::kWeightUpdate, index, 0, weight});
+  }
+  return batch;
+}
+
+EngineConfig engine_config_over(
+    const std::shared_ptr<const dyn::EpochedState::Epoch>& epoch) {
+  EngineConfig config;
+  config.workers = 2;
+  config.cache.capacity = 256;
+  config.warmup_tape_seed = kTapeSeed;
+  config.warm_state = epoch->run;
+  return config;
+}
+
+TEST(ServeEngineEpoch, AdvanceSwitchesTheServedEpochAndBumpsTheCache) {
+  metrics::Registry registry;
+  dyn::EpochedState state(base_instance(), epoch_config(), registry);
+  const auto epoch0 = state.current();
+  ServeEngine engine(*epoch0->lca, engine_config_over(epoch0), registry);
+
+  const auto before = engine.submit_wait(7);
+  EXPECT_EQ(before.outcome, Outcome::kOk);
+  EXPECT_EQ(before.epoch_id, 0u);
+  EXPECT_EQ(engine.epoch(), 0u);
+
+  (void)state.advance(weight_batch(1, *epoch0->instance, 20, 101));
+  const auto epoch1 = state.current();
+  engine.advance_epoch(1, *epoch1->lca, epoch1->run, epoch1);
+
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.cache().generation(), 1u);
+  EXPECT_EQ(engine.stats().cache_invalidations, 1u);
+  EXPECT_EQ(registry.counter_value("serve_cache_invalidations_total"), 1u);
+
+  // The pre-advance cached answer for item 7 must not be served: the lookup
+  // drops the stale entry, re-evaluates under epoch 1, and attributes it.
+  const auto after = engine.submit_wait(7);
+  EXPECT_EQ(after.outcome, Outcome::kOk);
+  EXPECT_EQ(after.epoch_id, 1u);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.answer, [&] {
+    core::LcaKp::AnswerWitness witness;
+    return epoch1->lca->answer_with_witness(*epoch1->run, 7, witness);
+  }());
+  // A repeat is now a hit, still stamped with the current epoch.
+  const auto repeat = engine.submit_wait(7);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.epoch_id, 1u);
+}
+
+TEST(ServeEngineEpoch, AdvanceRejectsNonMonotoneEpochsAndNullRuns) {
+  metrics::Registry registry;
+  dyn::EpochedState state(base_instance(300), epoch_config(), registry);
+  const auto epoch0 = state.current();
+  ServeEngine engine(*epoch0->lca, engine_config_over(epoch0), registry);
+  EXPECT_THROW(engine.advance_epoch(0, *epoch0->lca, epoch0->run, epoch0),
+               std::invalid_argument);
+  EXPECT_THROW(engine.advance_epoch(1, *epoch0->lca, nullptr, epoch0),
+               std::invalid_argument);
+  EXPECT_EQ(engine.epoch(), 0u);
+}
+
+/// The churn-under-load contract: requests in flight across an advance may
+/// legally complete under either epoch, but every kOk answer must be
+/// consistent with the epoch it attributes — zero stale-epoch answers.
+TEST(ServeEngineEpoch, MixedEpochTrafficIsConsistentWithTheAttributedEpoch) {
+  metrics::Registry registry;
+  dyn::EpochedState state(base_instance(), epoch_config(), registry);
+  std::map<std::uint64_t, std::shared_ptr<const dyn::EpochedState::Epoch>>
+      epochs;
+  epochs[0] = state.current();
+
+  EngineConfig config = engine_config_over(epochs[0]);
+  config.workers = 4;
+  ServeEngine engine(*epochs[0]->lca, config, registry);
+
+  util::Xoshiro256 rng(404);
+  std::vector<std::future<Response>> futures;
+  const auto submit_some = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(engine.submit(
+          static_cast<std::size_t>(rng.next_below(epochs[0]->instance->size()))));
+    }
+  };
+
+  // Interleave bursts with two advances; the in-flight window around each
+  // advance is exactly the mixed-epoch traffic under test.
+  submit_some(300);
+  for (std::uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    (void)state.advance(
+        weight_batch(epoch, *state.current()->instance, 15, 500 + epoch));
+    const auto next = state.current();
+    epochs[epoch] = next;
+    engine.advance_epoch(epoch, *next->lca, next->run, next);
+    submit_some(300);
+  }
+  // Requests submitted after the last advance returned can only see epoch 2.
+  const auto settled = engine.submit_wait(3);
+  EXPECT_EQ(settled.epoch_id, 2u);
+
+  std::size_t ok = 0;
+  std::size_t stale = 0;
+  std::size_t item_cursor = 0;
+  std::vector<std::size_t> items;
+  {
+    // Reconstruct the submitted item sequence from the same tape.
+    util::Xoshiro256 replay(404);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      items.push_back(static_cast<std::size_t>(
+          replay.next_below(epochs[0]->instance->size())));
+    }
+  }
+  for (auto& future : futures) {
+    const Response response = future.get();
+    const std::size_t item = items[item_cursor++];
+    if (response.outcome != Outcome::kOk) continue;
+    ++ok;
+    ASSERT_LE(response.epoch_id, 2u);
+    const auto& epoch = epochs.at(response.epoch_id);
+    core::LcaKp::AnswerWitness witness;
+    if (epoch->lca->answer_with_witness(*epoch->run, item, witness) !=
+        response.answer) {
+      ++stale;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(stale, 0u) << "answers inconsistent with their attributed epoch";
+  engine.drain();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.cache_invalidations, 2u);
+  EXPECT_EQ(stats.submitted,
+            stats.ok + stats.overloaded + stats.deadline_exceeded +
+                stats.degraded + stats.errors);
+}
+
+TEST(ServeEngineEpoch, EachEpochWritesItsOwnVerifiableCertificateLog) {
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   ("lcaknap_engine_epoch_" +
+                    std::to_string(
+                        ::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::remove_all(tmp);
+  std::filesystem::create_directories(tmp);
+
+  metrics::Registry registry;
+  dyn::EpochedState state(base_instance(), epoch_config(), registry);
+  const auto epoch0 = state.current();
+  std::shared_ptr<const dyn::EpochedState::Epoch> epoch1;
+  {
+    EngineConfig config = engine_config_over(epoch0);
+    config.certify = true;
+    config.cert_dir = tmp.string();
+    ServeEngine engine(*epoch0->lca, config, registry);
+    for (std::size_t item = 0; item < 20; ++item) {
+      (void)engine.submit_wait(item);
+    }
+    (void)state.advance(weight_batch(1, *epoch0->instance, 10, 909));
+    epoch1 = state.current();
+    engine.advance_epoch(1, *epoch1->lca, epoch1->run, epoch1);
+    for (std::size_t item = 0; item < 20; ++item) {
+      (void)engine.submit_wait(item);
+    }
+    engine.drain();  // seals every epoch's log
+    EXPECT_GT(engine.stats().cert_records, 0u);
+  }
+
+  // Epoch 0's records live in cert_dir itself, epoch 1's under epoch-1/;
+  // each log verifies only against its own epoch's fingerprint + run.
+  {
+    const cert::LogVerifier verifier(
+        store::fingerprint_of(*epoch0->lca, kTapeSeed, 0), *epoch0->run, {},
+        registry);
+    const auto report = verifier.verify_path(tmp.string());
+    EXPECT_EQ(report.records, 20u);
+    EXPECT_EQ(report.rejected, 0u);
+  }
+  {
+    ASSERT_TRUE(std::filesystem::is_directory(tmp / "epoch-1"));
+    const cert::LogVerifier verifier(
+        store::fingerprint_of(*epoch1->lca, kTapeSeed, 1), *epoch1->run, {},
+        registry);
+    const auto report = verifier.verify_path((tmp / "epoch-1").string());
+    EXPECT_EQ(report.records, 20u);
+    EXPECT_EQ(report.rejected, 0u);
+  }
+  std::filesystem::remove_all(tmp);
+}
+
+}  // namespace
+}  // namespace lcaknap::serve

@@ -59,6 +59,7 @@
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -69,11 +70,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cert/cert_log.h"
 #include "cert/verifier.h"
 #include "core/consistency.h"
+#include "dyn/epoch_state.h"
+#include "dyn/update.h"
 #include "core/lca_kp.h"
 #include "core/mapping_greedy.h"
 #include "core/serving_sim.h"
@@ -119,7 +123,8 @@ class Args {
         continue;
       }
       if (key == "all" || key == "breaker" || key == "degrade" ||
-          key == "certify" || key == "allow-shutdown") {
+          key == "certify" || key == "allow-shutdown" ||
+          key == "verify-epochs") {
         values_[key] = "true";
         continue;
       }
@@ -340,6 +345,61 @@ int cmd_serve_listen(const Args& args) {
     if (stack->chaos) stack->chaos->arm();
   }
 
+  // Live updates (docs/DYNAMIC.md): an applier thread walks the epoch log,
+  // one batch per --update-interval-ms tick, advancing the tenant's
+  // EpochedState and its engine while the server keeps answering.  Requests
+  // in flight across an advance legally finish under the old epoch; the
+  // response frame's epoch_id says which epoch actually answered.
+  std::unique_ptr<dyn::EpochedState> dyn_state;
+  std::vector<dyn::UpdateBatch> update_log;
+  std::atomic<bool> applier_stop{false};
+  std::thread applier;
+  if (const auto updates = args.get("updates")) {
+    if (specs.size() != 1) {
+      throw std::invalid_argument("--updates requires exactly one tenant");
+    }
+    if (chaos_tenant) {
+      throw std::invalid_argument("--updates does not combine with "
+                                  "--chaos-tenant");
+    }
+    update_log = dyn::load_epoch_log(*updates);
+    dyn::EpochConfig dyn_config;
+    dyn_config.lca = lca_config;
+    dyn_config.tape_seed = tape_seed;
+    dyn_config.warmup_threads = engine_config.warmup_threads;
+    dyn_state = std::make_unique<dyn::EpochedState>(
+        stacks[0]->inst, dyn_config, registry);
+    const auto interval =
+        std::chrono::milliseconds(args.get_u64("update-interval-ms", 1'000));
+    const std::string tenant_id = specs[0].first;
+    applier = std::thread([&router, &dyn_state, &update_log, &applier_stop,
+                           tenant_id, interval] {
+      for (const auto& batch : update_log) {
+        // Sleep in small slices so shutdown is not held up by a long tick.
+        const auto wake = std::chrono::steady_clock::now() + interval;
+        while (std::chrono::steady_clock::now() < wake) {
+          if (applier_stop.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        serve::ServeEngine* engine = router.engine_mut(tenant_id);
+        if (engine == nullptr) return;  // tenant failed; nothing to advance
+        try {
+          const auto report = dyn_state->advance(batch);
+          const auto epoch = dyn_state->current();
+          engine->advance_epoch(epoch->epoch_id, *epoch->lca, epoch->run,
+                                epoch);
+          std::cout << "epoch " << report.epoch_id << " installed ("
+                    << (report.delta ? "delta" : "rewarm") << ", "
+                    << report.mutations << " mutations, reason: "
+                    << report.reason << ")" << std::endl;
+        } catch (const std::exception& e) {
+          std::cerr << "update apply failed: " << e.what() << "\n";
+          return;  // leave the last good epoch serving
+        }
+      }
+    });
+  }
+
   net::ServerConfig server_config;
   server_config.port =
       static_cast<std::uint16_t>(args.get_u64("listen", 0));
@@ -359,6 +419,8 @@ int cmd_serve_listen(const Args& args) {
 
   server.wait_shutdown();
   server.stop();
+  applier_stop.store(true, std::memory_order_relaxed);
+  if (applier.joinable()) applier.join();
   router.drain();
 
   const auto stats = server.stats();
@@ -372,6 +434,10 @@ int cmd_serve_listen(const Args& args) {
       warm += id;
     }
     table.row().cell("warm tenants").cell(warm.empty() ? "(none)" : warm);
+  }
+  if (dyn_state != nullptr) {
+    table.row().cell("updates applied (final epoch)")
+        .cell(dyn_state->current_epoch_id());
   }
   table.row().cell("connections accepted / shed at capacity")
       .cell(std::to_string(stats.accepted) + " / " +
@@ -582,7 +648,150 @@ core::WorkloadConfig::Shape parse_shape(const std::string& name) {
                               " (try: uniform, zipf, hotspot)");
 }
 
+/// `serve-engine --updates FILE`: replay the workload through a *dynamic*
+/// instance (docs/DYNAMIC.md).  The epoch log's batches are applied at
+/// deterministic points — the trace is split into `batches + 1` contiguous
+/// segments, each segment fully completes before the next advance — so two
+/// runs of the same flags produce the same per-epoch accounting.  Every
+/// advance goes through `dyn::EpochedState` (delta warm-up where provably
+/// sound, full re-warm-up otherwise) and `ServeEngine::advance_epoch`
+/// (cache generation bump, fresh BatchEval).  Exit 2 if any response
+/// arrives attributed to an epoch that was never installed.
+int cmd_serve_engine_updates(const Args& args) {
+  for (const char* conflict : {"chaos-plan", "snapshot-dir", "certify"}) {
+    if (args.get(conflict)) {
+      throw std::invalid_argument(std::string("--updates does not combine "
+                                              "with --") +
+                                  conflict);
+    }
+  }
+  auto inst = load_instance(args.require("in"));
+  const auto log = dyn::load_epoch_log(args.require("updates"));
+  if (log.empty()) throw std::invalid_argument("epoch log has no batches");
+
+  dyn::EpochConfig dyn_config;
+  dyn_config.lca.eps = args.get_double("eps", 0.1);
+  dyn_config.lca.seed = args.get_u64("seed", 0xC0DE);
+  dyn_config.tape_seed = args.get_u64("tape", 7);
+  dyn_config.warmup_threads =
+      static_cast<std::size_t>(args.get_u64("warmup-threads", 1));
+  dyn_config.verify_digest = args.get("verify-epochs").has_value();
+  dyn::EpochedState state(std::move(inst), dyn_config,
+                          metrics::global_registry());
+  const auto epoch0 = state.current();
+
+  core::WorkloadConfig workload;
+  workload.shape = parse_shape(args.get("shape").value_or("hotspot"));
+  workload.queries = static_cast<std::size_t>(args.get_u64("queries", 100'000));
+  workload.zipf_s = args.get_double("zipf-s", 1.1);
+  workload.hotspot_fraction = args.get_double("hot-frac", 0.9);
+  workload.hotspot_items = static_cast<std::size_t>(args.get_u64("hot-items", 16));
+  workload.seed = args.get_u64("workload-seed", 1);
+  // Draw indices from the base size: deletes tombstone in place (indices
+  // stay valid) and inserts only append, so the trace is always in range.
+  const auto trace = core::generate_workload(epoch0->instance->size(), workload);
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = static_cast<std::size_t>(args.get_u64("workers", 4));
+  engine_config.queue_capacity =
+      static_cast<std::size_t>(args.get_u64("queue-cap", 8'192));
+  engine_config.batcher.max_batch_size =
+      static_cast<std::size_t>(args.get_u64("batch-max", 64));
+  engine_config.batcher.max_linger =
+      std::chrono::microseconds(args.get_u64("linger-us", 200));
+  engine_config.cache.capacity =
+      static_cast<std::size_t>(args.get_u64("cache-cap", 1 << 16));
+  engine_config.cache.shards =
+      static_cast<std::size_t>(args.get_u64("cache-shards", 8));
+  engine_config.cache.paranoia_every = args.get_u64("paranoia-every", 64);
+  engine_config.warmup_tape_seed = dyn_config.tape_seed;
+  engine_config.warm_state = epoch0->run;  // already warmed (and traced)
+  serve::ServeEngine engine(*epoch0->lca, engine_config);
+
+  // Segment boundaries: batch k applies after segment k completes.
+  const std::size_t segments = log.size() + 1;
+  const std::size_t per_segment =
+      std::max<std::size_t>(1, trace.size() / segments);
+  std::map<std::uint64_t, std::uint64_t> served_by_epoch;
+  std::size_t delta_advances = 0;
+  std::size_t rewarm_advances = 0;
+  std::size_t applied = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t at = 0;
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    const std::size_t end =
+        seg + 1 == segments ? trace.size()
+                            : std::min(trace.size(), at + per_segment);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(end - at);
+    for (; at < end; ++at) futures.push_back(engine.submit(trace[at]));
+    for (auto& future : futures) {
+      const auto response = future.get();
+      if (response.outcome == serve::Outcome::kOk) {
+        ++served_by_epoch[response.epoch_id];
+      }
+    }
+    if (seg + 1 < segments) {
+      const auto report = state.advance(log[seg]);
+      const auto epoch = state.current();
+      engine.advance_epoch(epoch->epoch_id, *epoch->lca, epoch->run, epoch);
+      (report.delta ? delta_advances : rewarm_advances) += 1;
+      ++applied;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  engine.drain();
+
+  const auto stats = engine.stats();
+  util::Table table({"metric", "value"});
+  table.row().cell("requests").cell(stats.submitted);
+  table.row().cell("ok / overloaded / deadline / degraded / error")
+      .cell(std::to_string(stats.ok) + " / " + std::to_string(stats.overloaded) +
+            " / " + std::to_string(stats.deadline_exceeded) + " / " +
+            std::to_string(stats.degraded) + " / " +
+            std::to_string(stats.errors));
+  table.row().cell("epochs applied (delta / rewarm)")
+      .cell(std::to_string(applied) + " (" + std::to_string(delta_advances) +
+            " / " + std::to_string(rewarm_advances) + ")");
+  {
+    std::string by_epoch;
+    for (const auto& [epoch_id, count] : served_by_epoch) {
+      if (!by_epoch.empty()) by_epoch += ", ";
+      by_epoch += "e" + std::to_string(epoch_id) + "=" + std::to_string(count);
+    }
+    table.row().cell("ok answers by served epoch").cell(
+        by_epoch.empty() ? "(none)" : by_epoch);
+  }
+  table.row().cell("cache invalidations").cell(stats.cache_invalidations);
+  table.row().cell("throughput (requests/s)").cell(
+      elapsed_s > 0 ? static_cast<double>(stats.submitted) / elapsed_s : 0.0,
+      0);
+  table.row().cell("final epoch").cell(stats.epoch);
+  table.row().cell("final warm-state digest").cell(
+      std::to_string(core::run_digest(*state.current()->run)));
+  table.print(std::cout, "serve-engine --updates (" +
+                             std::to_string(log.size()) + " batches)");
+  // Every served epoch must be one that was actually installed: 0..final.
+  for (const auto& [epoch_id, count] : served_by_epoch) {
+    if (epoch_id > stats.epoch) {
+      std::cerr << "EPOCH ATTRIBUTION VIOLATION: " << count
+                << " answers claim epoch " << epoch_id
+                << " > final epoch " << stats.epoch << "\n";
+      return 2;
+    }
+  }
+  if (stats.paranoia_violations > 0) {
+    std::cerr << "CONSISTENCY VIOLATION: cached answers disagreed with "
+                 "re-evaluation\n";
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_serve_engine(const Args& args) {
+  if (args.get("updates")) return cmd_serve_engine_updates(args);
   const auto inst = load_instance(args.require("in"));
   core::LcaKpConfig lca_config;
   lca_config.eps = args.get_double("eps", 0.1);
@@ -827,6 +1036,7 @@ void usage() {
       "           [--store-capacity N] [--snapshot-dir DIR] [--degrade]\n"
       "           [--chaos-tenant ID --chaos-plan SPEC] [--chaos-seed S]\n"
       "           [--allow-shutdown] [--replica-id N]\n"
+      "           [--updates FILE] [--update-interval-ms M]\n"
       "  eval     --in FILE [--eps E] [--seed S] [--replicas K] [--queries Q]\n"
       "  snapshot <save|load|verify> --in FILE --snap PATH [--eps E] [--seed S]\n"
       "           [--tape T] [--warmup-threads K]\n"
@@ -840,6 +1050,7 @@ void usage() {
       "           [--breaker] [--degrade] [--warmup-threads K]\n"
       "           [--snapshot-dir DIR] [--instance-id ID]\n"
       "           [--certify --cert-dir DIR]\n"
+      "           [--updates FILE] [--verify-epochs]\n"
       "  verify-log --log FILE|DIR --snap PATH [--sample K]\n"
       "--warmup-threads parallelizes the one-time warm-up run without\n"
       "changing any served answer (deterministic sharded sampling).\n"
@@ -869,6 +1080,15 @@ void usage() {
       "fleet client or the consistency checker can attribute answers\n"
       "(docs/FLEET.md).  Drive it with tools/lcaknap_loadgen, or run a whole\n"
       "replica fleet with tools/lcaknap_fleet.\n"
+      "--updates FILE applies a CRC-sealed epoch log of instance mutations\n"
+      "(insert/delete/profit/weight batches; docs/DYNAMIC.md) while serving:\n"
+      "serve-engine splits the replay into one segment per batch and\n"
+      "advances deterministically between segments (--verify-epochs also\n"
+      "proves every delta warm-up digest-equal to a fresh one, exit 2 on\n"
+      "mismatch); serve --listen applies one batch every\n"
+      "--update-interval-ms on a live applier thread.  Each advance takes\n"
+      "the delta warm-up when provably sound and the full re-warm-up\n"
+      "otherwise; answers carry the epoch that served them.\n"
       "--metrics dumps the metric registry to stdout at exit (Prometheus\n"
       "text exposition or JSON lines); see docs/OBSERVABILITY.md.\n";
 }

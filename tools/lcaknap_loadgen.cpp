@@ -5,8 +5,16 @@
 //                    --targets host:port,host:port)
 //     [--tenant default] [--mode closed|open] [--connections C] [--window W]
 //     [--queries N] [--duration-ms D] [--qps R]
+//     [--shape flat|diurnal] [--period-ms P]
 //     [--items-max M] [--seed S] [--deadline-us D] [--json]
 //     [--trace-record FILE] [--trace-replay FILE]
+//
+// Shape (open loop only): `--shape diurnal` modulates the offered rate
+// sinusoidally around --qps — rate(t) = qps * (1 + 0.8 sin(2πt/P)) with
+// period `--period-ms` (default 1000) — a compressed day/night cycle for
+// exercising epoch advances (`serve --updates`) under load that ebbs and
+// surges instead of a flat firehose.  Conservation is unchanged: every
+// sent frame is still drained, whatever the shape.
 //
 // Trace record/replay (util/request_trace.h, "lcaknap-trace 1" format):
 // `--trace-record FILE` writes every sent frame — timestamp relative to run
@@ -45,6 +53,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <map>
@@ -110,6 +119,10 @@ struct ConnResult {
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   std::array<std::uint64_t, 8> by_status{};
+  /// Ok answers by the epoch that served them (ResponseFrame::epoch_id) —
+  /// the churn-mode view: across a `serve --updates` advance this splits
+  /// between consecutive epochs, and the split must account for every ok.
+  std::map<std::uint64_t, std::uint64_t> ok_by_epoch;
   std::vector<double> latencies_us;
   std::vector<util::TraceRecord> trace;  ///< sent frames (--trace-record)
   std::string error;  ///< first socket failure, if any
@@ -128,6 +141,9 @@ struct RunConfig {
   std::uint64_t items_max = 1'000;
   std::uint64_t seed = 1;
   std::uint64_t deadline_us = 0;
+  /// Open-loop rate shape: sinusoidal day/night cycle instead of flat qps.
+  bool diurnal = false;
+  std::uint64_t period_ms = 1'000;  ///< diurnal cycle length
   /// Record every sent frame into ConnResult::trace (--trace-record).
   bool record_trace = false;
   /// Timestamp origin for recorded frames (the run's start).
@@ -141,6 +157,9 @@ void record(ConnResult& result, const net::ResponseFrame& response,
   result.received += 1;
   const auto s = static_cast<std::size_t>(response.status);
   if (s < result.by_status.size()) result.by_status[s] += 1;
+  if (response.status == net::WireStatus::kOk) {
+    result.ok_by_epoch[response.epoch_id] += 1;
+  }
   result.latencies_us.push_back(latency_us);
 }
 
@@ -282,15 +301,29 @@ void run_open(const RunConfig& config, double conn_qps, std::uint64_t quota,
     const auto end = start + std::chrono::milliseconds(
                                  config.duration_ms > 0 ? config.duration_ms
                                                         : 1'000);
-    const auto gap = std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(conn_qps > 0 ? 1.0 / conn_qps : 0.0));
+    // Instantaneous offered rate at elapsed time t.  Flat shape: conn_qps.
+    // Diurnal shape: conn_qps * (1 + 0.8 sin(2πt/period)) — oscillates
+    // between 0.2x and 1.8x around the same mean, floored away from zero so
+    // the night trough still makes forward progress.
+    const auto rate_at = [&](Clock::time_point now) {
+      if (!config.diurnal) return conn_qps;
+      const double t_s = std::chrono::duration<double>(now - start).count();
+      const double period_s =
+          static_cast<double>(std::max<std::uint64_t>(1, config.period_ms)) /
+          1'000.0;
+      const double factor =
+          1.0 + 0.8 * std::sin(2.0 * 3.14159265358979323846 * t_s / period_s);
+      return std::max(conn_qps * factor, conn_qps * 0.05);
+    };
     auto next_send = start;
     std::uint64_t next_id = 1;
     std::size_t replay_pos = 0;
     while (Clock::now() < end && result.sent < quota) {
-      if (gap.count() > 0) {
+      if (conn_qps > 0) {
         std::this_thread::sleep_until(next_send);
-        next_send += gap;
+        const double rate = rate_at(Clock::now());
+        next_send += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(rate > 0 ? 1.0 / rate : 0.0));
       }
       net::RequestFrame frame;
       frame.request_id = next_id++;
@@ -370,6 +403,9 @@ TargetOutcome run_target(const RunConfig& config) {
     for (std::size_t s = 0; s < outcome.total.by_status.size(); ++s) {
       outcome.total.by_status[s] += r.by_status[s];
     }
+    for (const auto& [epoch, n] : r.ok_by_epoch) {
+      outcome.total.ok_by_epoch[epoch] += n;
+    }
     outcome.total.latencies_us.insert(outcome.total.latencies_us.end(),
                                       r.latencies_us.begin(),
                                       r.latencies_us.end());
@@ -439,6 +475,16 @@ int run(const Args& args) {
   config.items_max = std::max<std::uint64_t>(1, args.get_u64("items-max", 1'000));
   config.seed = args.get_u64("seed", 1);
   config.deadline_us = args.get_u64("deadline-us", 0);
+  const std::string shape = args.get("shape").value_or("flat");
+  if (shape != "flat" && shape != "diurnal") {
+    throw std::invalid_argument("unknown --shape: " + shape);
+  }
+  config.diurnal = shape == "diurnal";
+  config.period_ms = std::max<std::uint64_t>(1, args.get_u64("period-ms", 1'000));
+  if (config.diurnal && !config.open_loop) {
+    throw std::invalid_argument("--shape diurnal needs --mode open (a closed "
+                                "loop has no offered rate to modulate)");
+  }
   if (config.open_loop && config.qps <= 0) {
     throw std::invalid_argument("--mode open needs --qps");
   }
@@ -497,6 +543,9 @@ int run(const Args& args) {
     for (std::size_t s = 0; s < total.by_status.size(); ++s) {
       total.by_status[s] += r.by_status[s];
     }
+    for (const auto& [epoch, n] : r.ok_by_epoch) {
+      total.ok_by_epoch[epoch] += n;
+    }
     total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
                               r.latencies_us.end());
     total.trace.insert(total.trace.end(), r.trace.begin(), r.trace.end());
@@ -530,12 +579,21 @@ int run(const Args& args) {
 
   if (args.get("json")) {
     std::ostringstream json;
-    json << "{\"mode\":\"" << mode << "\",\"connections\":"
+    json << "{\"mode\":\"" << mode << "\",\"shape\":\"" << shape
+         << "\",\"connections\":"
          << config.connections << ",\"window\":" << config.window
          << ",\"sent\":" << total.sent << ",\"received\":" << total.received
          << ",\"qps\":" << qps << ",\"p50_us\":" << p50 << ",\"p95_us\":"
          << p95 << ",\"p99_us\":" << p99 << ",\"conserved\":"
          << (conserved ? "true" : "false");
+    json << ",\"ok_by_epoch\":{";
+    bool first_epoch = true;
+    for (const auto& [epoch, n] : total.ok_by_epoch) {
+      if (!first_epoch) json << ",";
+      first_epoch = false;
+      json << "\"" << epoch << "\":" << n;
+    }
+    json << "}";
     for (std::size_t s = 0; s < total.by_status.size(); ++s) {
       json << ",\"" << net::wire_status_name(static_cast<net::WireStatus>(s))
            << "\":" << total.by_status[s];
@@ -559,7 +617,7 @@ int run(const Args& args) {
     std::cout << json.str() << std::endl;
   } else {
     util::Table table({"metric", "value"});
-    table.row().cell("mode").cell(mode);
+    table.row().cell("mode").cell(config.diurnal ? mode + " (diurnal)" : mode);
     table.row().cell("connections x window").cell(
         std::to_string(config.connections) + " x " +
         std::to_string(config.window));
@@ -567,6 +625,14 @@ int run(const Args& args) {
                                              " / " +
                                              std::to_string(total.received));
     table.row().cell("by status").cell(status_summary(total.by_status));
+    if (!total.ok_by_epoch.empty()) {
+      std::string by_epoch;
+      for (const auto& [epoch, n] : total.ok_by_epoch) {
+        if (!by_epoch.empty()) by_epoch += ", ";
+        by_epoch += "e" + std::to_string(epoch) + "=" + std::to_string(n);
+      }
+      table.row().cell("ok by served epoch").cell(by_epoch);
+    }
     table.row().cell("ok fraction").cell(
         total.received > 0
             ? static_cast<double>(ok) / static_cast<double>(total.received)
@@ -624,6 +690,7 @@ int main(int argc, char** argv) {
                  " --targets host:port,host:port)\n"
                  "  [--tenant ID] [--mode closed|open] [--connections C]\n"
                  "  [--window W] [--queries N] [--duration-ms D] [--qps R]\n"
+                 "  [--shape flat|diurnal] [--period-ms P]\n"
                  "  [--items-max M] [--seed S] [--deadline-us D] [--json]\n"
                  "  [--shutdown] [--trace-record FILE] [--trace-replay FILE]\n"
                  "--targets drives every endpoint concurrently (the query\n"
